@@ -1,0 +1,100 @@
+// Ablation: segment size vs log write bandwidth (DESIGN.md ABL1).
+//
+// Section 4.3: "the sequential log abstraction of LFS need not be totally
+// sequential on disk. What really matters is that the log is written in
+// large enough pieces to support I/O at near-maximum disk bandwidth. This
+// can be achieved by sizing segments so that the disk seek at the start of
+// a segment write is amortized across a long data transfer time. The test
+// presented in Section 5 used a segment size of one megabyte."
+//
+// Part 1 isolates the mechanism on the raw device: write 32 MB as
+// segment-sized transfers into *alternating* free slots (the worst-case
+// scattered free list), so every transfer pays one positioning delay. This
+// is exactly the seek-amortization trade the paper sizes segments around.
+//
+// Part 2 confirms the consequence end-to-end: the same small-file creation
+// workload through the full LFS stack at each segment size, reporting the
+// write cost per megabyte of flushed data.
+#include <iostream>
+
+#include "src/disk/memory_disk.h"
+#include "src/sim/sim_clock.h"
+#include "src/workload/benchmarks.h"
+#include "src/workload/report.h"
+#include "src/workload/testbed.h"
+
+namespace logfs {
+namespace {
+
+int RunBench() {
+  std::cout << "=== Ablation ABL1 part 1: raw transfers into alternating "
+               "segment-sized holes ===\n";
+  {
+    TablePrinter table({"segment", "effective MB/s", "% of disk max"});
+    const uint64_t total_bytes = 32ull << 20;
+    for (uint32_t segment_kb : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+      SimClock clock;
+      MemoryDisk disk((256ull << 20) / kSectorSize, &clock);
+      const uint64_t segment_sectors = segment_kb * 1024 / kSectorSize;
+      std::vector<std::byte> segment(segment_kb * 1024, std::byte{0x11});
+      const double t0 = clock.Now();
+      uint64_t position = 0;
+      for (uint64_t written = 0; written < total_bytes; written += segment.size()) {
+        if (!disk.WriteSectors(position, segment).ok()) {
+          std::cerr << "device write failed\n";
+          return 1;
+        }
+        position += 2 * segment_sectors;  // Skip a live segment: forced seek.
+      }
+      const double elapsed = clock.Now() - t0;
+      const double mb_s = total_bytes / 1048576.0 / elapsed;
+      table.AddRow({std::to_string(segment_kb) + " KB", TablePrinter::Fixed(mb_s, 2),
+                    TablePrinter::Fixed(100.0 * mb_s / (1.3e6 / 1048576.0), 1) + "%"});
+    }
+    table.Print(std::cout);
+    std::cout << "\nExpected shape: with one positioning delay (short seek + half a\n"
+              << "rotation, ~11 ms) per transfer, small segments lose a sizeable\n"
+              << "bandwidth fraction; >= 1 MB segments (the paper's choice) exceed\n"
+              << "98% of the disk maximum — the seek is amortized.\n\n";
+  }
+
+  std::cout << "=== Ablation ABL1 part 2: full-LFS small-file flush cost per segment "
+               "size ===\n";
+  {
+    TablePrinter table({"segment", "create files/s", "disk s per flushed MB"});
+    for (uint32_t segment_kb : {64u, 256u, 1024u, 4096u}) {
+      TestbedParams params;
+      params.disk_bytes = 128ull << 20;  // Small segments cap the usage table.
+      params.lfs.segment_size = segment_kb * 1024;
+      auto bed = MakeLfsTestbed(params);
+      if (!bed.ok()) {
+        std::cerr << "testbed setup failed\n";
+        return 1;
+      }
+      SmallFileParams small;
+      small.num_files = 4000;
+      small.file_size = 1024;
+      auto phases = RunSmallFileBenchmark(*bed, small);
+      if (!phases.ok()) {
+        std::cerr << "benchmark failed: " << phases.status().ToString() << "\n";
+        return 1;
+      }
+      const DiskStats& stats = bed->disk->stats();
+      const double flushed_mb = stats.sectors_written * 512.0 / 1048576.0;
+      table.AddRow({std::to_string(segment_kb) + " KB",
+                    TablePrinter::Fixed((*phases)[0].OpsPerSecond(), 1),
+                    TablePrinter::Fixed(flushed_mb > 0 ? stats.busy_seconds / flushed_mb : 0,
+                                        3)});
+    }
+    table.Print(std::cout);
+    std::cout << "\nOn a fresh (contiguous) log the segment size barely matters — the\n"
+              << "cost appears once the free list fragments (part 1). The paper's 1 MB\n"
+              << "choice buys worst-case immunity at no fresh-log cost.\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main() { return logfs::RunBench(); }

@@ -1,0 +1,64 @@
+// Section 3.1 reproduction: create/delete latency vs CPU speed.
+//
+// "A .9-MIPS DEC MicroVaxII using the BSD file system can create and delete
+//  an empty file in 100 milliseconds. A 14-MIPS DEC DecStation 3100 using
+//  the same file system can create and delete an empty file in 80
+//  milliseconds. Because of the synchronous disk I/O, an order-of-magnitude
+//  increase in CPU speeds causes only a 20 percent increase in program
+//  speed!"
+//
+// Shape to reproduce: FFS latency is nearly flat in CPU speed (disk-bound,
+// synchronous); LFS latency shrinks roughly linearly with CPU speed
+// (decoupled from the disk).
+#include <iostream>
+
+#include "src/workload/benchmarks.h"
+#include "src/workload/report.h"
+#include "src/workload/testbed.h"
+
+namespace logfs {
+namespace {
+
+int RunBench() {
+  std::cout << "=== Section 3.1: create+delete latency vs CPU MIPS ===\n";
+  TablePrinter table({"MIPS", "FFS ms/pair", "LFS ms/pair", "FFS speedup", "LFS speedup"});
+  const int iterations = 500;
+
+  double ffs_base = 0.0;
+  double lfs_base = 0.0;
+  for (double mips : {0.9, 2.0, 5.0, 14.0, 50.0}) {
+    TestbedParams params;
+    params.mips = mips;
+    auto ffs_bed = MakeFfsTestbed(params);
+    auto lfs_bed = MakeLfsTestbed(params);
+    if (!ffs_bed.ok() || !lfs_bed.ok()) {
+      std::cerr << "testbed setup failed\n";
+      return 1;
+    }
+    auto ffs = RunCreateDeleteLatency(*ffs_bed, iterations);
+    auto lfs = RunCreateDeleteLatency(*lfs_bed, iterations);
+    if (!ffs.ok() || !lfs.ok()) {
+      std::cerr << "latency run failed\n";
+      return 1;
+    }
+    if (ffs_base == 0.0) {
+      ffs_base = ffs->seconds_per_pair;
+      lfs_base = lfs->seconds_per_pair;
+    }
+    table.AddRow({TablePrinter::Fixed(mips, 1),
+                  TablePrinter::Fixed(ffs->seconds_per_pair * 1e3, 2),
+                  TablePrinter::Fixed(lfs->seconds_per_pair * 1e3, 2),
+                  TablePrinter::Fixed(ffs_base / ffs->seconds_per_pair, 2) + "x",
+                  TablePrinter::Fixed(lfs_base / lfs->seconds_per_pair, 2) + "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: 0.9 -> 14 MIPS gave BSD FFS only a 1.25x speedup\n"
+               "(100 ms -> 80 ms) because creates/deletes wait on synchronous disk\n"
+               "I/O. LFS latency should scale nearly linearly with CPU speed.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main() { return logfs::RunBench(); }

@@ -1,0 +1,131 @@
+// Figures 1 & 2 reproduction: the disk-access pattern of small-file
+// creation under FFS vs LFS.
+//
+// The paper's example: create dir1/file1 and dir2/file2 (one data block
+// each), then let delayed write-back complete. Under BSD FFS this costs 8
+// scattered writes, half of them synchronous (Figure 1); under LFS all the
+// modified blocks go out in a single sequential asynchronous transfer
+// (Figure 2).
+//
+// This binary performs exactly that sequence against both file systems on a
+// traced disk and prints every resulting disk write.
+#include <iostream>
+
+#include "src/disk/tracing_disk.h"
+#include "src/workload/report.h"
+#include "src/workload/testbed.h"
+
+namespace logfs {
+namespace {
+
+struct PatternResult {
+  uint64_t writes = 0;
+  uint64_t sync_writes = 0;
+  uint64_t non_sequential = 0;
+  uint64_t sectors = 0;
+  std::vector<std::string> trace_lines;
+};
+
+template <typename MakeBed>
+Result<PatternResult> RunPattern(MakeBed make_bed) {
+  ASSIGN_OR_RETURN(Testbed bed, make_bed());
+  // Re-wrap the device in a tracer by replaying the sequence on a fresh
+  // testbed whose FS talks to the traced device. Simpler: trace from the
+  // start and slice off everything before our marker.
+  TracingDisk traced(bed.disk.get(), bed.clock.get());
+  // Mount a fresh FS instance over the traced device (same image).
+  // The existing bed.fs already synced its mount state; unmount it first.
+  RETURN_IF_ERROR(bed.fs->Sync());
+  bed.fs.reset();
+
+  std::unique_ptr<FileSystem> fs;
+  {
+    auto lfs = LfsFileSystem::Mount(&traced, bed.clock.get(), bed.cpu.get());
+    if (lfs.ok()) {
+      fs = std::move(*lfs);
+    } else {
+      ASSIGN_OR_RETURN(auto ffs, FfsFileSystem::Mount(&traced, bed.clock.get(), bed.cpu.get()));
+      fs = std::move(ffs);
+    }
+  }
+  PathFs paths(fs.get());
+  // Pre-create the directories (the paper's example assumes they exist),
+  // and quiesce so only the two file creations appear in the trace.
+  RETURN_IF_ERROR(paths.Mkdir("/dir1").status());
+  RETURN_IF_ERROR(paths.Mkdir("/dir2").status());
+  RETURN_IF_ERROR(fs->Sync());
+  traced.ClearTrace();
+
+  // The paper's system-call sequence.
+  const std::vector<std::byte> block(4096, std::byte{0xAB});
+  ASSIGN_OR_RETURN(InodeNum dir1, paths.Resolve("/dir1"));
+  ASSIGN_OR_RETURN(InodeNum file1, fs->Create(dir1, "file1", FileType::kRegular));
+  RETURN_IF_ERROR(fs->Write(file1, 0, block).status());
+  ASSIGN_OR_RETURN(InodeNum dir2, paths.Resolve("/dir2"));
+  ASSIGN_OR_RETURN(InodeNum file2, fs->Create(dir2, "file2", FileType::kRegular));
+  RETURN_IF_ERROR(fs->Write(file2, 0, block).status());
+  // Delayed write-back completes (age threshold expires).
+  bed.clock->Advance(31.0);
+  RETURN_IF_ERROR(fs->Tick());
+
+  PatternResult result;
+  for (const TraceRecord& record : traced.trace()) {
+    if (record.kind == TraceRecord::Kind::kWrite) {
+      ++result.writes;
+      result.sync_writes += record.synchronous ? 1 : 0;
+      result.non_sequential += record.sequential ? 0 : 1;
+      result.sectors += record.sector_count;
+      result.trace_lines.push_back(record.ToString());
+    }
+  }
+  fs.reset();  // Unmount quietly (may add a checkpoint after the trace).
+  return result;
+}
+
+int RunBench() {
+  std::cout << "=== Figures 1 & 2: disk writes for creating dir1/file1 and dir2/file2 ===\n\n";
+  auto ffs = RunPattern([] { return MakeFfsTestbed(); });
+  auto lfs = RunPattern([] {
+    // The example measures the delayed write-back only; push the periodic
+    // checkpoint out of the way so its writes don't join the trace.
+    TestbedParams params;
+    params.lfs.checkpoint_interval_seconds = 1e9;
+    return MakeLfsTestbed(params);
+  });
+  if (!ffs.ok() || !lfs.ok()) {
+    std::cerr << "pattern run failed: " << ffs.status().ToString() << " / "
+              << lfs.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "FFS (Figure 1) writes:\n";
+  for (const auto& line : ffs->trace_lines) {
+    std::cout << "  " << line << "\n";
+  }
+  std::cout << "\nLFS (Figure 2) writes:\n";
+  for (const auto& line : lfs->trace_lines) {
+    std::cout << "  " << line << "\n";
+  }
+
+  TablePrinter table({"metric", "FFS", "LFS", "paper FFS", "paper LFS"});
+  table.AddRow({"write requests", TablePrinter::Int(ffs->writes), TablePrinter::Int(lfs->writes),
+                "8", "1"});
+  table.AddRow({"synchronous", TablePrinter::Int(ffs->sync_writes),
+                TablePrinter::Int(lfs->sync_writes), "4", "0"});
+  table.AddRow({"non-sequential", TablePrinter::Int(ffs->non_sequential),
+                TablePrinter::Int(lfs->non_sequential), "8", "1"});
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nShape check: "
+            << (ffs->sync_writes >= 4 && lfs->sync_writes == 0 && lfs->writes <= 2 &&
+                        ffs->writes >= 6
+                    ? "PASS"
+                    : "WARN")
+            << " (FFS: many small scattered + synchronous; LFS: one large sequential "
+               "asynchronous transfer)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main() { return logfs::RunBench(); }

@@ -1,0 +1,67 @@
+// Figure 4 reproduction: large-file transfer rates.
+//
+// "Writing a 100-megabyte file sequentially, reading the file sequentially,
+//  writing 100 megabytes randomly to the file, reading 100 megabytes
+//  randomly from the file, and rereading the file sequentially again...
+//  an eight-kilobyte request size." — Section 5.2
+//
+// Paper shape to reproduce:
+//   * LFS write bandwidth is independent of the access pattern and close to
+//     the disk's maximum; FFS random writes collapse to seek-bound rates.
+//   * Sequential read: comparable (both lay the file out sequentially).
+//   * Random read: comparable (both must seek).
+//   * Sequential reread after random writes: FFS wins — the one access
+//     pattern where update-in-place beats the log (LFS scattered the file).
+//
+// Note: in the paper the random writes were not unique, so LFS's random
+// write rate exceeded its sequential rate via cache overwrites. Here every
+// request slot is written exactly once (a harder, cleaner comparison).
+#include <iostream>
+
+#include "src/workload/benchmarks.h"
+#include "src/workload/report.h"
+#include "src/workload/testbed.h"
+
+namespace logfs {
+namespace {
+
+int RunBench() {
+  std::cout << "=== Figure 4: large-file I/O (KB/s, 100 MB file, 8 KB requests) ===\n";
+  LargeFileParams params;
+
+  auto lfs_bed = MakeLfsTestbed();
+  auto ffs_bed = MakeFfsTestbed();
+  if (!lfs_bed.ok() || !ffs_bed.ok()) {
+    std::cerr << "testbed setup failed\n";
+    return 1;
+  }
+  auto lfs = RunLargeFileBenchmark(*lfs_bed, params);
+  if (!lfs.ok()) {
+    std::cerr << "LFS benchmark failed: " << lfs.status().ToString() << "\n";
+    return 1;
+  }
+  auto ffs = RunLargeFileBenchmark(*ffs_bed, params);
+  if (!ffs.ok()) {
+    std::cerr << "FFS benchmark failed: " << ffs.status().ToString() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"phase", "LFS KB/s", "FFS KB/s", "LFS/FFS"});
+  for (size_t phase = 0; phase < lfs->size(); ++phase) {
+    const double lfs_rate = (*lfs)[phase].KBytesPerSecond();
+    const double ffs_rate = (*ffs)[phase].KBytesPerSecond();
+    table.AddRow({(*lfs)[phase].name, TablePrinter::Fixed(lfs_rate, 0),
+                  TablePrinter::Fixed(ffs_rate, 0),
+                  TablePrinter::Fixed(ffs_rate > 0 ? lfs_rate / ffs_rate : 0, 2) + "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nDisk max bandwidth: 1300 KB/s (WREN IV).\n"
+            << "Expected shape: LFS ~= FFS on seq write/read and rand read; LFS >> FFS\n"
+            << "on rand write; FFS > LFS on seq reread after random writes.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main() { return logfs::RunBench(); }

@@ -1,0 +1,292 @@
+#include "src/cache/buffer_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace logfs {
+
+CacheRef::CacheRef(BufferCache* cache, CacheBlock* block) : cache_(cache), block_(block) {
+  if (block_ != nullptr) {
+    cache_->Pin(block_);
+  }
+}
+
+CacheRef::~CacheRef() { Release(); }
+
+CacheRef::CacheRef(CacheRef&& other) noexcept : cache_(other.cache_), block_(other.block_) {
+  other.cache_ = nullptr;
+  other.block_ = nullptr;
+}
+
+CacheRef& CacheRef::operator=(CacheRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    block_ = other.block_;
+    other.cache_ = nullptr;
+    other.block_ = nullptr;
+  }
+  return *this;
+}
+
+void CacheRef::Release() {
+  if (block_ != nullptr) {
+    cache_->Unpin(block_);
+    block_ = nullptr;
+    cache_ = nullptr;
+  }
+}
+
+BufferCache::BufferCache(size_t block_size, CachePolicy policy, const SimClock* clock)
+    : block_size_(block_size), policy_(policy), clock_(clock) {
+  if (policy_.dirty_high_watermark == 0) {
+    policy_.dirty_high_watermark = std::max<size_t>(1, policy_.capacity_blocks / 4);
+  }
+}
+
+BufferCache::~BufferCache() = default;
+
+void BufferCache::Pin(CacheBlock* block) { ++block->pin_count_; }
+
+void BufferCache::Unpin(CacheBlock* block) {
+  assert(block->pin_count_ > 0);
+  --block->pin_count_;
+}
+
+void BufferCache::TouchLru(const BlockKey& key) {
+  auto it = map_.find(key);
+  assert(it != map_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+Status BufferCache::EnsureCapacity() {
+  if (map_.size() < policy_.capacity_blocks) {
+    return OkStatus();
+  }
+  // First choice: evict the least recently used clean, unpinned block.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    CacheBlock& block = it->block;
+    if (!block.dirty() && !block.pinned()) {
+      auto fwd = std::next(it).base();
+      map_.erase(block.key());
+      lru_.erase(fwd);
+      ++stats_.evictions;
+      return OkStatus();
+    }
+  }
+  // All clean blocks pinned (or none): write everything dirty back, then
+  // retry the eviction scan once. Re-entrant flushes (a writeback handler
+  // acquiring blocks while the cache is full) are refused instead of
+  // recursing.
+  if (in_writeback_) {
+    return BusyError("cache exhausted during writeback");
+  }
+  RETURN_IF_ERROR(FlushAll());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    CacheBlock& block = it->block;
+    if (!block.dirty() && !block.pinned()) {
+      auto fwd = std::next(it).base();
+      map_.erase(block.key());
+      lru_.erase(fwd);
+      ++stats_.evictions;
+      return OkStatus();
+    }
+  }
+  return BusyError("cache full of pinned blocks");
+}
+
+Result<CacheRef> BufferCache::Acquire(const BlockKey& key, const FetchFn& fetch) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    TouchLru(key);
+    return CacheRef(this, &map_.find(key)->second->block);
+  }
+  ++stats_.misses;
+  RETURN_IF_ERROR(EnsureCapacity());
+  lru_.emplace_front();
+  CacheBlock& block = lru_.front().block;
+  block.key_ = key;
+  block.data_.resize(block_size_);
+  Status fetched = fetch(std::span<std::byte>(block.data_));
+  if (!fetched.ok()) {
+    lru_.pop_front();
+    return fetched;
+  }
+  map_.emplace(key, lru_.begin());
+  return CacheRef(this, &block);
+}
+
+CacheRef BufferCache::AcquireIfPresent(const BlockKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return CacheRef();
+  }
+  ++stats_.hits;
+  TouchLru(key);
+  return CacheRef(this, &map_.find(key)->second->block);
+}
+
+Result<CacheRef> BufferCache::Create(const BlockKey& key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Re-creating a cached block (e.g. rewriting a freshly truncated file):
+    // zero it and hand it back.
+    CacheBlock& existing = it->second->block;
+    std::memset(existing.data_.data(), 0, existing.data_.size());
+    TouchLru(key);
+    return CacheRef(this, &existing);
+  }
+  RETURN_IF_ERROR(EnsureCapacity());
+  lru_.emplace_front();
+  CacheBlock& block = lru_.front().block;
+  block.key_ = key;
+  block.data_.assign(block_size_, std::byte{0});
+  map_.emplace(key, lru_.begin());
+  return CacheRef(this, &block);
+}
+
+void BufferCache::MarkDirty(CacheBlock* block) {
+  if (!block->dirty_) {
+    block->dirty_ = true;
+    block->dirty_since_ = clock_ != nullptr ? clock_->Now() : 0.0;
+    ++dirty_count_;
+  }
+}
+
+void BufferCache::MarkClean(CacheBlock* block) {
+  if (block->dirty_) {
+    block->dirty_ = false;
+    assert(dirty_count_ > 0);
+    --dirty_count_;
+  }
+}
+
+bool BufferCache::NeedsWriteback() const { return dirty_count_ >= policy_.dirty_high_watermark; }
+
+Status BufferCache::WriteBackBlocks(std::vector<CacheBlock*> blocks) {
+  if (blocks.empty()) {
+    return OkStatus();
+  }
+  if (writeback_ == nullptr) {
+    return InvalidArgumentError("no writeback handler registered");
+  }
+  std::sort(blocks.begin(), blocks.end(), [](const CacheBlock* a, const CacheBlock* b) {
+    if (a->key().object_id != b->key().object_id) {
+      return a->key().object_id < b->key().object_id;
+    }
+    return a->key().index < b->key().index;
+  });
+  in_writeback_ = true;
+  Status written = writeback_->WriteBack(blocks);
+  in_writeback_ = false;
+  RETURN_IF_ERROR(written);
+  for (CacheBlock* block : blocks) {
+    MarkClean(block);
+  }
+  ++stats_.writeback_batches;
+  stats_.blocks_written_back += blocks.size();
+  return OkStatus();
+}
+
+Status BufferCache::MaybeWriteBackByAge() {
+  if (clock_ == nullptr || dirty_count_ == 0) {
+    return OkStatus();
+  }
+  const double now = clock_->Now();
+  std::vector<CacheBlock*> old_blocks;
+  bool any_old = false;
+  for (auto& entry : lru_) {
+    if (entry.block.dirty() &&
+        now - entry.block.dirty_since() >= policy_.writeback_age_seconds) {
+      any_old = true;
+      break;
+    }
+  }
+  if (!any_old) {
+    return OkStatus();
+  }
+  // The paper's write-back flushes everything dirty once the age trigger
+  // fires, so the resulting segment write is as large as possible.
+  for (auto& entry : lru_) {
+    if (entry.block.dirty()) {
+      old_blocks.push_back(&entry.block);
+    }
+  }
+  return WriteBackBlocks(std::move(old_blocks));
+}
+
+Status BufferCache::FlushAll() {
+  // A writeback handler may dirty additional blocks (e.g. LFS updating an
+  // indirect block not in the batch); loop until the cache is clean, with a
+  // bound to turn a misbehaving handler into an error instead of a hang.
+  for (int round = 0; round < 16; ++round) {
+    if (dirty_count_ == 0) {
+      return OkStatus();
+    }
+    RETURN_IF_ERROR(WriteBackBlocks(DirtyBlocks()));
+  }
+  return dirty_count_ == 0 ? OkStatus()
+                           : IoError("writeback handler keeps producing dirty blocks");
+}
+
+Status BufferCache::FlushObject(uint64_t object_id) {
+  std::vector<CacheBlock*> dirty;
+  for (auto& entry : lru_) {
+    if (entry.block.dirty() && entry.block.key().object_id == object_id) {
+      dirty.push_back(&entry.block);
+    }
+  }
+  return WriteBackBlocks(std::move(dirty));
+}
+
+void BufferCache::InvalidateObject(uint64_t object_id, uint64_t first_index) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    CacheBlock& block = it->block;
+    if (block.key().object_id == object_id && block.key().index >= first_index) {
+      assert(!block.pinned() && "invalidating a pinned block");
+      MarkClean(&block);
+      map_.erase(block.key());
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferCache::InvalidateBlock(const BlockKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return;
+  }
+  CacheBlock& block = it->second->block;
+  assert(!block.pinned() && "invalidating a pinned block");
+  MarkClean(&block);
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BufferCache::DropClean() {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (!it->block.dirty() && !it->block.pinned()) {
+      map_.erase(it->block.key());
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<CacheBlock*> BufferCache::DirtyBlocks() const {
+  std::vector<CacheBlock*> dirty;
+  for (auto& entry : const_cast<LruList&>(lru_)) {
+    if (entry.block.dirty()) {
+      dirty.push_back(&entry.block);
+    }
+  }
+  return dirty;
+}
+
+}  // namespace logfs

@@ -1,0 +1,66 @@
+// BlockDevice: the sector-extent storage interface every file system in
+// logfs is built on. Implementations: MemoryDisk (simulated spindle),
+// FaultInjectingDisk and TracingDisk (decorators).
+#ifndef LOGFS_SRC_DISK_BLOCK_DEVICE_H_
+#define LOGFS_SRC_DISK_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/sim/disk_model.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+// Per-request options. `synchronous` marks requests the application must
+// wait for (FFS metadata updates, fsync); it does not change device
+// behaviour, but it is recorded in DiskStats and traces so the benchmarks
+// can reproduce the paper's "8 writes, half synchronous" analysis.
+struct IoOptions {
+  bool synchronous = false;
+};
+
+// Aggregate device statistics, maintained by the physical device and
+// readable through every decorator.
+struct DiskStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t sectors_read = 0;
+  uint64_t sectors_written = 0;
+  uint64_t seeks = 0;             // Requests that paid positioning cost.
+  uint64_t sequential_ops = 0;    // Requests that continued at the head.
+  uint64_t sync_writes = 0;       // Write requests marked synchronous.
+  double busy_seconds = 0.0;      // Total simulated service time.
+  double seek_seconds = 0.0;      // Positioning component only.
+
+  void Reset() { *this = DiskStats{}; }
+  std::string ToString() const;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // `out.size()` / `data.size()` must be a positive multiple of kSectorSize
+  // and the extent must lie inside the device.
+  virtual Status ReadSectors(uint64_t first, std::span<std::byte> out,
+                             IoOptions options = {}) = 0;
+  virtual Status WriteSectors(uint64_t first, std::span<const std::byte> data,
+                              IoOptions options = {}) = 0;
+
+  // Barrier: all previous writes are durable after Flush returns. The
+  // simulated devices are always durable per-write, so this is a no-op hook
+  // kept for interface fidelity (a real backing store would fsync here).
+  virtual Status Flush() = 0;
+
+  virtual uint64_t sector_count() const = 0;
+
+  virtual const DiskStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_DISK_BLOCK_DEVICE_H_

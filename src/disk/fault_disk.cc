@@ -1,0 +1,44 @@
+#include "src/disk/fault_disk.h"
+
+namespace logfs {
+
+Status FaultInjectingDisk::ReadSectors(uint64_t first, std::span<std::byte> out,
+                                       IoOptions options) {
+  if (crashed_) {
+    return CrashedError("device is powered off");
+  }
+  return inner_->ReadSectors(first, out, options);
+}
+
+Status FaultInjectingDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
+                                        IoOptions options) {
+  if (crashed_) {
+    return CrashedError("device is powered off");
+  }
+  ++write_requests_seen_;
+  if (armed_) {
+    if (writes_until_crash_ == 0) {
+      // This is the write that gets interrupted: a prefix may reach disk.
+      const uint64_t sectors = data.size() / kSectorSize;
+      const uint64_t keep = torn_sectors_ < sectors ? torn_sectors_ : sectors;
+      if (keep > 0) {
+        // Best-effort: a failure here is indistinguishable from the crash.
+        (void)inner_->WriteSectors(first, data.subspan(0, keep * kSectorSize), options);
+      }
+      crashed_ = true;
+      armed_ = false;
+      return CrashedError("simulated crash during write");
+    }
+    --writes_until_crash_;
+  }
+  return inner_->WriteSectors(first, data, options);
+}
+
+Status FaultInjectingDisk::Flush() {
+  if (crashed_) {
+    return CrashedError("device is powered off");
+  }
+  return inner_->Flush();
+}
+
+}  // namespace logfs

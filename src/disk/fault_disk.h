@@ -1,0 +1,66 @@
+// FaultInjectingDisk: decorator that simulates crashes and torn writes.
+//
+// Crash-recovery tests schedule a crash after the Nth write request (or the
+// Nth written sector); once the crash fires, the write in flight may be torn
+// (only a prefix of its sectors reach the medium) and every subsequent
+// request fails with kCrashed — the device is "powered off". Remounting the
+// file system on the *inner* device models rebooting the machine.
+#ifndef LOGFS_SRC_DISK_FAULT_DISK_H_
+#define LOGFS_SRC_DISK_FAULT_DISK_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/disk/block_device.h"
+
+namespace logfs {
+
+class FaultInjectingDisk : public BlockDevice {
+ public:
+  explicit FaultInjectingDisk(BlockDevice* inner) : inner_(inner) {}
+
+  // Crash after `n` more successful write *requests*. The (n+1)-th write
+  // writes `torn_sectors` sectors (possibly 0) and then the device dies.
+  void CrashAfterWrites(uint64_t n, uint64_t torn_sectors = 0) {
+    writes_until_crash_ = n;
+    torn_sectors_ = torn_sectors;
+    crashed_ = false;
+    armed_ = true;
+  }
+
+  // Immediately power off the device.
+  void CrashNow() {
+    crashed_ = true;
+    armed_ = false;
+  }
+
+  // Clear the crash state (the "reboot": the data survives, I/O works again).
+  void Reset() {
+    crashed_ = false;
+    armed_ = false;
+  }
+
+  bool crashed() const { return crashed_; }
+  uint64_t write_requests_seen() const { return write_requests_seen_; }
+
+  Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
+  Status WriteSectors(uint64_t first, std::span<const std::byte> data,
+                      IoOptions options = {}) override;
+  Status Flush() override;
+
+  uint64_t sector_count() const override { return inner_->sector_count(); }
+  const DiskStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+ private:
+  BlockDevice* inner_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t writes_until_crash_ = std::numeric_limits<uint64_t>::max();
+  uint64_t torn_sectors_ = 0;
+  uint64_t write_requests_seen_ = 0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_DISK_FAULT_DISK_H_

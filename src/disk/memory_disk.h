@@ -1,0 +1,53 @@
+// MemoryDisk: the simulated physical disk.
+//
+// Stores sector data in RAM and charges simulated service time (seek +
+// rotation + transfer) to a shared SimClock through a DiskModel. Tracks the
+// head position so sequential continuation is free of positioning cost,
+// exactly the property LFS exploits.
+#ifndef LOGFS_SRC_DISK_MEMORY_DISK_H_
+#define LOGFS_SRC_DISK_MEMORY_DISK_H_
+
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+
+class MemoryDisk : public BlockDevice {
+ public:
+  // `clock` must outlive the disk and may be null (timing disabled, for
+  // pure functional tests).
+  MemoryDisk(uint64_t sector_count, SimClock* clock, DiskModelParams params = {});
+
+  Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
+  Status WriteSectors(uint64_t first, std::span<const std::byte> data,
+                      IoOptions options = {}) override;
+  Status Flush() override;
+
+  uint64_t sector_count() const override { return sector_count_; }
+  const DiskStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+  const DiskModel& model() const { return model_; }
+
+  // Raw image access for checkers and "dd"-style inspection in tests.
+  std::span<const std::byte> RawImage() const { return data_; }
+  std::span<std::byte> MutableRawImage() { return data_; }
+
+ private:
+  Status CheckExtent(uint64_t first, size_t bytes) const;
+  void Account(uint64_t first, uint64_t count, bool is_write, bool synchronous);
+
+  uint64_t sector_count_;
+  SimClock* clock_;
+  DiskModel model_;
+  std::vector<std::byte> data_;
+  uint64_t head_ = 0;  // Sector after the last transferred sector.
+  DiskStats stats_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_DISK_MEMORY_DISK_H_

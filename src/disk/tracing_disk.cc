@@ -1,0 +1,74 @@
+#include "src/disk/tracing_disk.h"
+
+#include <sstream>
+
+namespace logfs {
+
+std::string TraceRecord::ToString() const {
+  std::ostringstream os;
+  os << (kind == Kind::kRead ? "R" : "W") << " sector=" << first_sector << "+" << sector_count
+     << (synchronous ? " sync" : " async") << (sequential ? " seq" : " rand") << " t="
+     << time_seconds;
+  return os.str();
+}
+
+void TracingDisk::Record(TraceRecord::Kind kind, uint64_t first, uint64_t count,
+                         bool synchronous) {
+  TraceRecord record;
+  record.kind = kind;
+  record.first_sector = first;
+  record.sector_count = count;
+  record.synchronous = synchronous;
+  record.sequential = have_last_ && first == last_end_;
+  record.time_seconds = clock_ != nullptr ? clock_->Now() : 0.0;
+  trace_.push_back(record);
+  last_end_ = first + count;
+  have_last_ = true;
+}
+
+Status TracingDisk::ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options) {
+  RETURN_IF_ERROR(inner_->ReadSectors(first, out, options));
+  Record(TraceRecord::Kind::kRead, first, out.size() / kSectorSize, options.synchronous);
+  return OkStatus();
+}
+
+Status TracingDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
+                                 IoOptions options) {
+  RETURN_IF_ERROR(inner_->WriteSectors(first, data, options));
+  Record(TraceRecord::Kind::kWrite, first, data.size() / kSectorSize, options.synchronous);
+  return OkStatus();
+}
+
+Status TracingDisk::Flush() { return inner_->Flush(); }
+
+uint64_t TracingDisk::WriteRequestCount() const {
+  uint64_t n = 0;
+  for (const auto& r : trace_) {
+    if (r.kind == TraceRecord::Kind::kWrite) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t TracingDisk::SyncWriteRequestCount() const {
+  uint64_t n = 0;
+  for (const auto& r : trace_) {
+    if (r.kind == TraceRecord::Kind::kWrite && r.synchronous) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t TracingDisk::NonSequentialWriteCount() const {
+  uint64_t n = 0;
+  for (const auto& r : trace_) {
+    if (r.kind == TraceRecord::Kind::kWrite && !r.sequential) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace logfs

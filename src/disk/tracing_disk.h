@@ -1,0 +1,61 @@
+// TracingDisk: decorator that records every request, used to reproduce the
+// paper's Figures 1 and 2 (the disk-access pattern of small-file creation
+// under FFS vs LFS) and to assert I/O patterns in tests.
+#ifndef LOGFS_SRC_DISK_TRACING_DISK_H_
+#define LOGFS_SRC_DISK_TRACING_DISK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+
+struct TraceRecord {
+  enum class Kind { kRead, kWrite };
+  Kind kind;
+  uint64_t first_sector;
+  uint64_t sector_count;
+  bool synchronous;
+  bool sequential;  // Continued exactly at the previous request's end.
+  double time_seconds;
+
+  std::string ToString() const;
+};
+
+class TracingDisk : public BlockDevice {
+ public:
+  // `clock` may be null; trace timestamps are then 0.
+  TracingDisk(BlockDevice* inner, const SimClock* clock) : inner_(inner), clock_(clock) {}
+
+  Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
+  Status WriteSectors(uint64_t first, std::span<const std::byte> data,
+                      IoOptions options = {}) override;
+  Status Flush() override;
+
+  uint64_t sector_count() const override { return inner_->sector_count(); }
+  const DiskStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  const std::vector<TraceRecord>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+  // Summary counters over the current trace.
+  uint64_t WriteRequestCount() const;
+  uint64_t SyncWriteRequestCount() const;
+  uint64_t NonSequentialWriteCount() const;
+
+ private:
+  void Record(TraceRecord::Kind kind, uint64_t first, uint64_t count, bool synchronous);
+
+  BlockDevice* inner_;
+  const SimClock* clock_;
+  std::vector<TraceRecord> trace_;
+  uint64_t last_end_ = 0;
+  bool have_last_ = false;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_DISK_TRACING_DISK_H_

@@ -1,0 +1,209 @@
+#include "src/ffs/ffs_check.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace logfs {
+namespace {
+
+bool TestBit(const std::vector<uint8_t>& bitmap, uint64_t bit) {
+  return (bitmap[bit / 8] >> (bit % 8)) & 1u;
+}
+
+}  // namespace
+
+std::string FfsCheckReport::Summary() const {
+  std::ostringstream os;
+  os << (ok() ? "CLEAN" : "CORRUPT") << ": " << files << " files, " << directories
+     << " directories, " << total_bytes << " bytes, " << blocks_in_use << " data blocks";
+  for (const std::string& problem : problems) {
+    os << "\n  problem: " << problem;
+  }
+  return os.str();
+}
+
+Result<FfsCheckReport> FfsChecker::Check(bool verify_data) {
+  FfsCheckReport report;
+  auto complain = [&report](std::string message) {
+    if (report.problems.size() < 64) {
+      report.problems.push_back(std::move(message));
+    }
+  };
+  RETURN_IF_ERROR(fs_->Sync());
+  const FfsSuperblock& sb = fs_->sb_;
+
+  // --- collect every live block pointer, checking for double references ---
+  std::unordered_set<uint64_t> used_blocks;  // Physical block numbers.
+  auto claim = [&](DiskAddr addr, InodeNum ino, const char* what) {
+    if (addr == kNoAddr) {
+      return;
+    }
+    const uint64_t block = fs_->AddrToBlock(addr);
+    if (block == 0 || block >= sb.total_blocks) {
+      complain(std::string(what) + " of ino " + std::to_string(ino) + " out of range");
+      return;
+    }
+    // Must lie in a data area, not group metadata.
+    const uint32_t group = static_cast<uint32_t>((block - 1) / sb.blocks_per_group);
+    const uint64_t rel = block - fs_->GroupStartBlock(group);
+    if (group >= sb.num_groups || rel < fs_->GroupMetaBlocks()) {
+      complain(std::string(what) + " of ino " + std::to_string(ino) +
+               " points into metadata");
+      return;
+    }
+    if (!used_blocks.insert(block).second) {
+      complain("block " + std::to_string(block) + " referenced twice (" + what + " of ino " +
+               std::to_string(ino) + ")");
+    }
+  };
+
+  auto walk_inode_blocks = [&](InodeNum ino, const Inode& inode) -> Status {
+    for (DiskAddr addr : inode.direct) {
+      claim(addr, ino, "direct block");
+    }
+    const uint64_t epb = fs_->EntriesPerBlock();
+    if (inode.single_indirect != kNoAddr) {
+      claim(inode.single_indirect, ino, "single indirect");
+      ASSIGN_OR_RETURN(CacheRef ref, fs_->GetBlock(fs_->AddrToBlock(inode.single_indirect)));
+      for (uint64_t j = 0; j < epb; ++j) {
+        claim(ReadIndirectEntry(ref->data(), j), ino, "indirect entry");
+      }
+    }
+    if (inode.double_indirect != kNoAddr) {
+      claim(inode.double_indirect, ino, "double indirect");
+      ASSIGN_OR_RETURN(CacheRef l1, fs_->GetBlock(fs_->AddrToBlock(inode.double_indirect)));
+      for (uint64_t j = 0; j < epb; ++j) {
+        const DiskAddr l2_addr = ReadIndirectEntry(l1->data(), j);
+        if (l2_addr == kNoAddr) {
+          continue;
+        }
+        claim(l2_addr, ino, "double-indirect leaf");
+        ASSIGN_OR_RETURN(CacheRef l2, fs_->GetBlock(fs_->AddrToBlock(l2_addr)));
+        for (uint64_t k = 0; k < epb; ++k) {
+          claim(ReadIndirectEntry(l2->data(), k), ino, "double-indirect entry");
+        }
+      }
+    }
+    return OkStatus();
+  };
+
+  // --- directory tree walk ---
+  std::unordered_map<InodeNum, uint32_t> name_refs;
+  std::unordered_map<InodeNum, uint32_t> child_dirs;
+  std::unordered_map<InodeNum, InodeNum> parent_of;
+  std::unordered_set<InodeNum> visited;
+  std::deque<InodeNum> queue;
+  queue.push_back(kRootIno);
+  visited.insert(kRootIno);
+  parent_of[kRootIno] = kRootIno;
+  while (!queue.empty()) {
+    const InodeNum dir = queue.front();
+    queue.pop_front();
+    ++report.directories;
+    Result<std::vector<DirEntry>> entries = fs_->ReadDir(dir);
+    if (!entries.ok()) {
+      complain("dir " + std::to_string(dir) + " unreadable");
+      continue;
+    }
+    bool saw_dot = false;
+    bool saw_dotdot = false;
+    for (const DirEntry& entry : entries.value()) {
+      const uint32_t group = fs_->GroupOfInode(entry.ino);
+      const uint32_t index = (entry.ino - 1) % sb.inodes_per_group;
+      if (entry.ino == kInvalidIno || group >= sb.num_groups ||
+          !TestBit(fs_->groups_[group].inode_bitmap, index)) {
+        complain("dir " + std::to_string(dir) + " entry '" + entry.name +
+                 "' references unallocated ino " + std::to_string(entry.ino));
+        continue;
+      }
+      if (entry.name == ".") {
+        saw_dot = true;
+        if (entry.ino != dir) {
+          complain("dir " + std::to_string(dir) + " has wrong '.'");
+        }
+        continue;
+      }
+      if (entry.name == "..") {
+        saw_dotdot = true;
+        if (entry.ino != parent_of[dir]) {
+          complain("dir " + std::to_string(dir) + " has wrong '..'");
+        }
+        continue;
+      }
+      ++name_refs[entry.ino];
+      Result<FileStat> stat = fs_->Stat(entry.ino);
+      if (!stat.ok()) {
+        complain("stat of ino " + std::to_string(entry.ino) + " failed");
+        continue;
+      }
+      if (stat->type == FileType::kDirectory) {
+        ++child_dirs[dir];
+        if (!visited.insert(entry.ino).second) {
+          complain("directory ino " + std::to_string(entry.ino) + " linked twice");
+          continue;
+        }
+        parent_of[entry.ino] = dir;
+        queue.push_back(entry.ino);
+      } else if (visited.insert(entry.ino).second) {
+        ++report.files;
+        report.total_bytes += stat->size;
+        if (verify_data && stat->size > 0) {
+          std::vector<std::byte> content(stat->size);
+          Result<uint64_t> n = fs_->Read(entry.ino, 0, content);
+          if (!n.ok() || *n != stat->size) {
+            complain("file ino " + std::to_string(entry.ino) + " content unreadable");
+          }
+        }
+      }
+    }
+    if (!saw_dot || !saw_dotdot) {
+      complain("dir " + std::to_string(dir) + " missing . or ..");
+    }
+  }
+
+  // --- per-inode: reachability, nlink, block walk ---
+  for (uint32_t g = 0; g < sb.num_groups; ++g) {
+    for (uint32_t i = 0; i < sb.inodes_per_group; ++i) {
+      if (!TestBit(fs_->groups_[g].inode_bitmap, i)) {
+        continue;
+      }
+      const InodeNum ino = static_cast<InodeNum>(g * sb.inodes_per_group + i + 1);
+      if (!visited.contains(ino)) {
+        complain("allocated ino " + std::to_string(ino) + " unreachable from root");
+        continue;
+      }
+      Result<Inode> inode = fs_->GetInode(ino);
+      if (!inode.ok()) {
+        complain("ino " + std::to_string(ino) + " undecodable");
+        continue;
+      }
+      const uint32_t expected = inode->IsDirectory() ? 2 + child_dirs[ino] : name_refs[ino];
+      if (inode->nlink != expected) {
+        complain("ino " + std::to_string(ino) + " nlink " + std::to_string(inode->nlink) +
+                 " != expected " + std::to_string(expected));
+      }
+      RETURN_IF_ERROR(walk_inode_blocks(ino, *inode));
+    }
+  }
+  report.blocks_in_use = used_blocks.size();
+
+  // --- bitmaps must agree exactly with the reachable block set ---
+  for (uint32_t g = 0; g < sb.num_groups; ++g) {
+    const FfsFileSystem::Group& group = fs_->groups_[g];
+    for (uint32_t rel = fs_->GroupMetaBlocks(); rel < group.block_count; ++rel) {
+      const uint64_t block = fs_->GroupStartBlock(g) + rel;
+      const bool marked = TestBit(group.block_bitmap, rel);
+      const bool used = used_blocks.contains(block);
+      if (marked && !used) {
+        complain("block " + std::to_string(block) + " marked in use but unreferenced (leak)");
+      } else if (!marked && used) {
+        complain("block " + std::to_string(block) + " referenced but marked free");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace logfs

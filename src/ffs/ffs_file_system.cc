@@ -1,0 +1,1103 @@
+#include "src/ffs/ffs_file_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/fsbase/dirent.h"
+#include "src/util/logging.h"
+
+namespace logfs {
+namespace {
+
+// Cache object id shared by every FFS block: FFS blocks have fixed physical
+// addresses, so they are cached by physical block number.
+constexpr uint64_t kPhysObject = 1;
+
+bool TestBit(const std::vector<uint8_t>& bitmap, uint64_t bit) {
+  return (bitmap[bit / 8] >> (bit % 8)) & 1u;
+}
+
+void SetBit(std::vector<uint8_t>& bitmap, uint64_t bit) {
+  bitmap[bit / 8] = static_cast<uint8_t>(bitmap[bit / 8] | (1u << (bit % 8)));
+}
+
+void ClearBit(std::vector<uint8_t>& bitmap, uint64_t bit) {
+  bitmap[bit / 8] = static_cast<uint8_t>(bitmap[bit / 8] & ~(1u << (bit % 8)));
+}
+
+Status ValidateParams(const FfsParams& params) {
+  if (params.block_size < 4096 || params.block_size > 65536 ||
+      params.block_size % kSectorSize != 0) {
+    return InvalidArgumentError("FFS block size must be 4K-64K and sector aligned");
+  }
+  if (params.inodes_per_group % 8 != 0 || params.blocks_per_group % 8 != 0) {
+    return InvalidArgumentError("FFS group sizes must be multiples of 8");
+  }
+  if ((params.inodes_per_group * kInodeDiskSize) % params.block_size != 0) {
+    return InvalidArgumentError("FFS inode table must fill whole blocks");
+  }
+  const uint32_t table_blocks = params.inodes_per_group * kInodeDiskSize / params.block_size;
+  if (1 + table_blocks + 8 > params.blocks_per_group) {
+    return InvalidArgumentError("FFS group too small for its metadata");
+  }
+  if (params.inodes_per_group / 8 + params.blocks_per_group / 8 > params.block_size) {
+    return InvalidArgumentError("FFS bitmaps do not fit in the group header block");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+// --- Format -----------------------------------------------------------------
+
+Status FfsFileSystem::Format(BlockDevice* device, const FfsParams& params) {
+  RETURN_IF_ERROR(ValidateParams(params));
+  const uint32_t spb = params.block_size / kSectorSize;
+  const uint64_t total_blocks = device->sector_count() / spb;
+  if (total_blocks < 1 + params.blocks_per_group) {
+    return InvalidArgumentError("device too small for one FFS group");
+  }
+  const uint32_t table_blocks = params.inodes_per_group * kInodeDiskSize / params.block_size;
+  const uint32_t meta_blocks = 1 + table_blocks;
+  // Only full-enough trailing groups are used.
+  uint32_t num_groups = 0;
+  for (uint64_t start = 1; start + meta_blocks + 8 <= total_blocks;
+       start += params.blocks_per_group) {
+    ++num_groups;
+  }
+  if (num_groups == 0) {
+    return InvalidArgumentError("device too small for one FFS group");
+  }
+
+  FfsSuperblock sb;
+  sb.block_size = params.block_size;
+  sb.total_blocks = total_blocks;
+  sb.num_groups = num_groups;
+  sb.blocks_per_group = params.blocks_per_group;
+  sb.inodes_per_group = params.inodes_per_group;
+  sb.inode_table_blocks = table_blocks;
+
+  std::vector<std::byte> block(params.block_size);
+  RETURN_IF_ERROR(EncodeFfsSuperblock(sb, block));
+  RETURN_IF_ERROR(device->WriteSectors(0, block));
+
+  // Group headers: bitmaps with metadata blocks (and, in the last group,
+  // nonexistent blocks) marked in use.
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    const uint64_t start = 1 + static_cast<uint64_t>(g) * params.blocks_per_group;
+    const uint32_t group_blocks = static_cast<uint32_t>(
+        std::min<uint64_t>(params.blocks_per_group, total_blocks - start));
+    std::vector<uint8_t> inode_bitmap(params.inodes_per_group / 8, 0);
+    std::vector<uint8_t> block_bitmap(params.blocks_per_group / 8, 0);
+    for (uint32_t b = 0; b < meta_blocks; ++b) {
+      SetBit(block_bitmap, b);
+    }
+    for (uint32_t b = group_blocks; b < params.blocks_per_group; ++b) {
+      SetBit(block_bitmap, b);
+    }
+    if (g == 0) {
+      SetBit(inode_bitmap, 0);                // Root inode.
+      SetBit(block_bitmap, meta_blocks);      // Root directory data block.
+    }
+    std::memset(block.data(), 0, block.size());
+    std::memcpy(block.data(), inode_bitmap.data(), inode_bitmap.size());
+    std::memcpy(block.data() + inode_bitmap.size(), block_bitmap.data(), block_bitmap.size());
+    RETURN_IF_ERROR(device->WriteSectors(start * spb, block));
+  }
+
+  // Root directory: inode 1 in group 0 slot 0; one data block with "." "..".
+  const uint64_t root_data_block = 1 + meta_blocks;
+  std::memset(block.data(), 0, block.size());
+  DirBlockView view(block);
+  RETURN_IF_ERROR(view.InitEmpty());
+  RETURN_IF_ERROR(view.Insert(kRootIno, FileType::kDirectory, "."));
+  RETURN_IF_ERROR(view.Insert(kRootIno, FileType::kDirectory, ".."));
+  RETURN_IF_ERROR(device->WriteSectors(root_data_block * spb, block));
+
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.nlink = 2;
+  root.size = params.block_size;
+  root.generation = 1;
+  root.direct[0] = root_data_block * spb;
+  std::memset(block.data(), 0, block.size());
+  RETURN_IF_ERROR(EncodeInode(root, std::span<std::byte>(block).subspan(0, kInodeDiskSize)));
+  RETURN_IF_ERROR(device->WriteSectors((1 + 1) * spb, block));  // Group 0 table block 0.
+  return device->Flush();
+}
+
+// --- Mount ------------------------------------------------------------------
+
+FfsFileSystem::FfsFileSystem(BlockDevice* device, SimClock* clock, CpuModel* cpu,
+                             const FfsSuperblock& sb, Options options)
+    : device_(device),
+      clock_(clock),
+      cpu_(cpu),
+      sb_(sb),
+      cache_(sb.block_size, options.cache_policy, clock) {
+  cache_.set_writeback_handler(this);
+}
+
+FfsFileSystem::~FfsFileSystem() {
+  // Best-effort flush; errors are ignored at destruction (a crashed device
+  // stays crashed).
+  (void)Sync();
+}
+
+Result<std::unique_ptr<FfsFileSystem>> FfsFileSystem::Mount(BlockDevice* device, SimClock* clock,
+                                                            CpuModel* cpu, Options options) {
+  std::vector<std::byte> block(65536);
+  // Read the superblock with a minimal 4 KB guess, then re-read full size.
+  block.resize(4096);
+  RETURN_IF_ERROR(device->ReadSectors(0, block));
+  ASSIGN_OR_RETURN(FfsSuperblock sb, DecodeFfsSuperblock(block));
+  auto fs = std::unique_ptr<FfsFileSystem>(new FfsFileSystem(device, clock, cpu, sb, options));
+
+  // Rebuild per-group bitmaps and free counts from the group headers.
+  const uint32_t spb = fs->SectorsPerBlock();
+  block.resize(sb.block_size);
+  fs->groups_.resize(sb.num_groups);
+  for (uint32_t g = 0; g < sb.num_groups; ++g) {
+    Group& group = fs->groups_[g];
+    const uint64_t start = fs->GroupStartBlock(g);
+    RETURN_IF_ERROR(device->ReadSectors(start * spb, block));
+    group.inode_bitmap.assign(sb.inodes_per_group / 8, 0);
+    group.block_bitmap.assign(sb.blocks_per_group / 8, 0);
+    std::memcpy(group.inode_bitmap.data(), block.data(), group.inode_bitmap.size());
+    std::memcpy(group.block_bitmap.data(), block.data() + group.inode_bitmap.size(),
+                group.block_bitmap.size());
+    group.block_count = static_cast<uint32_t>(
+        std::min<uint64_t>(sb.blocks_per_group, sb.total_blocks - start));
+    group.free_inodes = 0;
+    for (uint32_t i = 0; i < sb.inodes_per_group; ++i) {
+      if (!TestBit(group.inode_bitmap, i)) {
+        ++group.free_inodes;
+      }
+    }
+    group.free_blocks = 0;
+    for (uint32_t b = 0; b < group.block_count; ++b) {
+      if (!TestBit(group.block_bitmap, b)) {
+        ++group.free_blocks;
+      }
+    }
+  }
+  return fs;
+}
+
+// --- Cache plumbing ----------------------------------------------------------
+
+void FfsFileSystem::ChargeCpu(uint64_t instructions) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(instructions);
+  }
+}
+
+Result<CacheRef> FfsFileSystem::GetBlock(uint64_t block_no) {
+  return cache_.Acquire(BlockKey{kPhysObject, block_no}, [&](std::span<std::byte> out) {
+    return device_->ReadSectors(block_no * SectorsPerBlock(), out);
+  });
+}
+
+Result<CacheRef> FfsFileSystem::GetBlockZeroed(uint64_t block_no) {
+  return cache_.Create(BlockKey{kPhysObject, block_no});
+}
+
+Status FfsFileSystem::WriteBlockSync(CacheBlock* block) {
+  RETURN_IF_ERROR(device_->WriteSectors(block->key().index * SectorsPerBlock(), block->data(),
+                                        IoOptions{.synchronous = true}));
+  cache_.MarkClean(block);
+  return OkStatus();
+}
+
+Status FfsFileSystem::WriteBack(std::span<CacheBlock* const> blocks) {
+  // Delayed writes: each block goes to its fixed address. The cache hands
+  // the batch over sorted by block number, so the schedule is an elevator
+  // pass — but the addresses themselves are scattered, which is exactly the
+  // FFS behaviour the paper contrasts with LFS.
+  for (CacheBlock* block : blocks) {
+    RETURN_IF_ERROR(
+        device_->WriteSectors(block->key().index * SectorsPerBlock(), block->data()));
+  }
+  return OkStatus();
+}
+
+// --- Inode I/O ---------------------------------------------------------------
+
+Result<Inode> FfsFileSystem::GetInode(InodeNum ino) {
+  if (ino == kInvalidIno || ino > sb_.num_groups * sb_.inodes_per_group) {
+    return InvalidArgumentError("inode number out of range");
+  }
+  const uint32_t group = GroupOfInode(ino);
+  const uint32_t index = (ino - 1) % sb_.inodes_per_group;
+  if (!TestBit(groups_[group].inode_bitmap, index)) {
+    return NotFoundError("inode not allocated");
+  }
+  const uint64_t table_block = GroupStartBlock(group) + 1 + index / InodesPerBlock();
+  ASSIGN_OR_RETURN(CacheRef ref, GetBlock(table_block));
+  const size_t slot = (index % InodesPerBlock()) * kInodeDiskSize;
+  return DecodeInode(ref->data().subspan(slot, kInodeDiskSize));
+}
+
+Status FfsFileSystem::PutInode(InodeNum ino, const Inode& inode, bool synchronous) {
+  const uint32_t group = GroupOfInode(ino);
+  const uint32_t index = (ino - 1) % sb_.inodes_per_group;
+  const uint64_t table_block = GroupStartBlock(group) + 1 + index / InodesPerBlock();
+  ASSIGN_OR_RETURN(CacheRef ref, GetBlock(table_block));
+  const size_t slot = (index % InodesPerBlock()) * kInodeDiskSize;
+  RETURN_IF_ERROR(EncodeInode(inode, ref->mutable_data().subspan(slot, kInodeDiskSize)));
+  if (synchronous) {
+    return WriteBlockSync(ref.get());
+  }
+  cache_.MarkDirty(ref.get());
+  return OkStatus();
+}
+
+Result<InodeNum> FfsFileSystem::AllocInode(uint32_t preferred_group, FileType /*type*/) {
+  for (uint32_t attempt = 0; attempt < sb_.num_groups; ++attempt) {
+    const uint32_t g = (preferred_group + attempt) % sb_.num_groups;
+    Group& group = groups_[g];
+    if (group.free_inodes == 0) {
+      continue;
+    }
+    for (uint32_t i = 0; i < sb_.inodes_per_group; ++i) {
+      if (!TestBit(group.inode_bitmap, i)) {
+        SetBit(group.inode_bitmap, i);
+        --group.free_inodes;
+        group.dirty = true;
+        return static_cast<InodeNum>(g * sb_.inodes_per_group + i + 1);
+      }
+    }
+  }
+  return NoSpaceError("out of inodes");
+}
+
+Status FfsFileSystem::FreeInodeSlot(InodeNum ino) {
+  const uint32_t group = GroupOfInode(ino);
+  const uint32_t index = (ino - 1) % sb_.inodes_per_group;
+  if (!TestBit(groups_[group].inode_bitmap, index)) {
+    return CorruptedError("double free of inode");
+  }
+  ClearBit(groups_[group].inode_bitmap, index);
+  ++groups_[group].free_inodes;
+  groups_[group].dirty = true;
+  // Zero the on-disk slot synchronously: deletion in BSD FFS is a
+  // synchronous metadata update (paper Section 3.1).
+  const uint64_t table_block = GroupStartBlock(group) + 1 + index / InodesPerBlock();
+  ASSIGN_OR_RETURN(CacheRef ref, GetBlock(table_block));
+  const size_t slot = (index % InodesPerBlock()) * kInodeDiskSize;
+  std::memset(ref->mutable_data().data() + slot, 0, kInodeDiskSize);
+  return WriteBlockSync(ref.get());
+}
+
+// --- Block allocation --------------------------------------------------------
+
+Result<uint64_t> FfsFileSystem::AllocBlock(uint32_t preferred_group, uint64_t hint_block) {
+  // File contiguity: try the block immediately after the hint first.
+  if (hint_block != 0) {
+    const uint64_t next = hint_block + 1;
+    if (next > 0 && next < sb_.total_blocks) {
+      const uint64_t rel_start = GroupStartBlock(0);
+      if (next >= rel_start) {
+        const uint32_t g = static_cast<uint32_t>((next - 1) / sb_.blocks_per_group);
+        if (g < sb_.num_groups) {
+          Group& group = groups_[g];
+          const uint32_t rel = static_cast<uint32_t>(next - GroupStartBlock(g));
+          if (rel >= GroupMetaBlocks() && rel < group.block_count &&
+              !TestBit(group.block_bitmap, rel)) {
+            SetBit(group.block_bitmap, rel);
+            --group.free_blocks;
+            group.dirty = true;
+            return next;
+          }
+        }
+      }
+    }
+  }
+  // Next-fit within the preferred group (rotating cursor), then the other
+  // groups in order.
+  for (uint32_t attempt = 0; attempt < sb_.num_groups; ++attempt) {
+    const uint32_t g = (preferred_group + attempt) % sb_.num_groups;
+    Group& group = groups_[g];
+    if (group.free_blocks == 0) {
+      continue;
+    }
+    const uint32_t begin = GroupMetaBlocks();
+    const uint32_t span = group.block_count - begin;
+    for (uint32_t step = 0; step < span; ++step) {
+      const uint32_t rel = begin + (group.alloc_cursor + step) % span;
+      if (!TestBit(group.block_bitmap, rel)) {
+        SetBit(group.block_bitmap, rel);
+        --group.free_blocks;
+        group.dirty = true;
+        group.alloc_cursor = (rel - begin + 1) % span;
+        return GroupStartBlock(g) + rel;
+      }
+    }
+  }
+  return NoSpaceError("out of data blocks");
+}
+
+Status FfsFileSystem::FreeBlock(uint64_t block_no) {
+  const uint32_t g = static_cast<uint32_t>((block_no - 1) / sb_.blocks_per_group);
+  if (g >= sb_.num_groups) {
+    return CorruptedError("freeing block outside any group");
+  }
+  Group& group = groups_[g];
+  const uint32_t rel = static_cast<uint32_t>(block_no - GroupStartBlock(g));
+  if (rel < GroupMetaBlocks() || rel >= group.block_count) {
+    return CorruptedError("freeing metadata or out-of-range block");
+  }
+  if (!TestBit(group.block_bitmap, rel)) {
+    return CorruptedError("double free of block");
+  }
+  ClearBit(group.block_bitmap, rel);
+  ++group.free_blocks;
+  group.dirty = true;
+  cache_.InvalidateBlock(BlockKey{kPhysObject, block_no});
+  return OkStatus();
+}
+
+uint64_t FfsFileSystem::FreeBlockCount() const {
+  uint64_t total = 0;
+  for (const Group& group : groups_) {
+    total += group.free_blocks;
+  }
+  return total;
+}
+
+uint64_t FfsFileSystem::FreeInodeCount() const {
+  uint64_t total = 0;
+  for (const Group& group : groups_) {
+    total += group.free_inodes;
+  }
+  return total;
+}
+
+// --- File block mapping ------------------------------------------------------
+
+Result<DiskAddr> FfsFileSystem::MapBlockForRead(const Inode& inode, uint64_t index) {
+  ASSIGN_OR_RETURN(BlockLocation loc, ResolveBlockIndex(index, EntriesPerBlock()));
+  switch (loc.level) {
+    case BlockLocation::Level::kDirect:
+      return inode.direct[loc.direct_index];
+    case BlockLocation::Level::kSingleIndirect: {
+      if (inode.single_indirect == kNoAddr) {
+        return kNoAddr;
+      }
+      ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(inode.single_indirect)));
+      return ReadIndirectEntry(ref->data(), loc.l1_index);
+    }
+    case BlockLocation::Level::kDoubleIndirect: {
+      if (inode.double_indirect == kNoAddr) {
+        return kNoAddr;
+      }
+      ASSIGN_OR_RETURN(CacheRef l1, GetBlock(AddrToBlock(inode.double_indirect)));
+      const DiskAddr l2_addr = ReadIndirectEntry(l1->data(), loc.l1_index);
+      if (l2_addr == kNoAddr) {
+        return kNoAddr;
+      }
+      ASSIGN_OR_RETURN(CacheRef l2, GetBlock(AddrToBlock(l2_addr)));
+      return ReadIndirectEntry(l2->data(), loc.l2_index);
+    }
+  }
+  return CorruptedError("unreachable block level");
+}
+
+Result<DiskAddr> FfsFileSystem::MapBlockForWrite(InodeNum ino, Inode* inode, uint64_t index,
+                                                 bool* inode_modified) {
+  const uint32_t group = GroupOfInode(ino);
+  ASSIGN_OR_RETURN(BlockLocation loc, ResolveBlockIndex(index, EntriesPerBlock()));
+  // Contiguity hint: the physical block of the previous file block, when it
+  // is cheap to find (direct range).
+  uint64_t hint = 0;
+  if (loc.level == BlockLocation::Level::kDirect && loc.direct_index > 0 &&
+      inode->direct[loc.direct_index - 1] != kNoAddr) {
+    hint = AddrToBlock(inode->direct[loc.direct_index - 1]);
+  }
+  switch (loc.level) {
+    case BlockLocation::Level::kDirect: {
+      if (inode->direct[loc.direct_index] == kNoAddr) {
+        ASSIGN_OR_RETURN(uint64_t block_no, AllocBlock(group, hint));
+        inode->direct[loc.direct_index] = BlockToAddr(block_no);
+        *inode_modified = true;
+      }
+      return inode->direct[loc.direct_index];
+    }
+    case BlockLocation::Level::kSingleIndirect: {
+      if (inode->single_indirect == kNoAddr) {
+        ASSIGN_OR_RETURN(uint64_t ind_no, AllocBlock(group, 0));
+        inode->single_indirect = BlockToAddr(ind_no);
+        *inode_modified = true;
+        ASSIGN_OR_RETURN(CacheRef fresh, GetBlockZeroed(ind_no));
+        cache_.MarkDirty(fresh.get());
+      }
+      ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(inode->single_indirect)));
+      DiskAddr addr = ReadIndirectEntry(ref->data(), loc.l1_index);
+      if (addr == kNoAddr) {
+        ASSIGN_OR_RETURN(uint64_t block_no, AllocBlock(group, 0));
+        addr = BlockToAddr(block_no);
+        WriteIndirectEntry(ref->mutable_data(), loc.l1_index, addr);
+        cache_.MarkDirty(ref.get());
+      }
+      return addr;
+    }
+    case BlockLocation::Level::kDoubleIndirect: {
+      if (inode->double_indirect == kNoAddr) {
+        ASSIGN_OR_RETURN(uint64_t ind_no, AllocBlock(group, 0));
+        inode->double_indirect = BlockToAddr(ind_no);
+        *inode_modified = true;
+        ASSIGN_OR_RETURN(CacheRef fresh, GetBlockZeroed(ind_no));
+        cache_.MarkDirty(fresh.get());
+      }
+      ASSIGN_OR_RETURN(CacheRef l1, GetBlock(AddrToBlock(inode->double_indirect)));
+      DiskAddr l2_addr = ReadIndirectEntry(l1->data(), loc.l1_index);
+      if (l2_addr == kNoAddr) {
+        ASSIGN_OR_RETURN(uint64_t block_no, AllocBlock(group, 0));
+        l2_addr = BlockToAddr(block_no);
+        WriteIndirectEntry(l1->mutable_data(), loc.l1_index, l2_addr);
+        cache_.MarkDirty(l1.get());
+        ASSIGN_OR_RETURN(CacheRef fresh, GetBlockZeroed(block_no));
+        cache_.MarkDirty(fresh.get());
+      }
+      ASSIGN_OR_RETURN(CacheRef l2, GetBlock(AddrToBlock(l2_addr)));
+      DiskAddr addr = ReadIndirectEntry(l2->data(), loc.l2_index);
+      if (addr == kNoAddr) {
+        ASSIGN_OR_RETURN(uint64_t block_no, AllocBlock(group, 0));
+        addr = BlockToAddr(block_no);
+        WriteIndirectEntry(l2->mutable_data(), loc.l2_index, addr);
+        cache_.MarkDirty(l2.get());
+      }
+      return addr;
+    }
+  }
+  return CorruptedError("unreachable block level");
+}
+
+Status FfsFileSystem::FreeBlocksFrom(InodeNum /*ino*/, Inode* inode, uint64_t first_index) {
+  const uint64_t epb = EntriesPerBlock();
+  // Direct blocks.
+  for (uint64_t i = first_index; i < kNumDirect; ++i) {
+    if (inode->direct[i] != kNoAddr) {
+      RETURN_IF_ERROR(FreeBlock(AddrToBlock(inode->direct[i])));
+      inode->direct[i] = kNoAddr;
+    }
+  }
+  // Single indirect.
+  if (inode->single_indirect != kNoAddr) {
+    const uint64_t base = kNumDirect;
+    if (first_index < base + epb) {
+      const uint64_t from = first_index > base ? first_index - base : 0;
+      ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(inode->single_indirect)));
+      for (uint64_t i = from; i < epb; ++i) {
+        const DiskAddr addr = ReadIndirectEntry(ref->data(), i);
+        if (addr != kNoAddr) {
+          RETURN_IF_ERROR(FreeBlock(AddrToBlock(addr)));
+          WriteIndirectEntry(ref->mutable_data(), i, kNoAddr);
+          cache_.MarkDirty(ref.get());
+        }
+      }
+      if (from == 0) {
+        ref.Release();
+        RETURN_IF_ERROR(FreeBlock(AddrToBlock(inode->single_indirect)));
+        inode->single_indirect = kNoAddr;
+      }
+    }
+  }
+  // Double indirect.
+  if (inode->double_indirect != kNoAddr) {
+    const uint64_t base = kNumDirect + epb;
+    ASSIGN_OR_RETURN(CacheRef l1, GetBlock(AddrToBlock(inode->double_indirect)));
+    bool l1_all_free = true;
+    for (uint64_t j = 0; j < epb; ++j) {
+      const DiskAddr l2_addr = ReadIndirectEntry(l1->data(), j);
+      if (l2_addr == kNoAddr) {
+        continue;
+      }
+      const uint64_t l2_base = base + j * epb;
+      if (first_index >= l2_base + epb) {
+        l1_all_free = false;
+        continue;  // Entirely kept.
+      }
+      const uint64_t from = first_index > l2_base ? first_index - l2_base : 0;
+      ASSIGN_OR_RETURN(CacheRef l2, GetBlock(AddrToBlock(l2_addr)));
+      for (uint64_t i = from; i < epb; ++i) {
+        const DiskAddr addr = ReadIndirectEntry(l2->data(), i);
+        if (addr != kNoAddr) {
+          RETURN_IF_ERROR(FreeBlock(AddrToBlock(addr)));
+          WriteIndirectEntry(l2->mutable_data(), i, kNoAddr);
+          cache_.MarkDirty(l2.get());
+        }
+      }
+      if (from == 0) {
+        l2.Release();
+        RETURN_IF_ERROR(FreeBlock(AddrToBlock(l2_addr)));
+        WriteIndirectEntry(l1->mutable_data(), j, kNoAddr);
+        cache_.MarkDirty(l1.get());
+      } else {
+        l1_all_free = false;
+      }
+    }
+    if (l1_all_free && first_index <= base) {
+      l1.Release();
+      RETURN_IF_ERROR(FreeBlock(AddrToBlock(inode->double_indirect)));
+      inode->double_indirect = kNoAddr;
+    }
+  }
+  return OkStatus();
+}
+
+// --- Directory helpers -------------------------------------------------------
+
+Result<DirEntry> FfsFileSystem::DirFind(InodeNum /*dir_ino*/, const Inode& dir,
+                                        std::string_view name) {
+  const uint64_t blocks = dir.size / sb_.block_size;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(dir, b));
+    if (addr == kNoAddr) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    Result<DirEntry> entry = view.Find(name);
+    if (entry.ok()) {
+      return entry;
+    }
+    if (entry.status().code() != ErrorCode::kNotFound) {
+      return entry;
+    }
+  }
+  return NotFoundError(name);
+}
+
+Status FfsFileSystem::DirInsert(InodeNum dir_ino, Inode* dir, InodeNum ino, FileType type,
+                                std::string_view name, bool synchronous) {
+  const uint64_t blocks = dir->size / sb_.block_size;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(*dir, b));
+    if (addr == kNoAddr) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    Status inserted = view.Insert(ino, type, name);
+    if (inserted.ok()) {
+      if (synchronous) {
+        return WriteBlockSync(ref.get());
+      }
+      cache_.MarkDirty(ref.get());
+      return OkStatus();
+    }
+    if (inserted.code() != ErrorCode::kNoSpace) {
+      return inserted;
+    }
+  }
+  // Extend the directory with a fresh block.
+  bool inode_modified = false;
+  ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForWrite(dir_ino, dir, blocks, &inode_modified));
+  ASSIGN_OR_RETURN(CacheRef ref, GetBlockZeroed(AddrToBlock(addr)));
+  DirBlockView view(ref->mutable_data());
+  RETURN_IF_ERROR(view.InitEmpty());
+  RETURN_IF_ERROR(view.Insert(ino, type, name));
+  dir->size += sb_.block_size;
+  if (synchronous) {
+    return WriteBlockSync(ref.get());
+  }
+  cache_.MarkDirty(ref.get());
+  return OkStatus();
+}
+
+Status FfsFileSystem::DirRemove(InodeNum /*dir_ino*/, Inode* dir, std::string_view name,
+                                bool synchronous) {
+  const uint64_t blocks = dir->size / sb_.block_size;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(*dir, b));
+    if (addr == kNoAddr) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    Status removed = view.Remove(name);
+    if (removed.ok()) {
+      if (synchronous) {
+        return WriteBlockSync(ref.get());
+      }
+      cache_.MarkDirty(ref.get());
+      return OkStatus();
+    }
+    if (removed.code() != ErrorCode::kNotFound) {
+      return removed;
+    }
+  }
+  return NotFoundError(name);
+}
+
+Status FfsFileSystem::DirReplace(InodeNum /*dir_ino*/, Inode* dir, std::string_view name,
+                                 InodeNum ino, FileType type, bool synchronous) {
+  const uint64_t blocks = dir->size / sb_.block_size;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(*dir, b));
+    if (addr == kNoAddr) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    Status set = view.SetInode(name, ino, type);
+    if (set.ok()) {
+      if (synchronous) {
+        return WriteBlockSync(ref.get());
+      }
+      cache_.MarkDirty(ref.get());
+      return OkStatus();
+    }
+    if (set.code() != ErrorCode::kNotFound) {
+      return set;
+    }
+  }
+  return NotFoundError(name);
+}
+
+Result<bool> FfsFileSystem::DirIsEmpty(InodeNum /*dir_ino*/, const Inode& dir) {
+  const uint64_t blocks = dir.size / sb_.block_size;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(dir, b));
+    if (addr == kNoAddr) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    ASSIGN_OR_RETURN(auto entries, view.List());
+    for (const DirEntry& entry : entries) {
+      if (entry.name != "." && entry.name != "..") {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<bool> FfsFileSystem::IsInSubtree(InodeNum candidate, InodeNum ancestor) {
+  InodeNum current = candidate;
+  for (int depth = 0; depth < 4096; ++depth) {
+    if (current == ancestor) {
+      return true;
+    }
+    if (current == kRootIno) {
+      return false;
+    }
+    ASSIGN_OR_RETURN(Inode inode, GetInode(current));
+    ASSIGN_OR_RETURN(DirEntry parent, DirFind(current, inode, ".."));
+    current = parent.ino;
+  }
+  return CorruptedError("directory tree too deep or cyclic");
+}
+
+// --- FileSystem interface ----------------------------------------------------
+
+Result<InodeNum> FfsFileSystem::Create(InodeNum dir, std::string_view name, FileType type) {
+  if (type != FileType::kRegular && type != FileType::kDirectory &&
+      type != FileType::kSymlink) {
+    return InvalidArgumentError("unsupported file type");
+  }
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(cpu_->costs().create_instructions);
+  }
+  ASSIGN_OR_RETURN(Inode dir_inode, GetInode(dir));
+  if (!dir_inode.IsDirectory()) {
+    return NotDirectoryError("create in non-directory");
+  }
+  Result<DirEntry> existing = DirFind(dir, dir_inode, name);
+  if (existing.ok()) {
+    return ExistsError(name);
+  }
+  if (existing.status().code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+
+  const uint32_t preferred = type == FileType::kDirectory
+                                 ? (next_dir_group_++ % sb_.num_groups)
+                                 : GroupOfInode(dir);
+  ASSIGN_OR_RETURN(InodeNum ino, AllocInode(preferred, type));
+  const double now = clock_ != nullptr ? clock_->Now() : 0.0;
+  Inode inode;
+  inode.type = type;
+  inode.nlink = type == FileType::kDirectory ? 2 : 1;
+  inode.generation = 1;
+  inode.atime = inode.mtime = inode.ctime = now;
+
+  if (type == FileType::kDirectory) {
+    bool modified = false;
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForWrite(ino, &inode, 0, &modified));
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlockZeroed(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    RETURN_IF_ERROR(view.InitEmpty());
+    RETURN_IF_ERROR(view.Insert(ino, FileType::kDirectory, "."));
+    RETURN_IF_ERROR(view.Insert(dir, FileType::kDirectory, ".."));
+    inode.size = sb_.block_size;
+    RETURN_IF_ERROR(WriteBlockSync(ref.get()));
+    ++dir_inode.nlink;
+  }
+
+  // The two synchronous metadata writes of Figure 1: the new inode's block
+  // and the directory data block.
+  RETURN_IF_ERROR(PutInode(ino, inode, /*synchronous=*/true));
+  RETURN_IF_ERROR(DirInsert(dir, &dir_inode, ino, type, name, /*synchronous=*/true));
+  dir_inode.mtime = now;
+  RETURN_IF_ERROR(PutInode(dir, dir_inode, /*synchronous=*/false));
+  return ino;
+}
+
+Result<InodeNum> FfsFileSystem::Lookup(InodeNum dir, std::string_view name) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(cpu_->costs().lookup_instructions);
+  }
+  ASSIGN_OR_RETURN(Inode dir_inode, GetInode(dir));
+  if (!dir_inode.IsDirectory()) {
+    return NotDirectoryError("lookup in non-directory");
+  }
+  ASSIGN_OR_RETURN(DirEntry entry, DirFind(dir, dir_inode, name));
+  return entry.ino;
+}
+
+Status FfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(cpu_->costs().remove_instructions);
+  }
+  ASSIGN_OR_RETURN(Inode dir_inode, GetInode(dir));
+  if (!dir_inode.IsDirectory()) {
+    return NotDirectoryError("unlink in non-directory");
+  }
+  ASSIGN_OR_RETURN(DirEntry entry, DirFind(dir, dir_inode, name));
+  ASSIGN_OR_RETURN(Inode target, GetInode(entry.ino));
+  if (target.IsDirectory()) {
+    return IsDirectoryError("unlink of a directory; use Rmdir");
+  }
+  RETURN_IF_ERROR(DirRemove(dir, &dir_inode, name, /*synchronous=*/true));
+  dir_inode.mtime = clock_ != nullptr ? clock_->Now() : 0.0;
+  RETURN_IF_ERROR(PutInode(dir, dir_inode, /*synchronous=*/false));
+  --target.nlink;
+  if (target.nlink == 0) {
+    RETURN_IF_ERROR(FreeBlocksFrom(entry.ino, &target, 0));
+    return FreeInodeSlot(entry.ino);
+  }
+  return PutInode(entry.ino, target, /*synchronous=*/true);
+}
+
+Status FfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(cpu_->costs().remove_instructions);
+  }
+  if (name == "." || name == "..") {
+    return InvalidArgumentError("cannot rmdir . or ..");
+  }
+  ASSIGN_OR_RETURN(Inode dir_inode, GetInode(dir));
+  if (!dir_inode.IsDirectory()) {
+    return NotDirectoryError("rmdir in non-directory");
+  }
+  ASSIGN_OR_RETURN(DirEntry entry, DirFind(dir, dir_inode, name));
+  ASSIGN_OR_RETURN(Inode target, GetInode(entry.ino));
+  if (!target.IsDirectory()) {
+    return NotDirectoryError("rmdir of a non-directory");
+  }
+  ASSIGN_OR_RETURN(bool empty, DirIsEmpty(entry.ino, target));
+  if (!empty) {
+    return NotEmptyError(name);
+  }
+  RETURN_IF_ERROR(DirRemove(dir, &dir_inode, name, /*synchronous=*/true));
+  --dir_inode.nlink;  // Lost the child's "..".
+  dir_inode.mtime = clock_ != nullptr ? clock_->Now() : 0.0;
+  RETURN_IF_ERROR(PutInode(dir, dir_inode, /*synchronous=*/false));
+  RETURN_IF_ERROR(FreeBlocksFrom(entry.ino, &target, 0));
+  return FreeInodeSlot(entry.ino);
+}
+
+Status FfsFileSystem::Link(InodeNum dir, std::string_view name, InodeNum target_ino) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(cpu_->costs().create_instructions);
+  }
+  ASSIGN_OR_RETURN(Inode dir_inode, GetInode(dir));
+  if (!dir_inode.IsDirectory()) {
+    return NotDirectoryError("link in non-directory");
+  }
+  ASSIGN_OR_RETURN(Inode target, GetInode(target_ino));
+  if (target.IsDirectory()) {
+    return IsDirectoryError("hard link to a directory");
+  }
+  Result<DirEntry> existing = DirFind(dir, dir_inode, name);
+  if (existing.ok()) {
+    return ExistsError(name);
+  }
+  if (existing.status().code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  RETURN_IF_ERROR(DirInsert(dir, &dir_inode, target_ino, target.type, name,
+                            /*synchronous=*/true));
+  RETURN_IF_ERROR(PutInode(dir, dir_inode, /*synchronous=*/false));
+  ++target.nlink;
+  return PutInode(target_ino, target, /*synchronous=*/true);
+}
+
+Status FfsFileSystem::Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
+                             std::string_view to_name) {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeTracked(cpu_->costs().create_instructions);
+  }
+  if (from_name == "." || from_name == ".." || to_name == "." || to_name == "..") {
+    return InvalidArgumentError("cannot rename . or ..");
+  }
+  ASSIGN_OR_RETURN(Inode from_inode, GetInode(from_dir));
+  ASSIGN_OR_RETURN(DirEntry src, DirFind(from_dir, from_inode, from_name));
+  if (from_dir == to_dir && from_name == to_name) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(Inode src_inode, GetInode(src.ino));
+  if (src_inode.IsDirectory()) {
+    ASSIGN_OR_RETURN(bool cyclic, IsInSubtree(to_dir, src.ino));
+    if (cyclic) {
+      return InvalidArgumentError("rename would create a cycle");
+    }
+  }
+  ASSIGN_OR_RETURN(Inode to_inode, GetInode(to_dir));
+  Result<DirEntry> dst = DirFind(to_dir, to_inode, to_name);
+  if (dst.ok()) {
+    // Replace the destination.
+    ASSIGN_OR_RETURN(Inode dst_inode, GetInode(dst->ino));
+    if (dst_inode.IsDirectory()) {
+      if (!src_inode.IsDirectory()) {
+        return IsDirectoryError("cannot replace a directory with a file");
+      }
+      ASSIGN_OR_RETURN(bool empty, DirIsEmpty(dst->ino, dst_inode));
+      if (!empty) {
+        return NotEmptyError(to_name);
+      }
+      RETURN_IF_ERROR(DirReplace(to_dir, &to_inode, to_name, src.ino, src.type,
+                                 /*synchronous=*/true));
+      --to_inode.nlink;  // Old child directory's ".." is gone.
+      RETURN_IF_ERROR(FreeBlocksFrom(dst->ino, &dst_inode, 0));
+      RETURN_IF_ERROR(FreeInodeSlot(dst->ino));
+    } else {
+      if (src_inode.IsDirectory()) {
+        return NotDirectoryError("cannot replace a file with a directory");
+      }
+      RETURN_IF_ERROR(DirReplace(to_dir, &to_inode, to_name, src.ino, src.type,
+                                 /*synchronous=*/true));
+      --dst_inode.nlink;
+      if (dst_inode.nlink == 0) {
+        RETURN_IF_ERROR(FreeBlocksFrom(dst->ino, &dst_inode, 0));
+        RETURN_IF_ERROR(FreeInodeSlot(dst->ino));
+      } else {
+        RETURN_IF_ERROR(PutInode(dst->ino, dst_inode, /*synchronous=*/true));
+      }
+    }
+  } else {
+    if (dst.status().code() != ErrorCode::kNotFound) {
+      return dst.status();
+    }
+    RETURN_IF_ERROR(DirInsert(to_dir, &to_inode, src.ino, src.type, to_name,
+                              /*synchronous=*/true));
+    if (src_inode.IsDirectory() && from_dir != to_dir) {
+      ++to_inode.nlink;
+    }
+  }
+  RETURN_IF_ERROR(PutInode(to_dir, to_inode, /*synchronous=*/false));
+  // Remove the source entry. Reload the source directory inode: it may have
+  // changed if from_dir == to_dir (size growth during insert).
+  ASSIGN_OR_RETURN(from_inode, GetInode(from_dir));
+  RETURN_IF_ERROR(DirRemove(from_dir, &from_inode, from_name, /*synchronous=*/true));
+  if (src_inode.IsDirectory() && from_dir != to_dir) {
+    --from_inode.nlink;
+    // Rewrite the child's "..".
+    ASSIGN_OR_RETURN(src_inode, GetInode(src.ino));
+    RETURN_IF_ERROR(DirReplace(src.ino, &src_inode, "..", to_dir, FileType::kDirectory,
+                               /*synchronous=*/false));
+    RETURN_IF_ERROR(PutInode(src.ino, src_inode, /*synchronous=*/false));
+  }
+  return PutInode(from_dir, from_inode, /*synchronous=*/false);
+}
+
+Result<uint64_t> FfsFileSystem::Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) {
+  ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.IsDirectory()) {
+    return IsDirectoryError("read of a directory");
+  }
+  if (offset >= inode.size) {
+    return uint64_t{0};
+  }
+  const uint64_t to_read = std::min<uint64_t>(out.size(), inode.size - offset);
+  uint64_t done = 0;
+  while (done < to_read) {
+    const uint64_t pos = offset + done;
+    const uint64_t index = pos / sb_.block_size;
+    const uint64_t in_block = pos % sb_.block_size;
+    const uint64_t chunk = std::min<uint64_t>(to_read - done, sb_.block_size - in_block);
+    if (cpu_ != nullptr) {
+      cpu_->ChargeTracked(cpu_->costs().per_block_instructions +
+                          cpu_->costs().per_kilobyte_copy_instructions * (chunk / 1024 + 1));
+    }
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(inode, index));
+    if (addr == kNoAddr) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+      std::memcpy(out.data() + done, ref->data().data() + in_block, chunk);
+    }
+    done += chunk;
+  }
+  // Access-time update, delayed-written with the inode block (real FFS
+  // behaviour; LFS avoids exactly this by keeping atime in the inode map).
+  inode.atime = clock_ != nullptr ? clock_->Now() : 0.0;
+  RETURN_IF_ERROR(PutInode(ino, inode, /*synchronous=*/false));
+  return done;
+}
+
+Result<uint64_t> FfsFileSystem::Write(InodeNum ino, uint64_t offset,
+                                      std::span<const std::byte> data) {
+  ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.IsDirectory()) {
+    return IsDirectoryError("write to a directory");
+  }
+  const uint64_t max_bytes = MaxFileBlocks(EntriesPerBlock()) * sb_.block_size;
+  if (offset + data.size() > max_bytes) {
+    return TooLargeError("write beyond maximum file size");
+  }
+  bool inode_modified = false;
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t index = pos / sb_.block_size;
+    const uint64_t in_block = pos % sb_.block_size;
+    const uint64_t chunk = std::min<uint64_t>(data.size() - done, sb_.block_size - in_block);
+    if (cpu_ != nullptr) {
+      cpu_->ChargeTracked(cpu_->costs().per_block_instructions +
+                          cpu_->costs().per_kilobyte_copy_instructions * (chunk / 1024 + 1));
+    }
+    // Distinguish writes into existing blocks (read-modify-write) from
+    // writes that materialize a new block: a freshly allocated block's disk
+    // content is stale garbage and must never be read.
+    ASSIGN_OR_RETURN(DiskAddr before, MapBlockForRead(inode, index));
+    const bool was_hole = before == kNoAddr;
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForWrite(ino, &inode, index, &inode_modified));
+    const bool full_block = chunk == sb_.block_size;
+    CacheRef ref;
+    if (full_block || was_hole) {
+      ASSIGN_OR_RETURN(ref, GetBlockZeroed(AddrToBlock(addr)));
+    } else {
+      ASSIGN_OR_RETURN(ref, GetBlock(AddrToBlock(addr)));
+    }
+    std::memcpy(ref->mutable_data().data() + in_block, data.data() + done, chunk);
+    cache_.MarkDirty(ref.get());
+    done += chunk;
+  }
+  const uint64_t end = offset + data.size();
+  if (end > inode.size) {
+    inode.size = end;
+    inode_modified = true;
+  }
+  inode.mtime = clock_ != nullptr ? clock_->Now() : 0.0;
+  RETURN_IF_ERROR(PutInode(ino, inode, /*synchronous=*/false));
+  (void)inode_modified;
+  if (cache_.NeedsWriteback()) {
+    RETURN_IF_ERROR(cache_.FlushAll());
+  }
+  return done;
+}
+
+Status FfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.IsDirectory()) {
+    return IsDirectoryError("truncate of a directory");
+  }
+  if (new_size >= inode.size) {
+    inode.size = new_size;  // Extension creates a hole.
+    return PutInode(ino, inode, /*synchronous=*/false);
+  }
+  const uint64_t keep_blocks = (new_size + sb_.block_size - 1) / sb_.block_size;
+  RETURN_IF_ERROR(FreeBlocksFrom(ino, &inode, keep_blocks));
+  // Zero the tail of the final partial block so re-extension reads zeros.
+  if (new_size % sb_.block_size != 0) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(inode, keep_blocks - 1));
+    if (addr != kNoAddr) {
+      ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+      const uint64_t keep = new_size % sb_.block_size;
+      std::memset(ref->mutable_data().data() + keep, 0, sb_.block_size - keep);
+      cache_.MarkDirty(ref.get());
+    }
+  }
+  inode.size = new_size;
+  inode.mtime = clock_ != nullptr ? clock_->Now() : 0.0;
+  return PutInode(ino, inode, /*synchronous=*/false);
+}
+
+Result<FileStat> FfsFileSystem::Stat(InodeNum ino) {
+  ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  FileStat stat;
+  stat.ino = ino;
+  stat.type = inode.type;
+  stat.nlink = inode.nlink;
+  stat.size = inode.size;
+  stat.blocks = (inode.size + sb_.block_size - 1) / sb_.block_size;
+  stat.atime = inode.atime;
+  stat.mtime = inode.mtime;
+  stat.ctime = inode.ctime;
+  stat.version = 0;
+  return stat;
+}
+
+Result<std::vector<DirEntry>> FfsFileSystem::ReadDir(InodeNum dir) {
+  ASSIGN_OR_RETURN(Inode inode, GetInode(dir));
+  if (!inode.IsDirectory()) {
+    return NotDirectoryError("readdir of a non-directory");
+  }
+  std::vector<DirEntry> all;
+  const uint64_t blocks = inode.size / sb_.block_size;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    ASSIGN_OR_RETURN(DiskAddr addr, MapBlockForRead(inode, b));
+    if (addr == kNoAddr) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(CacheRef ref, GetBlock(AddrToBlock(addr)));
+    DirBlockView view(ref->mutable_data());
+    ASSIGN_OR_RETURN(auto entries, view.List());
+    all.insert(all.end(), entries.begin(), entries.end());
+  }
+  return all;
+}
+
+Status FfsFileSystem::FlushGroupHeaders() {
+  std::vector<std::byte> block(sb_.block_size);
+  for (uint32_t g = 0; g < sb_.num_groups; ++g) {
+    Group& group = groups_[g];
+    if (!group.dirty) {
+      continue;
+    }
+    std::memset(block.data(), 0, block.size());
+    std::memcpy(block.data(), group.inode_bitmap.data(), group.inode_bitmap.size());
+    std::memcpy(block.data() + group.inode_bitmap.size(), group.block_bitmap.data(),
+                group.block_bitmap.size());
+    RETURN_IF_ERROR(device_->WriteSectors(GroupStartBlock(g) * SectorsPerBlock(), block));
+    group.dirty = false;
+  }
+  return OkStatus();
+}
+
+Status FfsFileSystem::Sync() {
+  RETURN_IF_ERROR(cache_.FlushAll());
+  RETURN_IF_ERROR(FlushGroupHeaders());
+  return device_->Flush();
+}
+
+Status FfsFileSystem::Fsync(InodeNum /*ino*/) {
+  // FFS blocks are cached by physical address, so per-file selection is not
+  // possible; fsync degenerates to a full sync (SunOS-era fsync forced the
+  // same synchronous metadata writes).
+  return Sync();
+}
+
+Status FfsFileSystem::DropCaches() {
+  cache_.DropClean();
+  return OkStatus();
+}
+
+Status FfsFileSystem::Tick() { return cache_.MaybeWriteBackByAge(); }
+
+}  // namespace logfs

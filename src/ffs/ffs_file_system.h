@@ -1,0 +1,145 @@
+// FfsFileSystem: the update-in-place BSD-FFS baseline (the paper's SunOS
+// comparator). See ffs_format.h for the disk layout.
+//
+// Behavioural model (paper Section 3.1 / Figure 1):
+//   * creat/unlink/mkdir perform synchronous writes of the affected inode
+//     block and directory data block;
+//   * file data blocks are allocated at write time but written back later
+//     (delayed write) by the shared BufferCache, each to its fixed address;
+//   * reads go through the cache; allocation favours the inode's cylinder
+//     group and sequential placement, giving good sequential-read layout.
+#ifndef LOGFS_SRC_FFS_FFS_FILE_SYSTEM_H_
+#define LOGFS_SRC_FFS_FFS_FILE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/disk/block_device.h"
+#include "src/ffs/ffs_format.h"
+#include "src/fsbase/file_system.h"
+#include "src/fsbase/inode.h"
+#include "src/sim/cpu_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+
+class FfsFileSystem : public FileSystem, private WritebackHandler {
+ public:
+  struct Options {
+    Options() { cache_policy.capacity_blocks = 1920; }  // 15 MB of 8 KB blocks.
+    CachePolicy cache_policy;
+  };
+
+  // Writes a fresh file system (superblock, group headers, root directory).
+  static Status Format(BlockDevice* device, const FfsParams& params);
+
+  // Mounts a formatted device. `clock` and `cpu` may be null (no timing).
+  static Result<std::unique_ptr<FfsFileSystem>> Mount(BlockDevice* device, SimClock* clock,
+                                                      CpuModel* cpu, Options options = {});
+
+  ~FfsFileSystem() override;
+
+  // FileSystem:
+  Result<InodeNum> Create(InodeNum dir, std::string_view name, FileType type) override;
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Status Unlink(InodeNum dir, std::string_view name) override;
+  Status Rmdir(InodeNum dir, std::string_view name) override;
+  Status Link(InodeNum dir, std::string_view name, InodeNum target) override;
+  Status Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
+                std::string_view to_name) override;
+  Result<uint64_t> Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) override;
+  Result<uint64_t> Write(InodeNum ino, uint64_t offset, std::span<const std::byte> data) override;
+  Status Truncate(InodeNum ino, uint64_t new_size) override;
+  Result<FileStat> Stat(InodeNum ino) override;
+  Result<std::vector<DirEntry>> ReadDir(InodeNum dir) override;
+  Status Sync() override;
+  Status Fsync(InodeNum ino) override;
+  Status DropCaches() override;
+  Status Tick() override;
+  std::string name() const override { return "FFS"; }
+
+  // Introspection for tests and benchmarks.
+  const FfsSuperblock& superblock() const { return sb_; }
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+  uint64_t FreeBlockCount() const;
+  uint64_t FreeInodeCount() const;
+
+  friend class FfsChecker;
+
+ private:
+  struct Group {
+    std::vector<uint8_t> inode_bitmap;
+    std::vector<uint8_t> block_bitmap;
+    uint32_t free_inodes = 0;
+    uint32_t free_blocks = 0;
+    uint32_t block_count = 0;    // Blocks in this (possibly short, last) group.
+    uint32_t alloc_cursor = 0;   // Next-fit rotor for data-block allocation.
+    bool dirty = false;
+  };
+
+  FfsFileSystem(BlockDevice* device, SimClock* clock, CpuModel* cpu, const FfsSuperblock& sb,
+                Options options);
+
+  // --- geometry ---
+  uint32_t SectorsPerBlock() const { return sb_.block_size / kSectorSize; }
+  uint64_t GroupStartBlock(uint32_t group) const {
+    return 1 + static_cast<uint64_t>(group) * sb_.blocks_per_group;
+  }
+  uint32_t GroupMetaBlocks() const { return 1 + sb_.inode_table_blocks; }
+  uint32_t InodesPerBlock() const { return sb_.block_size / kInodeDiskSize; }
+  uint32_t GroupOfInode(InodeNum ino) const { return (ino - 1) / sb_.inodes_per_group; }
+  uint64_t EntriesPerBlock() const { return sb_.block_size / sizeof(DiskAddr); }
+  DiskAddr BlockToAddr(uint64_t block_no) const { return block_no * SectorsPerBlock(); }
+  uint64_t AddrToBlock(DiskAddr addr) const { return addr / SectorsPerBlock(); }
+
+  // --- block cache (keyed by physical block number) ---
+  Result<CacheRef> GetBlock(uint64_t block_no);
+  Result<CacheRef> GetBlockZeroed(uint64_t block_no);
+  Status WriteBlockSync(CacheBlock* block);
+  void ChargeCpu(uint64_t instructions);
+
+  // --- inode I/O ---
+  Result<Inode> GetInode(InodeNum ino);
+  Status PutInode(InodeNum ino, const Inode& inode, bool synchronous);
+  Result<InodeNum> AllocInode(uint32_t preferred_group, FileType type);
+  Status FreeInodeSlot(InodeNum ino);
+
+  // --- block allocation ---
+  Result<uint64_t> AllocBlock(uint32_t preferred_group, uint64_t hint_block);
+  Status FreeBlock(uint64_t block_no);
+
+  // --- file block mapping ---
+  Result<DiskAddr> MapBlockForRead(const Inode& inode, uint64_t index);
+  Result<DiskAddr> MapBlockForWrite(InodeNum ino, Inode* inode, uint64_t index,
+                                    bool* inode_modified);
+  Status FreeBlocksFrom(InodeNum ino, Inode* inode, uint64_t first_index);
+
+  // --- directories ---
+  Result<DirEntry> DirFind(InodeNum dir_ino, const Inode& dir, std::string_view name);
+  Status DirInsert(InodeNum dir_ino, Inode* dir, InodeNum ino, FileType type,
+                   std::string_view name, bool synchronous);
+  Status DirRemove(InodeNum dir_ino, Inode* dir, std::string_view name, bool synchronous);
+  Status DirReplace(InodeNum dir_ino, Inode* dir, std::string_view name, InodeNum ino,
+                    FileType type, bool synchronous);
+  Result<bool> DirIsEmpty(InodeNum dir_ino, const Inode& dir);
+  // True if `candidate` is `ancestor` or lies beneath it (rename cycle check).
+  Result<bool> IsInSubtree(InodeNum candidate, InodeNum ancestor);
+
+  // WritebackHandler: delayed writes, each block to its fixed address.
+  Status WriteBack(std::span<CacheBlock* const> blocks) override;
+
+  Status FlushGroupHeaders();
+
+  BlockDevice* device_;
+  SimClock* clock_;
+  CpuModel* cpu_;
+  FfsSuperblock sb_;
+  BufferCache cache_;
+  std::vector<Group> groups_;
+  uint32_t next_dir_group_ = 0;  // Round-robin spread of directories.
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_FFS_FFS_FILE_SYSTEM_H_

@@ -1,0 +1,54 @@
+#include "src/ffs/ffs_format.h"
+
+#include <cstring>
+
+#include "src/util/crc32.h"
+#include "src/util/serializer.h"
+
+namespace logfs {
+namespace {
+// Serialized payload size (excluding the trailing CRC).
+constexpr size_t kPayloadSize = 4 + 4 + 8 + 4 + 4 + 4 + 4;
+}  // namespace
+
+Status EncodeFfsSuperblock(const FfsSuperblock& sb, std::span<std::byte> block) {
+  if (block.size() < kPayloadSize + 4) {
+    return InvalidArgumentError("superblock buffer too small");
+  }
+  std::memset(block.data(), 0, block.size());
+  BufferWriter writer(block);
+  RETURN_IF_ERROR(writer.WriteU32(sb.magic));
+  RETURN_IF_ERROR(writer.WriteU32(sb.block_size));
+  RETURN_IF_ERROR(writer.WriteU64(sb.total_blocks));
+  RETURN_IF_ERROR(writer.WriteU32(sb.num_groups));
+  RETURN_IF_ERROR(writer.WriteU32(sb.blocks_per_group));
+  RETURN_IF_ERROR(writer.WriteU32(sb.inodes_per_group));
+  RETURN_IF_ERROR(writer.WriteU32(sb.inode_table_blocks));
+  const uint32_t crc = Crc32(block.subspan(0, kPayloadSize));
+  return writer.WriteU32(crc);
+}
+
+Result<FfsSuperblock> DecodeFfsSuperblock(std::span<const std::byte> block) {
+  if (block.size() < kPayloadSize + 4) {
+    return CorruptedError("superblock truncated");
+  }
+  BufferReader reader(block);
+  FfsSuperblock sb;
+  ASSIGN_OR_RETURN(sb.magic, reader.ReadU32());
+  if (sb.magic != kFfsMagic) {
+    return CorruptedError("bad FFS superblock magic");
+  }
+  ASSIGN_OR_RETURN(sb.block_size, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.total_blocks, reader.ReadU64());
+  ASSIGN_OR_RETURN(sb.num_groups, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.blocks_per_group, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.inodes_per_group, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.inode_table_blocks, reader.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
+  if (stored_crc != Crc32(block.subspan(0, kPayloadSize))) {
+    return CorruptedError("FFS superblock CRC mismatch");
+  }
+  return sb;
+}
+
+}  // namespace logfs

@@ -1,0 +1,53 @@
+// On-disk format of the FFS baseline: a simplified BSD fast file system
+// (McKusick et al. 1984), the stand-in for the paper's SunOS 4.0.3
+// comparator. Update-in-place layout:
+//
+//   block 0                superblock
+//   per cylinder group g:
+//     block cg_start(g)    group header (inode bitmap + block bitmap)
+//     + inode table        inodes_per_group * kInodeDiskSize bytes
+//     + data blocks        the rest of the group
+//
+// Faithful behavioural properties (the ones the paper's comparison rests
+// on): inodes live at fixed disk addresses derived from the inode number;
+// creat/unlink force synchronous writes of the inode block and directory
+// block; data blocks are delayed-written in place; allocation prefers the
+// cylinder group of the file's inode with rotational locality approximated
+// by next-fit search.
+#ifndef LOGFS_SRC_FFS_FFS_FORMAT_H_
+#define LOGFS_SRC_FFS_FFS_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+inline constexpr uint32_t kFfsMagic = 0x46465331;  // "FFS1"
+
+struct FfsParams {
+  uint32_t block_size = 8192;        // Paper: SunOS used 8 KB blocks.
+  uint32_t blocks_per_group = 2048;  // 16 MB groups.
+  uint32_t inodes_per_group = 1024;
+};
+
+struct FfsSuperblock {
+  uint32_t magic = kFfsMagic;
+  uint32_t block_size = 0;
+  uint64_t total_blocks = 0;  // Whole-disk capacity in FS blocks.
+  uint32_t num_groups = 0;
+  uint32_t blocks_per_group = 0;
+  uint32_t inodes_per_group = 0;
+  uint32_t inode_table_blocks = 0;  // Per group.
+};
+
+// Serializes into / parses from one FS block (the codec only touches the
+// first few hundred bytes; the block is CRC-protected).
+Status EncodeFfsSuperblock(const FfsSuperblock& sb, std::span<std::byte> block);
+Result<FfsSuperblock> DecodeFfsSuperblock(std::span<const std::byte> block);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_FFS_FFS_FORMAT_H_

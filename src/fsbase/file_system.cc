@@ -1,0 +1,33 @@
+#include "src/fsbase/file_system.h"
+
+namespace logfs {
+
+Result<InodeNum> FileSystem::Symlink(InodeNum dir, std::string_view name,
+                                     std::string_view target) {
+  if (target.empty() || target.size() > 4096) {
+    return InvalidArgumentError("symlink target must be 1..4096 bytes");
+  }
+  ASSIGN_OR_RETURN(InodeNum ino, Create(dir, name, FileType::kSymlink));
+  ASSIGN_OR_RETURN(uint64_t written,
+                   Write(ino, 0, std::as_bytes(std::span<const char>(target.data(),
+                                                                     target.size()))));
+  if (written != target.size()) {
+    return IoError("short symlink target write");
+  }
+  return ino;
+}
+
+Result<std::string> FileSystem::Readlink(InodeNum ino) {
+  ASSIGN_OR_RETURN(FileStat stat, Stat(ino));
+  if (stat.type != FileType::kSymlink) {
+    return InvalidArgumentError("readlink of a non-symlink");
+  }
+  std::string target(stat.size, '\0');
+  ASSIGN_OR_RETURN(uint64_t read,
+                   Read(ino, 0, std::as_writable_bytes(std::span<char>(target.data(),
+                                                                       target.size()))));
+  target.resize(read);
+  return target;
+}
+
+}  // namespace logfs

@@ -1,0 +1,69 @@
+// FileSystem: the inode-level interface implemented by both FfsFileSystem
+// and LfsFileSystem. Benchmarks, examples, and the model-based property
+// tests are written against this interface so every experiment runs
+// unmodified on both file systems.
+#ifndef LOGFS_SRC_FSBASE_FILE_SYSTEM_H_
+#define LOGFS_SRC_FSBASE_FILE_SYSTEM_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fsbase/fs_types.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Namespace operations. `dir` must be a directory inode.
+  virtual Result<InodeNum> Create(InodeNum dir, std::string_view name, FileType type) = 0;
+  virtual Result<InodeNum> Lookup(InodeNum dir, std::string_view name) = 0;
+  virtual Status Unlink(InodeNum dir, std::string_view name) = 0;
+  virtual Status Rmdir(InodeNum dir, std::string_view name) = 0;
+  virtual Status Link(InodeNum dir, std::string_view name, InodeNum target) = 0;
+  virtual Status Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
+                        std::string_view to_name) = 0;
+
+  // Data operations.
+  virtual Result<uint64_t> Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) = 0;
+  virtual Result<uint64_t> Write(InodeNum ino, uint64_t offset,
+                                 std::span<const std::byte> data) = 0;
+  virtual Status Truncate(InodeNum ino, uint64_t new_size) = 0;
+
+  virtual Result<FileStat> Stat(InodeNum ino) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(InodeNum dir) = 0;
+
+  // Symbolic links. The default implementations store the target string as
+  // the link inode's data, which both file systems support natively; they
+  // are virtual so an implementation could specialize (e.g. fast symlinks
+  // embedded in the inode).
+  virtual Result<InodeNum> Symlink(InodeNum dir, std::string_view name,
+                                   std::string_view target);
+  virtual Result<std::string> Readlink(InodeNum ino);
+
+  // Durability.
+  virtual Status Sync() = 0;             // sync(2): flush everything dirty.
+  virtual Status Fsync(InodeNum ino) = 0;
+
+  // Benchmark/test hooks.
+  //
+  // Drop all clean cached blocks, forcing subsequent reads from disk (the
+  // paper's "the file cache was flushed" step between phases).
+  virtual Status DropCaches() = 0;
+  // Give background machinery a chance to run: age-based write-back and,
+  // for LFS, the segment cleaner. Called by workloads between operations —
+  // the simulated equivalent of the paper's cleaner overlapping normal use.
+  virtual Status Tick() = 0;
+
+  virtual InodeNum root() const { return kRootIno; }
+  virtual std::string name() const = 0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_FSBASE_FILE_SYSTEM_H_

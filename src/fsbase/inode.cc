@@ -1,0 +1,111 @@
+#include "src/fsbase/inode.h"
+
+#include <cstring>
+
+#include "src/util/serializer.h"
+
+namespace logfs {
+
+namespace {
+constexpr uint32_t kInodeMagic = 0x494E4F44;  // "INOD"
+}  // namespace
+
+Status EncodeInode(const Inode& inode, std::span<std::byte> out) {
+  if (out.size() < kInodeDiskSize) {
+    return InvalidArgumentError("inode slot too small");
+  }
+  std::memset(out.data(), 0, kInodeDiskSize);
+  BufferWriter writer(out.subspan(0, kInodeDiskSize));
+  RETURN_IF_ERROR(writer.WriteU32(kInodeMagic));
+  RETURN_IF_ERROR(writer.WriteU8(static_cast<uint8_t>(inode.type)));
+  RETURN_IF_ERROR(writer.WriteU16(inode.mode));
+  RETURN_IF_ERROR(writer.WriteU16(inode.nlink));
+  RETURN_IF_ERROR(writer.WriteU32(inode.uid));
+  RETURN_IF_ERROR(writer.WriteU32(inode.gid));
+  RETURN_IF_ERROR(writer.WriteU64(inode.size));
+  RETURN_IF_ERROR(writer.WriteF64(inode.atime));
+  RETURN_IF_ERROR(writer.WriteF64(inode.mtime));
+  RETURN_IF_ERROR(writer.WriteF64(inode.ctime));
+  RETURN_IF_ERROR(writer.WriteU32(inode.generation));
+  for (DiskAddr addr : inode.direct) {
+    RETURN_IF_ERROR(writer.WriteU64(addr));
+  }
+  RETURN_IF_ERROR(writer.WriteU64(inode.single_indirect));
+  RETURN_IF_ERROR(writer.WriteU64(inode.double_indirect));
+  return OkStatus();
+}
+
+Result<Inode> DecodeInode(std::span<const std::byte> in) {
+  if (in.size() < kInodeDiskSize) {
+    return CorruptedError("inode slot truncated");
+  }
+  BufferReader reader(in.subspan(0, kInodeDiskSize));
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kInodeMagic) {
+    return CorruptedError("bad inode magic");
+  }
+  Inode inode;
+  ASSIGN_OR_RETURN(uint8_t type_raw, reader.ReadU8());
+  if (type_raw > static_cast<uint8_t>(FileType::kSymlink)) {
+    return CorruptedError("bad inode type");
+  }
+  inode.type = static_cast<FileType>(type_raw);
+  ASSIGN_OR_RETURN(inode.mode, reader.ReadU16());
+  ASSIGN_OR_RETURN(inode.nlink, reader.ReadU16());
+  ASSIGN_OR_RETURN(inode.uid, reader.ReadU32());
+  ASSIGN_OR_RETURN(inode.gid, reader.ReadU32());
+  ASSIGN_OR_RETURN(inode.size, reader.ReadU64());
+  ASSIGN_OR_RETURN(inode.atime, reader.ReadF64());
+  ASSIGN_OR_RETURN(inode.mtime, reader.ReadF64());
+  ASSIGN_OR_RETURN(inode.ctime, reader.ReadF64());
+  ASSIGN_OR_RETURN(inode.generation, reader.ReadU32());
+  for (DiskAddr& addr : inode.direct) {
+    ASSIGN_OR_RETURN(addr, reader.ReadU64());
+  }
+  ASSIGN_OR_RETURN(inode.single_indirect, reader.ReadU64());
+  ASSIGN_OR_RETURN(inode.double_indirect, reader.ReadU64());
+  return inode;
+}
+
+Result<BlockLocation> ResolveBlockIndex(uint64_t block_index, uint64_t entries_per_block) {
+  BlockLocation loc;
+  if (block_index < kNumDirect) {
+    loc.level = BlockLocation::Level::kDirect;
+    loc.direct_index = static_cast<size_t>(block_index);
+    return loc;
+  }
+  block_index -= kNumDirect;
+  if (block_index < entries_per_block) {
+    loc.level = BlockLocation::Level::kSingleIndirect;
+    loc.l1_index = block_index;
+    return loc;
+  }
+  block_index -= entries_per_block;
+  if (block_index < entries_per_block * entries_per_block) {
+    loc.level = BlockLocation::Level::kDoubleIndirect;
+    loc.l1_index = block_index / entries_per_block;
+    loc.l2_index = block_index % entries_per_block;
+    return loc;
+  }
+  return TooLargeError("file block index beyond double-indirect reach");
+}
+
+uint64_t MaxFileBlocks(uint64_t entries_per_block) {
+  return kNumDirect + entries_per_block + entries_per_block * entries_per_block;
+}
+
+// Inside indirect blocks the encoded value 0 means "hole" so that freshly
+// allocated zero-filled blocks decode as all-holes (sector 0 holds a
+// superblock and is never file data, so 0 is safe as a sentinel).
+DiskAddr ReadIndirectEntry(std::span<const std::byte> block, uint64_t index) {
+  uint64_t raw = 0;
+  std::memcpy(&raw, block.data() + index * sizeof(uint64_t), sizeof(uint64_t));
+  return raw == 0 ? kNoAddr : raw;
+}
+
+void WriteIndirectEntry(std::span<std::byte> block, uint64_t index, DiskAddr addr) {
+  const uint64_t raw = addr == kNoAddr ? 0 : addr;
+  std::memcpy(block.data() + index * sizeof(uint64_t), &raw, sizeof(uint64_t));
+}
+
+}  // namespace logfs

@@ -1,0 +1,88 @@
+// On-disk inode format, shared between FFS and LFS (paper Section 4: "LFS
+// maintains many of the same metadata structures such as inodes and indirect
+// blocks ... the format of inodes and indirect blocks is unchanged").
+//
+// Layout: classic BSD shape with 12 direct block pointers, one single
+// indirect and one double indirect pointer. Block pointers are sector
+// addresses (DiskAddr); kNoAddr marks holes. Each inode serializes into a
+// fixed kInodeDiskSize-byte slot.
+#ifndef LOGFS_SRC_FSBASE_INODE_H_
+#define LOGFS_SRC_FSBASE_INODE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/fsbase/fs_types.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+inline constexpr size_t kNumDirect = 12;
+inline constexpr size_t kInodeDiskSize = 256;
+
+struct Inode {
+  FileType type = FileType::kNone;
+  uint16_t mode = 0644;
+  uint16_t nlink = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t size = 0;
+  // atime is used by FFS only: LFS keeps access times in the inode map
+  // (paper footnote 2) so that reads never relocate inodes.
+  double atime = 0.0;
+  double mtime = 0.0;
+  double ctime = 0.0;
+  // Generation number, bumped on reallocation of the inode slot (NFS-style);
+  // distinct from the LFS inode-map version number.
+  uint32_t generation = 0;
+  std::array<DiskAddr, kNumDirect> direct{};
+  DiskAddr single_indirect = kNoAddr;
+  DiskAddr double_indirect = kNoAddr;
+
+  Inode() { direct.fill(kNoAddr); }
+
+  bool IsDirectory() const { return type == FileType::kDirectory; }
+  bool IsRegular() const { return type == FileType::kRegular; }
+  bool IsAllocated() const { return type != FileType::kNone; }
+};
+
+// Serializes `inode` into exactly kInodeDiskSize bytes.
+Status EncodeInode(const Inode& inode, std::span<std::byte> out);
+
+// Parses an inode from a kInodeDiskSize-byte slot.
+Result<Inode> DecodeInode(std::span<const std::byte> in);
+
+// --- Block-map geometry -----------------------------------------------------
+//
+// Mapping from a file block index to its slot in the direct/indirect tree.
+// `entries_per_block` = block_size / sizeof(DiskAddr); it differs between
+// FFS (8 KB blocks) and LFS (4 KB blocks), so the resolution is parameterized.
+
+struct BlockLocation {
+  enum class Level {
+    kDirect,          // direct[direct_index]
+    kSingleIndirect,  // single_indirect -> [l1_index]
+    kDoubleIndirect,  // double_indirect -> [l1_index] -> [l2_index]
+  };
+  Level level = Level::kDirect;
+  size_t direct_index = 0;
+  uint64_t l1_index = 0;
+  uint64_t l2_index = 0;
+};
+
+// Resolves `block_index` within a file; kTooLarge if beyond double-indirect
+// reach.
+Result<BlockLocation> ResolveBlockIndex(uint64_t block_index, uint64_t entries_per_block);
+
+// Largest file block index + 1 representable with this geometry.
+uint64_t MaxFileBlocks(uint64_t entries_per_block);
+
+// Read/write one DiskAddr inside an indirect block buffer.
+DiskAddr ReadIndirectEntry(std::span<const std::byte> block, uint64_t index);
+void WriteIndirectEntry(std::span<std::byte> block, uint64_t index, DiskAddr addr);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_FSBASE_INODE_H_

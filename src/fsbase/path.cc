@@ -1,0 +1,165 @@
+#include "src/fsbase/path.h"
+
+namespace logfs {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      std::string_view part = path.substr(start, i - start);
+      if (part != ".") {
+        parts.emplace_back(part);
+      }
+    }
+  }
+  return parts;
+}
+
+Result<InodeNum> PathFs::Resolve(std::string_view path) {
+  InodeNum current = fs_->root();
+  for (const std::string& part : SplitPath(path)) {
+    ASSIGN_OR_RETURN(current, fs_->Lookup(current, part));
+  }
+  return current;
+}
+
+Result<InodeNum> PathFs::ResolveParent(std::string_view path, std::string* leaf) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty() || parts.back() == "..") {
+    return InvalidArgumentError("path has no final component");
+  }
+  *leaf = parts.back();
+  parts.pop_back();
+  InodeNum current = fs_->root();
+  for (const std::string& part : parts) {
+    ASSIGN_OR_RETURN(current, fs_->Lookup(current, part));
+  }
+  return current;
+}
+
+Result<InodeNum> PathFs::CreateFile(std::string_view path) {
+  std::string leaf;
+  ASSIGN_OR_RETURN(InodeNum dir, ResolveParent(path, &leaf));
+  return fs_->Create(dir, leaf, FileType::kRegular);
+}
+
+Result<InodeNum> PathFs::Mkdir(std::string_view path) {
+  std::string leaf;
+  ASSIGN_OR_RETURN(InodeNum dir, ResolveParent(path, &leaf));
+  return fs_->Create(dir, leaf, FileType::kDirectory);
+}
+
+Result<InodeNum> PathFs::MkdirAll(std::string_view path) {
+  InodeNum current = fs_->root();
+  for (const std::string& part : SplitPath(path)) {
+    Result<InodeNum> next = fs_->Lookup(current, part);
+    if (next.ok()) {
+      current = *next;
+      continue;
+    }
+    if (next.status().code() != ErrorCode::kNotFound) {
+      return next;
+    }
+    ASSIGN_OR_RETURN(current, fs_->Create(current, part, FileType::kDirectory));
+  }
+  return current;
+}
+
+Status PathFs::Unlink(std::string_view path) {
+  std::string leaf;
+  ASSIGN_OR_RETURN(InodeNum dir, ResolveParent(path, &leaf));
+  return fs_->Unlink(dir, leaf);
+}
+
+Status PathFs::Rmdir(std::string_view path) {
+  std::string leaf;
+  ASSIGN_OR_RETURN(InodeNum dir, ResolveParent(path, &leaf));
+  return fs_->Rmdir(dir, leaf);
+}
+
+Status PathFs::Rename(std::string_view from, std::string_view to) {
+  std::string from_leaf;
+  ASSIGN_OR_RETURN(InodeNum from_dir, ResolveParent(from, &from_leaf));
+  std::string to_leaf;
+  ASSIGN_OR_RETURN(InodeNum to_dir, ResolveParent(to, &to_leaf));
+  return fs_->Rename(from_dir, from_leaf, to_dir, to_leaf);
+}
+
+Result<InodeNum> PathFs::Symlink(std::string_view path, std::string_view target) {
+  std::string leaf;
+  ASSIGN_OR_RETURN(InodeNum dir, ResolveParent(path, &leaf));
+  return fs_->Symlink(dir, leaf, target);
+}
+
+Result<std::string> PathFs::Readlink(std::string_view path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->Readlink(ino);
+}
+
+Status PathFs::WriteFile(std::string_view path, std::span<const std::byte> data) {
+  Result<InodeNum> ino = Resolve(path);
+  if (!ino.ok()) {
+    if (ino.status().code() != ErrorCode::kNotFound) {
+      return ino.status();
+    }
+    ino = CreateFile(path);
+    RETURN_IF_ERROR(ino.status());
+  } else {
+    RETURN_IF_ERROR(fs_->Truncate(*ino, 0));
+  }
+  ASSIGN_OR_RETURN(uint64_t written, fs_->Write(*ino, 0, data));
+  if (written != data.size()) {
+    return IoError("short write");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<std::byte>> PathFs::ReadFile(std::string_view path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  ASSIGN_OR_RETURN(FileStat stat, fs_->Stat(ino));
+  std::vector<std::byte> data(stat.size);
+  if (stat.size > 0) {
+    ASSIGN_OR_RETURN(uint64_t read, fs_->Read(ino, 0, data));
+    data.resize(read);
+  }
+  return data;
+}
+
+Status PathFs::AppendFile(std::string_view path, std::span<const std::byte> data) {
+  Result<InodeNum> ino = Resolve(path);
+  if (!ino.ok()) {
+    if (ino.status().code() != ErrorCode::kNotFound) {
+      return ino.status();
+    }
+    ino = CreateFile(path);
+    RETURN_IF_ERROR(ino.status());
+  }
+  ASSIGN_OR_RETURN(FileStat stat, fs_->Stat(*ino));
+  ASSIGN_OR_RETURN(uint64_t written, fs_->Write(*ino, stat.size, data));
+  if (written != data.size()) {
+    return IoError("short write");
+  }
+  return OkStatus();
+}
+
+Result<FileStat> PathFs::Stat(std::string_view path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->Stat(ino);
+}
+
+Result<std::vector<DirEntry>> PathFs::ReadDir(std::string_view path) {
+  ASSIGN_OR_RETURN(InodeNum ino, Resolve(path));
+  return fs_->ReadDir(ino);
+}
+
+bool PathFs::Exists(std::string_view path) { return Resolve(path).ok(); }
+
+}  // namespace logfs

@@ -1,0 +1,59 @@
+// Path utilities and PathFs: a path-string convenience layer over the
+// inode-level FileSystem interface (the moral equivalent of namei).
+#ifndef LOGFS_SRC_FSBASE_PATH_H_
+#define LOGFS_SRC_FSBASE_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fsbase/file_system.h"
+#include "src/fsbase/fs_types.h"
+#include "src/util/result.h"
+
+namespace logfs {
+
+// Splits "/a/b//c/" into {"a", "b", "c"}. "." components are dropped; ".."
+// is preserved (resolved against the directory tree during the walk).
+std::vector<std::string> SplitPath(std::string_view path);
+
+class PathFs {
+ public:
+  explicit PathFs(FileSystem* fs) : fs_(fs) {}
+
+  FileSystem* fs() const { return fs_; }
+
+  // Resolve a path to an inode.
+  Result<InodeNum> Resolve(std::string_view path);
+  // Resolve all but the last component; returns the directory inode and
+  // leaves the final name in `leaf`.
+  Result<InodeNum> ResolveParent(std::string_view path, std::string* leaf);
+
+  Result<InodeNum> CreateFile(std::string_view path);
+  Result<InodeNum> Mkdir(std::string_view path);
+  // mkdir -p: creates all missing intermediate directories.
+  Result<InodeNum> MkdirAll(std::string_view path);
+  Status Unlink(std::string_view path);
+  Status Rmdir(std::string_view path);
+  Status Rename(std::string_view from, std::string_view to);
+  // Creates a symlink at `path` pointing to `target` (not followed by
+  // Resolve; use ReadlinkAt + re-resolution for traversal).
+  Result<InodeNum> Symlink(std::string_view path, std::string_view target);
+  Result<std::string> Readlink(std::string_view path);
+
+  // Whole-file helpers used heavily by workloads and tests.
+  Status WriteFile(std::string_view path, std::span<const std::byte> data);
+  Result<std::vector<std::byte>> ReadFile(std::string_view path);
+  Status AppendFile(std::string_view path, std::span<const std::byte> data);
+
+  Result<FileStat> Stat(std::string_view path);
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path);
+  bool Exists(std::string_view path);
+
+ private:
+  FileSystem* fs_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_FSBASE_PATH_H_

@@ -1,0 +1,100 @@
+#include "src/lfs/lfs_blocks.h"
+
+#include <cstring>
+
+#include "src/util/serializer.h"
+
+namespace logfs {
+namespace {
+
+constexpr uint32_t kInodeBlockMagic = 0x494E424C;  // "INBL"
+constexpr uint32_t kMetaLogMagic = 0x4D4C4F47;     // "MLOG"
+
+}  // namespace
+
+size_t InodesPerLfsBlock(uint32_t block_size) {
+  return (block_size - 8) / (8 + kInodeDiskSize);
+}
+
+Status EncodeInodeBlock(std::span<const PackedInode> inodes, std::span<std::byte> out) {
+  const size_t capacity = InodesPerLfsBlock(static_cast<uint32_t>(out.size()));
+  if (inodes.size() > capacity || inodes.empty()) {
+    return InvalidArgumentError("bad inode count for inode block");
+  }
+  std::memset(out.data(), 0, out.size());
+  BufferWriter writer(out);
+  RETURN_IF_ERROR(writer.WriteU32(kInodeBlockMagic));
+  RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(inodes.size())));
+  for (const PackedInode& packed : inodes) {
+    RETURN_IF_ERROR(writer.WriteU32(packed.ino));
+    RETURN_IF_ERROR(writer.WriteU32(packed.version));
+  }
+  // Inode slots start right after the tag table, at fixed positions so a
+  // slot index alone locates an inode.
+  const size_t slots_start = 8 + inodes.size() * 8;
+  for (size_t i = 0; i < inodes.size(); ++i) {
+    RETURN_IF_ERROR(EncodeInode(inodes[i].inode,
+                                out.subspan(slots_start + i * kInodeDiskSize, kInodeDiskSize)));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<PackedInode>> DecodeInodeBlock(std::span<const std::byte> in) {
+  BufferReader reader(in);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kInodeBlockMagic) {
+    return CorruptedError("bad inode block magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count == 0 || count > InodesPerLfsBlock(static_cast<uint32_t>(in.size()))) {
+    return CorruptedError("bad inode block count");
+  }
+  std::vector<PackedInode> inodes(count);
+  for (PackedInode& packed : inodes) {
+    ASSIGN_OR_RETURN(packed.ino, reader.ReadU32());
+    ASSIGN_OR_RETURN(packed.version, reader.ReadU32());
+  }
+  const size_t slots_start = 8 + count * 8ull;
+  for (size_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(inodes[i].inode,
+                     DecodeInode(in.subspan(slots_start + i * kInodeDiskSize, kInodeDiskSize)));
+  }
+  return inodes;
+}
+
+size_t FreeRecordsPerBlock(uint32_t block_size) { return (block_size - 8) / 8; }
+
+Status EncodeMetaLogBlock(std::span<const FreeRecord> records, std::span<std::byte> out) {
+  if (records.size() > FreeRecordsPerBlock(static_cast<uint32_t>(out.size()))) {
+    return InvalidArgumentError("too many free records for meta-log block");
+  }
+  std::memset(out.data(), 0, out.size());
+  BufferWriter writer(out);
+  RETURN_IF_ERROR(writer.WriteU32(kMetaLogMagic));
+  RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(records.size())));
+  for (const FreeRecord& record : records) {
+    RETURN_IF_ERROR(writer.WriteU32(record.ino));
+    RETURN_IF_ERROR(writer.WriteU32(record.new_version));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<FreeRecord>> DecodeMetaLogBlock(std::span<const std::byte> in) {
+  BufferReader reader(in);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMetaLogMagic) {
+    return CorruptedError("bad meta-log magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  if (count > FreeRecordsPerBlock(static_cast<uint32_t>(in.size()))) {
+    return CorruptedError("bad meta-log count");
+  }
+  std::vector<FreeRecord> records(count);
+  for (FreeRecord& record : records) {
+    ASSIGN_OR_RETURN(record.ino, reader.ReadU32());
+    ASSIGN_OR_RETURN(record.new_version, reader.ReadU32());
+  }
+  return records;
+}
+
+}  // namespace logfs

@@ -1,0 +1,49 @@
+// Codecs for the packed metadata blocks LFS writes into the log:
+//
+//  * Inode blocks — several inodes packed into one log block, each tagged
+//    with its inode number and inode-map version so the cleaner and
+//    roll-forward recovery can re-register them without extra context.
+//  * Meta-log blocks — records of namespace operations that would otherwise
+//    be invisible to roll-forward (inode frees from unlink/rmdir). A freed
+//    inode is never rewritten, so without these records a post-crash
+//    roll-forward could resurrect deleted files.
+#ifndef LOGFS_SRC_LFS_LFS_BLOCKS_H_
+#define LOGFS_SRC_LFS_LFS_BLOCKS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/fsbase/fs_types.h"
+#include "src/fsbase/inode.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+struct PackedInode {
+  InodeNum ino = kInvalidIno;
+  uint32_t version = 0;  // Inode-map version at write time.
+  Inode inode;
+};
+
+// Inodes per LFS inode block: header (8 B) + per-slot tag (8 B) + inode.
+size_t InodesPerLfsBlock(uint32_t block_size);
+
+Status EncodeInodeBlock(std::span<const PackedInode> inodes, std::span<std::byte> out);
+Result<std::vector<PackedInode>> DecodeInodeBlock(std::span<const std::byte> in);
+
+// One record per freed inode.
+struct FreeRecord {
+  InodeNum ino = kInvalidIno;
+  uint32_t new_version = 0;  // Version after the free.
+};
+
+size_t FreeRecordsPerBlock(uint32_t block_size);
+
+Status EncodeMetaLogBlock(std::span<const FreeRecord> records, std::span<std::byte> out);
+Result<std::vector<FreeRecord>> DecodeMetaLogBlock(std::span<const std::byte> in);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_BLOCKS_H_

@@ -1,0 +1,202 @@
+#include "src/lfs/lfs_cleaner.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace logfs {
+
+Result<uint32_t> LfsCleaner::CleanSegments(uint32_t max_victims) {
+  if (fs_->in_cleaner_ || max_victims == 0) {
+    return uint32_t{0};  // Re-entrant call from within a cleaning flush.
+  }
+  const LfsSuperblock& sb = fs_->sb_;
+  // Victims must yield space: skip segments that are essentially full
+  // (cleaning them costs a segment's worth of writes for no gain).
+  const uint32_t max_live = sb.segment_size - 2 * sb.block_size;
+  return CleanVictims(
+      fs_->usage_.PickVictims(max_victims, max_live, fs_->options_.cleaner_policy));
+}
+
+Result<uint32_t> LfsCleaner::CleanVictims(std::vector<uint32_t> victims) {
+  if (fs_->in_cleaner_) {
+    return uint32_t{0};
+  }
+  // Only dirty, non-active segments are cleanable; drop the rest.
+  std::erase_if(victims, [&](uint32_t seg) {
+    return fs_->usage_.Get(seg).state != SegState::kDirty;
+  });
+  fs_->in_cleaner_ = true;
+  Result<uint32_t> result = [&]() -> Result<uint32_t> {
+    const LfsSuperblock& sb = fs_->sb_;
+    if (victims.empty()) {
+      return uint32_t{0};
+    }
+    ++fs_->cleaner_stats_.passes;
+
+    std::vector<std::byte> image(sb.segment_size);
+    for (uint32_t seg : victims) {
+      RETURN_IF_ERROR(
+          fs_->device_->ReadSectors(sb.SegmentBlockSector(seg, 0), image));
+      ++fs_->cleaner_stats_.segment_reads;
+      RETURN_IF_ERROR(GatherLive(seg, image));
+      // Staging live blocks must not exhaust the cache (large segments can
+      // hold more live data than the cache does): compact mid-pass once
+      // half the cache is dirty.
+      if (fs_->cache_.dirty_count() > fs_->cache_.policy().capacity_blocks / 2) {
+        RETURN_IF_ERROR(fs_->FlushEverything());
+      }
+    }
+    // Phase two: the normal write-back path compacts the staged blocks.
+    RETURN_IF_ERROR(fs_->FlushEverything());
+    for (uint32_t seg : victims) {
+      fs_->usage_.SetState(seg, SegState::kCleanPending);
+    }
+    // The checkpoint rewrites any imap/usage blocks the cleaner displaced
+    // and commits the victims to kClean.
+    RETURN_IF_ERROR(fs_->Checkpoint());
+    for (uint32_t seg : victims) {
+      if (fs_->usage_.Get(seg).live_bytes != 0) {
+        return CorruptedError("cleaned segment still has live bytes");
+      }
+    }
+    fs_->cleaner_stats_.segments_cleaned += victims.size();
+    return static_cast<uint32_t>(victims.size());
+  }();
+  fs_->in_cleaner_ = false;
+  return result;
+}
+
+Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image) {
+  const LfsSuperblock& sb = fs_->sb_;
+  const uint32_t bs = sb.block_size;
+  const uint32_t bps = sb.BlocksPerSegment();
+  uint32_t offset = 0;
+  while (offset + 1 < bps) {
+    std::span<const std::byte> summary_block = image.subspan(offset * bs, bs);
+    Result<SummaryPeek> peek = PeekSummary(summary_block, bs);
+    if (!peek.ok() || offset + 1 + peek->nblocks > bps) {
+      break;  // End of the valid partial-segment chain.
+    }
+    std::span<const std::byte> content =
+        image.subspan((offset + 1) * bs, static_cast<size_t>(peek->nblocks) * bs);
+    Result<SegmentSummary> summary = DecodeSummary(summary_block, content);
+    if (!summary.ok()) {
+      break;
+    }
+    for (size_t i = 0; i < summary->entries.size(); ++i) {
+      const SummaryEntry& entry = summary->entries[i];
+      const DiskAddr addr = sb.SegmentBlockSector(seg, offset + 1 + static_cast<uint32_t>(i));
+      std::span<const std::byte> block = content.subspan(i * bs, bs);
+      ++fs_->cleaner_stats_.blocks_examined;
+      if (fs_->cpu_ != nullptr) {
+        fs_->ChargeCpu(fs_->cpu_->costs().per_block_instructions);
+      }
+      switch (entry.kind) {
+        case BlockKind::kData: {
+          if (!fs_->imap_.IsValid(entry.ino)) {
+            break;
+          }
+          const ImapEntry& map_entry = fs_->imap_.Get(entry.ino);
+          // Step 1 (fast path): version mismatch means the file was deleted
+          // or truncated to zero — the block is dead.
+          if (!map_entry.allocated || map_entry.version != entry.version) {
+            break;
+          }
+          // Step 2: consult the inode / indirect blocks.
+          ASSIGN_OR_RETURN(LfsFileSystem::CachedInode * ci, fs_->GetInode(entry.ino));
+          const Inode inode = ci->inode;
+          ASSIGN_OR_RETURN(DiskAddr current,
+                           fs_->GetDataBlockAddr(entry.ino, inode,
+                                                 static_cast<uint64_t>(entry.offset)));
+          if (current != addr) {
+            break;  // Superseded by a newer copy.
+          }
+          // Live: stage it through the cache, dirty, so the normal
+          // write-back relocates it.
+          const BlockKey key{LfsFileSystem::DataObject(entry.ino),
+                             static_cast<uint64_t>(entry.offset)};
+          ASSIGN_OR_RETURN(CacheRef ref, fs_->cache_.Acquire(key, [&](std::span<std::byte> out) {
+                             std::memcpy(out.data(), block.data(), bs);
+                             return OkStatus();
+                           }));
+          fs_->cache_.MarkDirty(ref.get());
+          ++fs_->cleaner_stats_.live_blocks_copied;
+          break;
+        }
+        case BlockKind::kIndirect: {
+          if (!fs_->imap_.IsValid(entry.ino)) {
+            break;
+          }
+          const ImapEntry& map_entry = fs_->imap_.Get(entry.ino);
+          if (!map_entry.allocated || map_entry.version != entry.version) {
+            break;
+          }
+          ASSIGN_OR_RETURN(DiskAddr current,
+                           fs_->GetIndirectAddr(entry.ino, static_cast<uint64_t>(entry.offset)));
+          if (current != addr) {
+            break;
+          }
+          const BlockKey key{LfsFileSystem::IndirectObject(entry.ino),
+                             static_cast<uint64_t>(entry.offset)};
+          ASSIGN_OR_RETURN(CacheRef ref, fs_->cache_.Acquire(key, [&](std::span<std::byte> out) {
+                             std::memcpy(out.data(), block.data(), bs);
+                             return OkStatus();
+                           }));
+          fs_->cache_.MarkDirty(ref.get());
+          ++fs_->cleaner_stats_.live_blocks_copied;
+          break;
+        }
+        case BlockKind::kInodeBlock: {
+          Result<std::vector<PackedInode>> packed = DecodeInodeBlock(block);
+          if (!packed.ok()) {
+            break;  // Stale bytes that happen to sit under a stale summary.
+          }
+          for (size_t k = 0; k < packed->size(); ++k) {
+            const InodeNum ino = (*packed)[k].ino;
+            if (!fs_->imap_.IsValid(ino)) {
+              continue;
+            }
+            const ImapEntry& map_entry = fs_->imap_.Get(ino);
+            if (!map_entry.allocated || map_entry.block_addr != addr ||
+                map_entry.slot != k) {
+              continue;  // This slot is stale; the inode lives elsewhere.
+            }
+            // Live inode: ensure it is in core and rewrite it.
+            ASSIGN_OR_RETURN(LfsFileSystem::CachedInode * ci, fs_->GetInode(ino));
+            fs_->SetInodeDirty(ci);
+            ++fs_->cleaner_stats_.live_blocks_copied;
+          }
+          break;
+        }
+        case BlockKind::kImap: {
+          const uint32_t index = static_cast<uint32_t>(entry.offset);
+          if (index < fs_->imap_block_addrs_.size() &&
+              fs_->imap_block_addrs_[index] == addr) {
+            // Current inode-map block: force a rewrite at the checkpoint
+            // that ends this cleaning pass.
+            fs_->imap_.MarkBlockDirty(index);
+            ++fs_->cleaner_stats_.live_blocks_copied;
+          }
+          break;
+        }
+        case BlockKind::kSegUsage: {
+          const uint32_t index = static_cast<uint32_t>(entry.offset);
+          if (index < fs_->usage_block_addrs_.size() &&
+              fs_->usage_block_addrs_[index] == addr) {
+            fs_->usage_.MarkBlockDirty(index);
+            ++fs_->cleaner_stats_.live_blocks_copied;
+          }
+          break;
+        }
+        case BlockKind::kMetaLog:
+          break;  // Meta-log blocks are dead once checkpointed past.
+      }
+    }
+    offset += 1 + peek->nblocks;
+  }
+  return OkStatus();
+}
+
+}  // namespace logfs

@@ -1,0 +1,50 @@
+// The segment cleaner (paper Sections 4.3.2-4.3.4).
+//
+// Cleaning is a two-phase incremental garbage collection. Phase one reads
+// whole victim segments (one sequential transfer each), identifies live
+// blocks with the paper's two-step algorithm — (1) inode-map version check
+// from the summary entry, (2) inode / indirect-block pointer check — and
+// loads the live blocks into the file cache, marked dirty. Phase two is the
+// ordinary cache write-back path: the live data is compacted into new
+// segments exactly like freshly written data ("LFS implements cleaning by
+// reading the live blocks into the file cache and then using the cache
+// write-back code").
+//
+// A cleaned segment becomes kCleanPending and only turns allocatable after
+// the next checkpoint commits, so a crash can never find the sole copy of a
+// block overwritten before its new address was made recoverable.
+#ifndef LOGFS_SRC_LFS_LFS_CLEANER_H_
+#define LOGFS_SRC_LFS_LFS_CLEANER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/lfs/lfs_file_system.h"
+#include "src/util/result.h"
+
+namespace logfs {
+
+class LfsCleaner {
+ public:
+  explicit LfsCleaner(LfsFileSystem* fs) : fs_(fs) {}
+
+  // One cleaning pass over up to `max_victims` segments (greedy policy:
+  // least-live first). Ends with a checkpoint that commits the reclaimed
+  // segments. Returns the number of segments cleaned.
+  Result<uint32_t> CleanSegments(uint32_t max_victims);
+
+  // One cleaning pass over an explicit victim list (non-dirty entries are
+  // skipped). Same commit protocol.
+  Result<uint32_t> CleanVictims(std::vector<uint32_t> victims);
+
+ private:
+  // Phase one for one victim: identify live blocks and stage them in the
+  // cache / in-core inode table.
+  Status GatherLive(uint32_t seg, std::span<const std::byte> image);
+
+  LfsFileSystem* fs_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_CLEANER_H_

@@ -1,0 +1,278 @@
+// LfsFileSystem: the log-structured storage manager (paper Section 4).
+//
+// All modifications — file data, directories, inodes, the inode map and the
+// segment usage array — are accumulated in memory and written to disk in
+// large sequential partial-segment transfers. Nothing is ever updated in
+// place. Namespace operations (create, unlink, rename) perform *no*
+// synchronous disk I/O; durability comes from write-behind flushes,
+// fsync-triggered partial segments, periodic checkpoints, and roll-forward
+// recovery over the segment summaries.
+//
+// Major in-memory state:
+//   * BufferCache          — dirty file/directory/indirect blocks
+//   * in-core inode table  — all touched inodes, with dirty flags
+//   * InodeMap             — ino -> (inode block address, slot), version, atime
+//   * SegmentUsageTable    — per-segment live bytes and lifecycle state
+//   * SegmentBuilder       — the partial segment being assembled
+//
+// See lfs_cleaner.h for the segment cleaner and lfs_check.h for the offline
+// consistency checker.
+#ifndef LOGFS_SRC_LFS_LFS_FILE_SYSTEM_H_
+#define LOGFS_SRC_LFS_LFS_FILE_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/disk/block_device.h"
+#include "src/fsbase/file_system.h"
+#include "src/fsbase/inode.h"
+#include "src/lfs/lfs_blocks.h"
+#include "src/lfs/lfs_format.h"
+#include "src/lfs/lfs_inode_map.h"
+#include "src/lfs/lfs_seg_usage.h"
+#include "src/lfs/lfs_segment.h"
+#include "src/sim/cpu_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+
+class LfsCleaner;
+
+class LfsFileSystem : public FileSystem, private WritebackHandler {
+ public:
+  struct Options {
+    Options() { cache_policy.capacity_blocks = 3840; }  // 15 MB of 4 KB blocks.
+    CachePolicy cache_policy;
+    // Replay the log past the last checkpoint at mount (the paper's "roll
+    // forward" recovery). With false, mount restores exactly the last
+    // checkpoint (the paper's "zero recovery time" variant).
+    bool roll_forward = true;
+    // Run the cleaner automatically from Tick() when clean segments drop
+    // below the start threshold.
+    bool auto_clean = true;
+    // Victim-selection policy (greedy = paper; fifo = ablation baseline).
+    SegmentUsageTable::VictimPolicy cleaner_policy =
+        SegmentUsageTable::VictimPolicy::kGreedy;
+    // Sequential read-ahead: on a read miss, fetch up to this many further
+    // blocks in the same transfer when they are contiguous on disk (which
+    // LFS's log layout makes common). 0 disables.
+    uint32_t read_ahead_blocks = 0;
+    // Soft cap on the in-core inode table; clean entries beyond it are
+    // pruned at Tick() boundaries (dirty inodes are never dropped).
+    size_t max_cached_inodes = 16384;
+  };
+
+  // Writes a fresh file system: superblock, two checkpoint regions, and a
+  // root directory (persisted via an internal mount + checkpoint).
+  static Status Format(BlockDevice* device, const LfsParams& params);
+
+  static Result<std::unique_ptr<LfsFileSystem>> Mount(BlockDevice* device, SimClock* clock,
+                                                      CpuModel* cpu, Options options = {});
+
+  ~LfsFileSystem() override;
+
+  // --- FileSystem interface ---
+  Result<InodeNum> Create(InodeNum dir, std::string_view name, FileType type) override;
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Status Unlink(InodeNum dir, std::string_view name) override;
+  Status Rmdir(InodeNum dir, std::string_view name) override;
+  Status Link(InodeNum dir, std::string_view name, InodeNum target) override;
+  Status Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
+                std::string_view to_name) override;
+  Result<uint64_t> Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) override;
+  Result<uint64_t> Write(InodeNum ino, uint64_t offset, std::span<const std::byte> data) override;
+  Status Truncate(InodeNum ino, uint64_t new_size) override;
+  Result<FileStat> Stat(InodeNum ino) override;
+  Result<std::vector<DirEntry>> ReadDir(InodeNum dir) override;
+  Status Sync() override;
+  Status Fsync(InodeNum ino) override;
+  Status DropCaches() override;
+  Status Tick() override;
+  std::string name() const override { return "LFS"; }
+
+  // --- LFS-specific public API ---
+
+  // Forces a checkpoint now (Section 4.4.1).
+  Status Checkpoint();
+
+  // User-initiated cleaning (Section 4.3.4: "the user-level process
+  // interface allows cleaning to be initiated at night..."). Cleans up to
+  // `max_victims` segments; returns the number actually cleaned.
+  Result<uint32_t> CleanNow(uint32_t max_victims);
+
+  // Cleans exactly the given segments (skipping any that are not dirty by
+  // the time they are reached). Used by measurement harnesses that must
+  // clean a fixed victim set — repeatedly calling CleanNow would happily
+  // re-clean the segments the cleaner itself just filled.
+  Result<uint32_t> CleanTheseSegments(const std::vector<uint32_t>& segments);
+
+  // Introspection for benchmarks, tests, the cleaner and the checker.
+  const LfsSuperblock& superblock() const { return sb_; }
+  const InodeMap& imap() const { return imap_; }
+  const SegmentUsageTable& usage() const { return usage_; }
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+  uint32_t CleanSegmentCount() const { return usage_.CountState(SegState::kClean); }
+  uint64_t TotalLiveBytes() const { return usage_.TotalLiveBytes(); }
+  // Capacity available to user data (excludes reserved segments and
+  // per-partial summary overhead estimates).
+  uint64_t UsableBytes() const;
+  uint64_t checkpoint_count() const { return checkpoint_count_; }
+  uint64_t rolled_forward_partials() const { return rolled_forward_partials_; }
+
+  struct CleanerStats {
+    uint64_t passes = 0;
+    uint64_t segments_cleaned = 0;
+    uint64_t blocks_examined = 0;
+    uint64_t live_blocks_copied = 0;
+    uint64_t segment_reads = 0;
+  };
+  const CleanerStats& cleaner_stats() const { return cleaner_stats_; }
+
+  // Exact live-byte recount per segment (walks every live structure). Used
+  // by the checker, tests, and post-roll-forward usage reconstruction.
+  Result<std::vector<uint64_t>> ComputeExactUsage();
+
+  // Live-byte quantum charged per inode slot (see inode accounting note in
+  // the .cc).
+  uint32_t InodeLiveQuantum() const;
+
+ private:
+  friend class LfsCleaner;
+  friend class LfsChecker;
+
+  struct CachedInode {
+    Inode inode;
+    bool dirty = false;
+  };
+
+  LfsFileSystem(BlockDevice* device, SimClock* clock, CpuModel* cpu, const LfsSuperblock& sb,
+                Options options);
+
+  double Now() const { return clock_ != nullptr ? clock_->Now() : 0.0; }
+  void ChargeCpu(uint64_t instructions);
+  uint32_t BlockSize() const { return sb_.block_size; }
+  uint64_t EntriesPerBlock() const { return sb_.block_size / sizeof(DiskAddr); }
+
+  // --- raw device access ---
+  Status ReadBlockAt(DiskAddr addr, std::span<std::byte> out);
+
+  // --- in-core inodes ---
+  Result<CachedInode*> GetInode(InodeNum ino);
+  void MarkInodeDirty(InodeNum ino);
+  // All in-core dirty-flag transitions go through these so the dirty count
+  // stays O(1) to read (DirtyBytesEstimate runs on every write).
+  void SetInodeDirty(CachedInode* ci);
+  void SetInodeClean(CachedInode* ci);
+
+  // --- cache keys ---
+  static constexpr uint64_t kIndirectFlag = 1ull << 40;
+  static uint64_t DataObject(InodeNum ino) { return ino; }
+  static uint64_t IndirectObject(InodeNum ino) { return kIndirectFlag | ino; }
+  // Indirect slot indices: 0 = single indirect, 1 = double-indirect root,
+  // 2+j = double-indirect leaf j.
+  static constexpr uint64_t kSingleSlot = 0;
+  static constexpr uint64_t kDoubleRootSlot = 1;
+
+  // --- block mapping ---
+  // Current disk address of an indirect block (kNoAddr if never written).
+  Result<DiskAddr> GetIndirectAddr(InodeNum ino, uint64_t slot);
+  // Cached view of an indirect block; creates a zero block if absent and
+  // `create` is set.
+  Result<CacheRef> GetIndirectRef(InodeNum ino, uint64_t slot, bool create);
+  // Current address of file block `index` (kNoAddr for holes).
+  Result<DiskAddr> GetDataBlockAddr(InodeNum ino, const Inode& inode, uint64_t index);
+  // Records a new address for file block `index`; returns the previous
+  // address. Dirties the inode or the owning indirect block.
+  Result<DiskAddr> SetDataBlockAddr(InodeNum ino, uint64_t index, DiskAddr new_addr);
+  // Records a new address for indirect block `slot`; returns the previous
+  // address. Dirties the inode or the double-indirect root.
+  Result<DiskAddr> SetIndirectAddr(InodeNum ino, uint64_t slot, DiskAddr new_addr);
+
+  // Cached file/directory data block.
+  Result<CacheRef> GetFileBlock(InodeNum ino, const Inode& inode, uint64_t index, bool create);
+  // Miss path with read-ahead: reads a contiguous run of blocks starting at
+  // (index, addr) in one transfer and populates the cache.
+  Result<CacheRef> ReadBlockRun(InodeNum ino, const Inode& inode, uint64_t index,
+                                DiskAddr addr);
+
+  // --- log appending ---
+  Result<DiskAddr> AppendToLog(BlockKind kind, uint32_t ino, uint32_t version, int64_t offset,
+                               std::span<const std::byte> data);
+  Status FlushPartial();
+  Status AdvanceSegment();
+  uint32_t SegmentOfAddr(DiskAddr addr) const { return sb_.SegmentOfSector(addr); }
+  void AccountReplace(DiskAddr old_addr, DiskAddr new_addr, uint32_t bytes);
+
+  // --- write-back machinery ---
+  Status WriteBack(std::span<CacheBlock* const> blocks) override;  // WritebackHandler.
+  Status FlushDirtyIndirect(std::span<CacheBlock* const> batch);
+  Status FlushDirtyInodes();
+  Status FlushPendingFrees();
+  // Full data flush: cache + indirect + inodes + meta-log + partial.
+  Status FlushEverything();
+
+  // --- space management ---
+  Status EnsureSpaceForWrite(uint64_t incoming_bytes);
+  uint64_t DirtyBytesEstimate() const;
+
+  // --- checkpointing & recovery ---
+  Status WriteCheckpointRegion(const CheckpointRecord& ckpt);
+  Status LoadFromCheckpoint(const CheckpointRecord& ckpt);
+  Status RollForward();
+  Status ApplyRolledPartial(const SegmentSummary& summary, uint32_t segment, uint32_t offset,
+                            std::span<const std::byte> content);
+  Status RebuildUsageFromScratch(uint32_t active_segment, uint64_t checkpoint_next_seq);
+
+  // --- namespace helpers ---
+  Result<DirEntry> DirFind(InodeNum dir_ino, const Inode& dir, std::string_view name);
+  Status DirInsert(InodeNum dir_ino, std::string_view name, InodeNum ino, FileType type);
+  Status DirRemove(InodeNum dir_ino, std::string_view name);
+  Status DirReplace(InodeNum dir_ino, std::string_view name, InodeNum ino, FileType type);
+  Result<bool> DirIsEmpty(InodeNum dir_ino, const Inode& dir);
+  Result<bool> IsInSubtree(InodeNum candidate, InodeNum ancestor);
+  // Drops an inode whose last link went away: releases blocks, frees the
+  // imap entry, records the free for roll-forward.
+  Status ReleaseInode(InodeNum ino);
+  // Releases data blocks at index >= first_index (truncate/delete helper).
+  Status ReleaseBlocksFrom(InodeNum ino, uint64_t first_index);
+
+  Status InitializeRoot();
+  Status MaybePressureFlush();
+  // Drops clean in-core inodes beyond the configured cap. Only called from
+  // quiescent points (Tick), where no CachedInode pointers are live.
+  void PruneInodeCache();
+
+  BlockDevice* device_;
+  SimClock* clock_;
+  CpuModel* cpu_;
+  LfsSuperblock sb_;
+  Options options_;
+  BufferCache cache_;
+  InodeMap imap_;
+  SegmentUsageTable usage_;
+  SegmentBuilder builder_;
+  std::unordered_map<InodeNum, CachedInode> inodes_;
+  uint32_t dirty_inode_count_ = 0;
+  std::vector<FreeRecord> pending_frees_;
+  // Current homes of the inode-map and usage blocks (kNoAddr = never
+  // written; such blocks decode as all-free / all-clean).
+  std::vector<DiskAddr> imap_block_addrs_;
+  std::vector<DiskAddr> usage_block_addrs_;
+
+  uint64_t next_log_seq_ = 1;
+  uint64_t checkpoint_seq_ = 0;
+  uint32_t next_ckpt_region_ = 0;  // Alternates 0 / 1.
+  double last_checkpoint_time_ = 0.0;
+  InodeNum next_ino_hint_ = kRootIno;
+  uint64_t checkpoint_count_ = 0;
+  uint64_t rolled_forward_partials_ = 0;
+  bool in_cleaner_ = false;  // Cleaning may dip into reserved segments.
+  CleanerStats cleaner_stats_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_FILE_SYSTEM_H_

@@ -1,0 +1,195 @@
+#include "src/lfs/lfs_format.h"
+
+#include <cstring>
+
+#include "src/util/crc32.h"
+#include "src/util/serializer.h"
+
+namespace logfs {
+namespace {
+
+constexpr size_t kSuperblockPayload = 4 * 9 + 8 + 8;
+
+Status ValidateLfsParams(const LfsParams& params) {
+  if (params.block_size < 1024 || params.block_size % kSectorSize != 0 ||
+      params.block_size > 65536) {
+    return InvalidArgumentError("LFS block size must be 1K-64K and sector aligned");
+  }
+  if (params.segment_size % params.block_size != 0 ||
+      params.segment_size / params.block_size < 4) {
+    return InvalidArgumentError("LFS segment must hold at least 4 blocks");
+  }
+  if (params.max_inodes < 16) {
+    return InvalidArgumentError("LFS needs at least 16 inodes");
+  }
+  if (params.clean_stop_segments < params.clean_start_segments) {
+    return InvalidArgumentError("clean_stop must be >= clean_start");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status EncodeLfsSuperblock(const LfsSuperblock& sb, std::span<std::byte> block) {
+  if (block.size() < kSuperblockPayload + 4) {
+    return InvalidArgumentError("superblock buffer too small");
+  }
+  std::memset(block.data(), 0, block.size());
+  BufferWriter writer(block);
+  RETURN_IF_ERROR(writer.WriteU32(sb.magic));
+  RETURN_IF_ERROR(writer.WriteU32(sb.block_size));
+  RETURN_IF_ERROR(writer.WriteU32(sb.segment_size));
+  RETURN_IF_ERROR(writer.WriteU32(sb.max_inodes));
+  RETURN_IF_ERROR(writer.WriteU32(sb.checkpoint_region_blocks));
+  RETURN_IF_ERROR(writer.WriteU64(sb.first_segment_sector));
+  RETURN_IF_ERROR(writer.WriteU32(sb.num_segments));
+  RETURN_IF_ERROR(writer.WriteU32(sb.clean_start_segments));
+  RETURN_IF_ERROR(writer.WriteU32(sb.clean_stop_segments));
+  RETURN_IF_ERROR(writer.WriteU32(sb.reserved_segments));
+  RETURN_IF_ERROR(writer.WriteF64(sb.checkpoint_interval_seconds));
+  const uint32_t crc = Crc32(block.subspan(0, kSuperblockPayload));
+  return writer.WriteU32(crc);
+}
+
+Result<LfsSuperblock> DecodeLfsSuperblock(std::span<const std::byte> block) {
+  if (block.size() < kSuperblockPayload + 4) {
+    return CorruptedError("superblock truncated");
+  }
+  BufferReader reader(block);
+  LfsSuperblock sb;
+  ASSIGN_OR_RETURN(sb.magic, reader.ReadU32());
+  if (sb.magic != kLfsMagic) {
+    return CorruptedError("bad LFS superblock magic");
+  }
+  ASSIGN_OR_RETURN(sb.block_size, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.segment_size, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.max_inodes, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.checkpoint_region_blocks, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.first_segment_sector, reader.ReadU64());
+  ASSIGN_OR_RETURN(sb.num_segments, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.clean_start_segments, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.clean_stop_segments, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.reserved_segments, reader.ReadU32());
+  ASSIGN_OR_RETURN(sb.checkpoint_interval_seconds, reader.ReadF64());
+  ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
+  if (stored_crc != Crc32(block.subspan(0, kSuperblockPayload))) {
+    return CorruptedError("LFS superblock CRC mismatch");
+  }
+  return sb;
+}
+
+Status EncodeCheckpoint(const CheckpointRecord& ckpt, std::span<std::byte> region) {
+  std::memset(region.data(), 0, region.size());
+  BufferWriter writer(region);
+  RETURN_IF_ERROR(writer.WriteU32(kCkptMagic));
+  RETURN_IF_ERROR(writer.WriteU32(0));  // CRC placeholder, patched below.
+  RETURN_IF_ERROR(writer.WriteU64(ckpt.sequence));
+  RETURN_IF_ERROR(writer.WriteF64(ckpt.timestamp));
+  RETURN_IF_ERROR(writer.WriteU64(ckpt.next_log_seq));
+  RETURN_IF_ERROR(writer.WriteU32(ckpt.tail_segment));
+  RETURN_IF_ERROR(writer.WriteU32(ckpt.tail_offset));
+  RETURN_IF_ERROR(writer.WriteU32(ckpt.next_ino_hint));
+  RETURN_IF_ERROR(writer.WriteU64(ckpt.total_live_bytes));
+  RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(ckpt.imap_block_addrs.size())));
+  RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(ckpt.usage_block_addrs.size())));
+  for (DiskAddr addr : ckpt.imap_block_addrs) {
+    RETURN_IF_ERROR(writer.WriteU64(addr));
+  }
+  for (DiskAddr addr : ckpt.usage_block_addrs) {
+    RETURN_IF_ERROR(writer.WriteU64(addr));
+  }
+  const size_t payload = writer.offset();
+  // CRC over the payload with the CRC field itself zeroed (it is).
+  const uint32_t crc = Crc32(region.subspan(0, payload));
+  RETURN_IF_ERROR(writer.SeekTo(4));
+  RETURN_IF_ERROR(writer.WriteU32(crc));
+  return OkStatus();
+}
+
+Result<CheckpointRecord> DecodeCheckpoint(std::span<const std::byte> region) {
+  BufferReader reader(region);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kCkptMagic) {
+    return CorruptedError("bad checkpoint magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
+  CheckpointRecord ckpt;
+  ASSIGN_OR_RETURN(ckpt.sequence, reader.ReadU64());
+  ASSIGN_OR_RETURN(ckpt.timestamp, reader.ReadF64());
+  ASSIGN_OR_RETURN(ckpt.next_log_seq, reader.ReadU64());
+  ASSIGN_OR_RETURN(ckpt.tail_segment, reader.ReadU32());
+  ASSIGN_OR_RETURN(ckpt.tail_offset, reader.ReadU32());
+  ASSIGN_OR_RETURN(ckpt.next_ino_hint, reader.ReadU32());
+  ASSIGN_OR_RETURN(ckpt.total_live_bytes, reader.ReadU64());
+  ASSIGN_OR_RETURN(uint32_t imap_count, reader.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t usage_count, reader.ReadU32());
+  if (static_cast<uint64_t>(imap_count) + usage_count > region.size() / 8) {
+    return CorruptedError("checkpoint address tables exceed region");
+  }
+  ckpt.imap_block_addrs.resize(imap_count);
+  for (DiskAddr& addr : ckpt.imap_block_addrs) {
+    ASSIGN_OR_RETURN(addr, reader.ReadU64());
+  }
+  ckpt.usage_block_addrs.resize(usage_count);
+  for (DiskAddr& addr : ckpt.usage_block_addrs) {
+    ASSIGN_OR_RETURN(addr, reader.ReadU64());
+  }
+  const size_t payload = reader.offset();
+  // Validate CRC with the stored field zeroed.
+  std::vector<std::byte> copy(region.begin(), region.begin() + payload);
+  std::memset(copy.data() + 4, 0, 4);
+  if (stored_crc != Crc32(copy)) {
+    return CorruptedError("checkpoint CRC mismatch");
+  }
+  return ckpt;
+}
+
+Result<LfsSuperblock> ComputeLfsGeometry(const LfsParams& params, uint64_t sector_count) {
+  RETURN_IF_ERROR(ValidateLfsParams(params));
+  LfsSuperblock sb;
+  sb.block_size = params.block_size;
+  sb.segment_size = params.segment_size;
+  sb.max_inodes = params.max_inodes;
+  sb.clean_start_segments = params.clean_start_segments;
+  sb.clean_stop_segments = params.clean_stop_segments;
+  sb.reserved_segments = params.reserved_segments;
+  sb.checkpoint_interval_seconds = params.checkpoint_interval_seconds;
+
+  // Checkpoint region: header (~64 B) + one 8-byte address per inode-map
+  // block and per segment-usage block. Sized generously and rounded up.
+  // imap entries are 24 B (lfs_inode_map.h), usage entries 16 B.
+  const uint64_t imap_blocks =
+      (static_cast<uint64_t>(params.max_inodes) * 24 + params.block_size - 1) /
+      params.block_size;
+  // Upper bound on segments: device / segment size.
+  const uint64_t max_segments =
+      sector_count * kSectorSize / params.segment_size + 1;
+  const uint64_t usage_blocks =
+      (max_segments * 16 + params.block_size - 1) / params.block_size;
+  const uint64_t ckpt_bytes = 256 + (imap_blocks + usage_blocks) * 8;
+  sb.checkpoint_region_blocks =
+      static_cast<uint32_t>((ckpt_bytes + params.block_size - 1) / params.block_size);
+
+  const uint64_t first_block = 1 + 2ull * sb.checkpoint_region_blocks;
+  sb.first_segment_sector = first_block * sb.SectorsPerBlock();
+  const uint64_t remaining_sectors = sector_count > sb.first_segment_sector
+                                         ? sector_count - sb.first_segment_sector
+                                         : 0;
+  sb.num_segments = static_cast<uint32_t>(remaining_sectors / sb.SectorsPerSegment());
+  if (sb.num_segments < params.reserved_segments + 4) {
+    return InvalidArgumentError("device too small for an LFS log");
+  }
+  // Checkpoints rewrite the segment-usage blocks into a single partial
+  // segment (their contents are patched after their addresses are known),
+  // so the whole table must fit in one segment.
+  const uint64_t usage_table_blocks =
+      (static_cast<uint64_t>(sb.num_segments) * 16 + params.block_size - 1) /
+      params.block_size;
+  if (usage_table_blocks + 2 > sb.BlocksPerSegment()) {
+    return InvalidArgumentError(
+        "segment too small for this device's segment-usage table; use larger segments");
+  }
+  return sb;
+}
+
+}  // namespace logfs

@@ -1,0 +1,125 @@
+#include "src/lfs/lfs_inode_map.h"
+
+#include <cassert>
+
+#include "src/util/serializer.h"
+
+namespace logfs {
+
+InodeMap::InodeMap(uint32_t max_inodes, uint32_t block_size)
+    : max_inodes_(max_inodes),
+      block_size_(block_size),
+      entries_per_block_(block_size / kImapEntrySize),
+      entries_(max_inodes) {
+  block_count_ = (max_inodes_ + entries_per_block_ - 1) / entries_per_block_;
+  dirty_blocks_.assign(block_count_, false);
+}
+
+void InodeMap::SetLocation(InodeNum ino, DiskAddr block_addr, uint16_t slot) {
+  assert(IsValid(ino));
+  ImapEntry& entry = entries_[ino - 1];
+  entry.block_addr = block_addr;
+  entry.slot = slot;
+  MarkDirty(ino);
+}
+
+void InodeMap::SetAtime(InodeNum ino, double atime) {
+  assert(IsValid(ino));
+  entries_[ino - 1].atime = atime;
+  MarkDirty(ino);
+}
+
+void InodeMap::SetVersion(InodeNum ino, uint32_t version) {
+  assert(IsValid(ino));
+  entries_[ino - 1].version = version;
+  MarkDirty(ino);
+}
+
+Result<InodeNum> InodeMap::Allocate(InodeNum hint) {
+  if (hint < kRootIno || hint > max_inodes_) {
+    hint = kRootIno;
+  }
+  for (uint32_t step = 0; step < max_inodes_; ++step) {
+    const InodeNum ino = static_cast<InodeNum>((hint - 1 + step) % max_inodes_ + 1);
+    ImapEntry& entry = entries_[ino - 1];
+    if (!entry.allocated) {
+      entry.allocated = true;
+      ++entry.version;
+      entry.block_addr = kNoAddr;
+      entry.slot = 0;
+      entry.atime = 0.0;
+      ++allocated_count_;
+      MarkDirty(ino);
+      return ino;
+    }
+  }
+  return NoSpaceError("out of inodes");
+}
+
+void InodeMap::Free(InodeNum ino) {
+  assert(IsValid(ino));
+  ImapEntry& entry = entries_[ino - 1];
+  assert(entry.allocated);
+  entry.allocated = false;
+  entry.block_addr = kNoAddr;
+  entry.slot = 0;
+  ++entry.version;
+  --allocated_count_;
+  MarkDirty(ino);
+}
+
+void InodeMap::ForceAllocated(InodeNum ino, bool allocated) {
+  assert(IsValid(ino));
+  ImapEntry& entry = entries_[ino - 1];
+  if (entry.allocated != allocated) {
+    allocated_count_ += allocated ? 1 : -1;
+    entry.allocated = allocated;
+    MarkDirty(ino);
+  }
+}
+
+Status InodeMap::EncodeBlock(uint32_t block_index, std::span<std::byte> out) const {
+  if (block_index >= block_count_ || out.size() < block_size_) {
+    return InvalidArgumentError("bad imap block encode request");
+  }
+  BufferWriter writer(out);
+  const uint32_t first = block_index * entries_per_block_;
+  const uint32_t last = std::min(first + entries_per_block_, max_inodes_);
+  for (uint32_t i = first; i < last; ++i) {
+    const ImapEntry& entry = entries_[i];
+    RETURN_IF_ERROR(writer.WriteU64(entry.block_addr));
+    RETURN_IF_ERROR(writer.WriteU16(entry.slot));
+    RETURN_IF_ERROR(writer.WriteU16(entry.allocated ? 1 : 0));
+    RETURN_IF_ERROR(writer.WriteU32(entry.version));
+    RETURN_IF_ERROR(writer.WriteF64(entry.atime));
+  }
+  return writer.WriteZeros(out.size() - writer.offset());
+}
+
+Status InodeMap::DecodeBlock(uint32_t block_index, std::span<const std::byte> in) {
+  if (block_index >= block_count_ || in.size() < block_size_) {
+    return CorruptedError("bad imap block decode request");
+  }
+  BufferReader reader(in);
+  const uint32_t first = block_index * entries_per_block_;
+  const uint32_t last = std::min(first + entries_per_block_, max_inodes_);
+  for (uint32_t i = first; i < last; ++i) {
+    ImapEntry entry;
+    ASSIGN_OR_RETURN(entry.block_addr, reader.ReadU64());
+    ASSIGN_OR_RETURN(entry.slot, reader.ReadU16());
+    ASSIGN_OR_RETURN(uint16_t flags, reader.ReadU16());
+    entry.allocated = (flags & 1) != 0;
+    ASSIGN_OR_RETURN(entry.version, reader.ReadU32());
+    ASSIGN_OR_RETURN(entry.atime, reader.ReadF64());
+    if (entries_[i].allocated != entry.allocated) {
+      allocated_count_ += entry.allocated ? 1 : -1;
+    }
+    entries_[i] = entry;
+  }
+  dirty_blocks_[block_index] = false;
+  return OkStatus();
+}
+
+void InodeMap::MarkAllDirty() { dirty_blocks_.assign(block_count_, true); }
+
+}  // namespace logfs

@@ -1,0 +1,90 @@
+// The inode map (paper Section 4.2.1).
+//
+// LFS inodes float in the log, so the inode map provides the indirection
+// from inode number to the inode's current disk location. Each entry also
+// keeps the allocation state, a version number bumped every time the file
+// is deleted or truncated to length zero (used by the cleaner's fast
+// liveness check, Section 4.3.3 step 1), and the file's access time
+// (footnote 2: atime lives here so reads never relocate inodes).
+//
+// The map is partitioned into blocks written to the log like file blocks;
+// the checkpoint records each block's address. In memory the whole map is
+// resident (it is small), with per-block dirty bits driving what gets
+// rewritten at checkpoint time.
+#ifndef LOGFS_SRC_LFS_LFS_INODE_MAP_H_
+#define LOGFS_SRC_LFS_LFS_INODE_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/fsbase/fs_types.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+struct ImapEntry {
+  DiskAddr block_addr = kNoAddr;  // Inode block holding this inode.
+  uint16_t slot = 0;              // Slot within that inode block.
+  bool allocated = false;
+  uint32_t version = 0;
+  double atime = 0.0;
+};
+
+// On-disk size of one entry (addr 8 + slot 2 + flags 2 + version 4 + atime 8).
+inline constexpr size_t kImapEntrySize = 24;
+
+class InodeMap {
+ public:
+  InodeMap(uint32_t max_inodes, uint32_t block_size);
+
+  uint32_t max_inodes() const { return max_inodes_; }
+  uint32_t entries_per_block() const { return entries_per_block_; }
+  uint32_t block_count() const { return block_count_; }
+  uint32_t allocated_count() const { return allocated_count_; }
+
+  bool IsValid(InodeNum ino) const { return ino >= kRootIno && ino <= max_inodes_; }
+  const ImapEntry& Get(InodeNum ino) const { return entries_[ino - 1]; }
+
+  // Records a new location for an (allocated) inode.
+  void SetLocation(InodeNum ino, DiskAddr block_addr, uint16_t slot);
+  void SetAtime(InodeNum ino, double atime);
+  // Sets the version explicitly (roll-forward recovery).
+  void SetVersion(InodeNum ino, uint32_t version);
+
+  // Allocates the first free inode number at or after `hint` (wrapping);
+  // bumps its version so blocks of any previous incarnation read as dead.
+  Result<InodeNum> Allocate(InodeNum hint);
+  // Marks an inode free and bumps its version (the delete fast-path of the
+  // cleaner's liveness check).
+  void Free(InodeNum ino);
+  // Marks allocated without bumping (roll-forward recovery).
+  void ForceAllocated(InodeNum ino, bool allocated);
+
+  // --- block (de)serialization ---
+  Status EncodeBlock(uint32_t block_index, std::span<std::byte> out) const;
+  Status DecodeBlock(uint32_t block_index, std::span<const std::byte> in);
+
+  bool BlockDirty(uint32_t block_index) const { return dirty_blocks_[block_index]; }
+  void ClearBlockDirty(uint32_t block_index) { dirty_blocks_[block_index] = false; }
+  // Forces a rewrite of one map block at the next checkpoint (used by the
+  // cleaner to relocate a live imap block out of a victim segment).
+  void MarkBlockDirty(uint32_t block_index) { dirty_blocks_[block_index] = true; }
+  void MarkAllDirty();
+
+ private:
+  void MarkDirty(InodeNum ino) { dirty_blocks_[(ino - 1) / entries_per_block_] = true; }
+
+  uint32_t max_inodes_;
+  uint32_t block_size_;
+  uint32_t entries_per_block_;
+  uint32_t block_count_;
+  uint32_t allocated_count_ = 0;
+  std::vector<ImapEntry> entries_;
+  std::vector<bool> dirty_blocks_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_INODE_MAP_H_

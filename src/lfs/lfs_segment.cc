@@ -1,0 +1,171 @@
+#include "src/lfs/lfs_segment.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/util/crc32.h"
+#include "src/util/serializer.h"
+
+namespace logfs {
+namespace {
+
+constexpr uint32_t kSummaryMagic = 0x53554D31;  // "SUM1"
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 4;  // magic, crc, seq, time, nblocks.
+constexpr size_t kEntrySize = 1 + 4 + 4 + 8;
+
+}  // namespace
+
+size_t SummaryCapacity(uint32_t block_size) { return (block_size - kHeaderSize) / kEntrySize; }
+
+Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
+                     std::span<const std::byte> content) {
+  if (summary.entries.size() > SummaryCapacity(static_cast<uint32_t>(block.size()))) {
+    return InvalidArgumentError("too many entries for summary block");
+  }
+  std::memset(block.data(), 0, block.size());
+  BufferWriter writer(block);
+  RETURN_IF_ERROR(writer.WriteU32(kSummaryMagic));
+  RETURN_IF_ERROR(writer.WriteU32(0));  // CRC patched below.
+  RETURN_IF_ERROR(writer.WriteU64(summary.seq));
+  RETURN_IF_ERROR(writer.WriteF64(summary.timestamp));
+  RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(summary.entries.size())));
+  for (const SummaryEntry& entry : summary.entries) {
+    RETURN_IF_ERROR(writer.WriteU8(static_cast<uint8_t>(entry.kind)));
+    RETURN_IF_ERROR(writer.WriteU32(entry.ino));
+    RETURN_IF_ERROR(writer.WriteU32(entry.version));
+    RETURN_IF_ERROR(writer.WriteI64(entry.offset));
+  }
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, block);
+  crc = Crc32Update(crc, content);
+  crc = Crc32Finalize(crc);
+  RETURN_IF_ERROR(writer.SeekTo(4));
+  return writer.WriteU32(crc);
+}
+
+Result<SummaryPeek> PeekSummary(std::span<const std::byte> block, uint32_t block_size) {
+  BufferReader reader(block);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kSummaryMagic) {
+    return CorruptedError("bad summary magic");
+  }
+  RETURN_IF_ERROR(reader.Skip(4));
+  SummaryPeek peek;
+  ASSIGN_OR_RETURN(peek.seq, reader.ReadU64());
+  RETURN_IF_ERROR(reader.Skip(8));
+  ASSIGN_OR_RETURN(peek.nblocks, reader.ReadU32());
+  if (peek.nblocks > SummaryCapacity(block_size)) {
+    return CorruptedError("summary block count out of range");
+  }
+  return peek;
+}
+
+Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
+                                     std::span<const std::byte> content) {
+  BufferReader reader(block);
+  ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kSummaryMagic) {
+    return CorruptedError("bad summary magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
+  SegmentSummary summary;
+  ASSIGN_OR_RETURN(summary.seq, reader.ReadU64());
+  ASSIGN_OR_RETURN(summary.timestamp, reader.ReadF64());
+  ASSIGN_OR_RETURN(uint32_t nblocks, reader.ReadU32());
+  if (nblocks > SummaryCapacity(static_cast<uint32_t>(block.size()))) {
+    return CorruptedError("summary block count out of range");
+  }
+  summary.entries.resize(nblocks);
+  for (SummaryEntry& entry : summary.entries) {
+    ASSIGN_OR_RETURN(uint8_t kind_raw, reader.ReadU8());
+    if (kind_raw < static_cast<uint8_t>(BlockKind::kData) ||
+        kind_raw > static_cast<uint8_t>(BlockKind::kMetaLog)) {
+      return CorruptedError("bad summary entry kind");
+    }
+    entry.kind = static_cast<BlockKind>(kind_raw);
+    ASSIGN_OR_RETURN(entry.ino, reader.ReadU32());
+    ASSIGN_OR_RETURN(entry.version, reader.ReadU32());
+    ASSIGN_OR_RETURN(entry.offset, reader.ReadI64());
+  }
+  // CRC over the summary block with the CRC field zeroed, then the content.
+  std::vector<std::byte> copy(block.begin(), block.end());
+  std::memset(copy.data() + 4, 0, 4);
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, copy);
+  crc = Crc32Update(crc, content);
+  crc = Crc32Finalize(crc);
+  if (crc != stored_crc) {
+    return CorruptedError("summary CRC mismatch (torn or stale partial segment)");
+  }
+  return summary;
+}
+
+SegmentBuilder::SegmentBuilder(BlockDevice* device, const LfsSuperblock& sb)
+    : device_(device), sb_(sb), capacity_(SummaryCapacity(sb.block_size)) {
+  buffer_.reserve(sb_.segment_size);
+}
+
+void SegmentBuilder::StartAt(uint32_t segment, uint32_t offset) {
+  assert(entries_.empty() && "repositioning with pending blocks");
+  segment_ = segment;
+  start_offset_ = offset;
+  buffer_.clear();
+}
+
+bool SegmentBuilder::CanAppend() const {
+  if (entries_.size() >= capacity_) {
+    return false;
+  }
+  // Room needed: summary + existing entries + one more.
+  return start_offset_ + 1 + entries_.size() + 1 <= sb_.BlocksPerSegment();
+}
+
+bool SegmentBuilder::SegmentHasRoom() const {
+  return start_offset_ + 2 <= sb_.BlocksPerSegment();
+}
+
+Result<DiskAddr> SegmentBuilder::Append(BlockKind kind, uint32_t ino, uint32_t version,
+                                        int64_t offset, std::span<const std::byte> data) {
+  std::span<std::byte> buffer;
+  ASSIGN_OR_RETURN(DiskAddr addr, AppendDeferred(kind, ino, version, offset, &buffer));
+  if (data.size() != sb_.block_size) {
+    return InvalidArgumentError("content block must be exactly one block");
+  }
+  std::memcpy(buffer.data(), data.data(), data.size());
+  return addr;
+}
+
+Result<DiskAddr> SegmentBuilder::AppendDeferred(BlockKind kind, uint32_t ino, uint32_t version,
+                                                int64_t offset, std::span<std::byte>* buffer) {
+  if (!CanAppend()) {
+    return NoSpaceError("partial segment full; flush first");
+  }
+  const uint32_t block_offset = start_offset_ + 1 + static_cast<uint32_t>(entries_.size());
+  entries_.push_back(SummaryEntry{kind, ino, version, offset});
+  const size_t pos = buffer_.size();
+  buffer_.resize(pos + sb_.block_size, std::byte{0});
+  *buffer = std::span<std::byte>(buffer_).subspan(pos, sb_.block_size);
+  return sb_.SegmentBlockSector(segment_, block_offset);
+}
+
+Status SegmentBuilder::Flush(uint64_t seq, double timestamp) {
+  if (entries_.empty()) {
+    return OkStatus();
+  }
+  SegmentSummary summary;
+  summary.seq = seq;
+  summary.timestamp = timestamp;
+  summary.entries = entries_;
+  std::vector<std::byte> out(sb_.block_size + buffer_.size());
+  RETURN_IF_ERROR(EncodeSummary(summary, std::span<std::byte>(out).subspan(0, sb_.block_size),
+                                buffer_));
+  std::memcpy(out.data() + sb_.block_size, buffer_.data(), buffer_.size());
+  const uint64_t sector = sb_.SegmentBlockSector(segment_, start_offset_);
+  RETURN_IF_ERROR(device_->WriteSectors(sector, out));
+  start_offset_ += 1 + static_cast<uint32_t>(entries_.size());
+  entries_.clear();
+  buffer_.clear();
+  return OkStatus();
+}
+
+}  // namespace logfs

@@ -1,0 +1,123 @@
+// Segment summary blocks and the partial-segment builder (paper 4.3.1).
+//
+// Every batch of blocks LFS writes — a "partial segment" — is laid out as a
+// summary block followed by the content blocks, and hits the disk as a
+// single sequential transfer. The summary identifies each content block
+// (file, offset, inode-map version at write time), carries a monotonically
+// increasing log sequence number used by roll-forward recovery, and a CRC
+// computed over the summary AND all content bytes so that a torn write
+// invalidates the whole partial segment atomically.
+#ifndef LOGFS_SRC_LFS_LFS_SEGMENT_H_
+#define LOGFS_SRC_LFS_LFS_SEGMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/fsbase/fs_types.h"
+#include "src/lfs/lfs_format.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+// What a content block holds. The paper's summary identifies "the file
+// number of the block's file and the position of the block within the
+// file"; we additionally distinguish the metadata block types that share
+// the log.
+enum class BlockKind : uint8_t {
+  kData = 1,        // File or directory data; offset = file block index.
+  kIndirect = 2,    // Indirect pointer block; offset = indirect slot index.
+  kInodeBlock = 3,  // Packed inodes (lfs_inode_map.h defines the layout).
+  kImap = 4,        // Inode-map block; offset = imap block index.
+  kSegUsage = 5,    // Segment-usage block; offset = usage block index.
+  kMetaLog = 6,     // Directory-operation log (frees) for roll-forward.
+};
+
+struct SummaryEntry {
+  BlockKind kind = BlockKind::kData;
+  uint32_t ino = 0;      // Owning file for kData/kIndirect; 0 for metadata.
+  uint32_t version = 0;  // Inode-map version of `ino` when written.
+  int64_t offset = 0;    // Meaning depends on kind (see above).
+};
+
+struct SegmentSummary {
+  uint64_t seq = 0;        // Log sequence number of this partial segment.
+  double timestamp = 0.0;  // SimClock time of the write.
+  std::vector<SummaryEntry> entries;
+};
+
+// Max content blocks a single partial segment can describe.
+size_t SummaryCapacity(uint32_t block_size);
+
+// Encodes `summary` into the summary block and stamps a CRC computed over
+// the block (CRC field zeroed) plus `content` (the concatenated content
+// blocks, in entry order).
+Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
+                     std::span<const std::byte> content);
+
+// Header fields readable without the content (no CRC validation). Used by
+// roll-forward to size the content read and to skip stale partials.
+struct SummaryPeek {
+  uint64_t seq = 0;
+  uint32_t nblocks = 0;
+};
+Result<SummaryPeek> PeekSummary(std::span<const std::byte> block, uint32_t block_size);
+
+// Full decode with CRC validation against the content bytes.
+Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
+                                     std::span<const std::byte> content);
+
+// Assembles partial segments in memory and writes each as one transfer.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(BlockDevice* device, const LfsSuperblock& sb);
+
+  // Positions the builder at (segment, block offset). Requires no pending
+  // blocks.
+  void StartAt(uint32_t segment, uint32_t offset);
+
+  uint32_t segment() const { return segment_; }
+  // Block offset the *next* partial segment would start at.
+  uint32_t next_offset() const {
+    return pending() == 0 ? start_offset_
+                          : start_offset_ + 1 + static_cast<uint32_t>(entries_.size());
+  }
+  uint32_t pending() const { return static_cast<uint32_t>(entries_.size()); }
+
+  // True if one more content block fits in this partial segment (summary
+  // capacity and segment boundary respected).
+  bool CanAppend() const;
+  // True if the segment has room for a fresh partial segment (summary + 1).
+  bool SegmentHasRoom() const;
+
+  // Appends a content block; returns its assigned disk address. The caller
+  // must have checked CanAppend().
+  Result<DiskAddr> Append(BlockKind kind, uint32_t ino, uint32_t version, int64_t offset,
+                          std::span<const std::byte> data);
+
+  // Appends a block whose content will be filled in *after* the append but
+  // before Flush (used for segment-usage blocks, whose contents depend on
+  // the addresses this very append assigns). `*buffer` stays valid until
+  // Flush or the next StartAt.
+  Result<DiskAddr> AppendDeferred(BlockKind kind, uint32_t ino, uint32_t version, int64_t offset,
+                                  std::span<std::byte>* buffer);
+
+  // Writes the pending partial segment as one sequential transfer and
+  // advances past it. No-op when nothing is pending.
+  Status Flush(uint64_t seq, double timestamp);
+
+ private:
+  BlockDevice* device_;
+  LfsSuperblock sb_;
+  uint32_t segment_ = 0;
+  uint32_t start_offset_ = 0;  // Where the pending partial segment begins.
+  std::vector<SummaryEntry> entries_;
+  std::vector<std::byte> buffer_;  // Content blocks, in entry order.
+  size_t capacity_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_SEGMENT_H_

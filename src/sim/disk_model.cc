@@ -1,0 +1,41 @@
+#include "src/sim/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace logfs {
+
+DiskModel::DiskModel(DiskModelParams params, uint64_t total_sectors) : params_(params) {
+  assert(params_.sectors_per_cylinder > 0);
+  total_cylinders_ = std::max<uint64_t>(1, total_sectors / params_.sectors_per_cylinder);
+}
+
+double DiskModel::PositioningSeconds(uint64_t start, uint64_t head) const {
+  if (start == head) {
+    return 0.0;  // Sequential continuation: no seek, no rotational loss.
+  }
+  const uint64_t start_cyl = start / params_.sectors_per_cylinder;
+  const uint64_t head_cyl = head / params_.sectors_per_cylinder;
+  const uint64_t distance = start_cyl > head_cyl ? start_cyl - head_cyl : head_cyl - start_cyl;
+  double seek_ms = 0.0;
+  if (distance > 0) {
+    const double frac = static_cast<double>(distance) / static_cast<double>(total_cylinders_);
+    seek_ms = params_.min_seek_ms + (params_.max_seek_ms - params_.min_seek_ms) * std::sqrt(frac);
+  }
+  // Average rotational latency: half a revolution. Paid on every
+  // repositioning, including same-cylinder jumps.
+  const double rotation_ms = params_.rotation_ms / 2.0;
+  return (seek_ms + rotation_ms) / 1e3;
+}
+
+double DiskModel::TransferSeconds(uint64_t count) const {
+  return static_cast<double>(count) * kSectorSize / params_.bandwidth_bytes_per_sec;
+}
+
+double DiskModel::ServiceTimeSeconds(uint64_t start, uint64_t count, uint64_t head) const {
+  return params_.command_overhead_ms / 1e3 + PositioningSeconds(start, head) +
+         TransferSeconds(count);
+}
+
+}  // namespace logfs

@@ -1,0 +1,41 @@
+// SimClock: the single source of simulated time.
+//
+// logfs is a deterministic single-threaded simulation. All components that
+// consume time (the disk model, the CPU model) advance one shared SimClock;
+// everything that measures time (benchmark harnesses, the cache's write-back
+// age policy, checkpoint intervals) reads it. Wall-clock time never appears
+// in results, which makes every experiment bit-reproducible.
+#ifndef LOGFS_SRC_SIM_SIM_CLOCK_H_
+#define LOGFS_SRC_SIM_SIM_CLOCK_H_
+
+#include <cassert>
+
+namespace logfs {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Current simulated time in seconds since simulation start.
+  double Now() const { return now_seconds_; }
+
+  // Advance time; negative advances are a programming error.
+  void Advance(double seconds) {
+    assert(seconds >= 0.0);
+    now_seconds_ += seconds;
+  }
+
+  // Jump directly to a later time (used by workload generators to model
+  // idle periods, e.g. "run the cleaner at night").
+  void AdvanceTo(double seconds) {
+    assert(seconds >= now_seconds_);
+    now_seconds_ = seconds;
+  }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_SIM_SIM_CLOCK_H_

@@ -1,0 +1,45 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace logfs {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // Reflected IEEE 802.3.
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, std::span<const std::byte> data) {
+  const auto& table = Table();
+  for (std::byte b : data) {
+    state = table[(state ^ static_cast<uint32_t>(b)) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::span<const std::byte> data) {
+  return Crc32Finalize(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace logfs

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to validate on-disk
+// structures: segment summaries, checkpoint regions, superblocks.
+#ifndef LOGFS_SRC_UTIL_CRC32_H_
+#define LOGFS_SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace logfs {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(std::span<const std::byte> data);
+
+// Incremental interface: Crc32Update(Crc32Init(), a) then more chunks,
+// finish with Crc32Finalize.
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, std::span<const std::byte> data);
+uint32_t Crc32Finalize(uint32_t state);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_UTIL_CRC32_H_

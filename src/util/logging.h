@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr, compile-time cheap when disabled.
+//
+// Usage: LOGFS_LOG(kInfo) << "cleaned segment " << seg_id;
+// The default threshold is kWarning so tests and benchmarks stay quiet;
+// raise it with SetLogThreshold for debugging.
+#ifndef LOGFS_SRC_UTIL_LOGGING_H_
+#define LOGFS_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace logfs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global threshold; messages below it are discarded (stream still evaluated
+// lazily by the macro's short-circuit).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+// Internal: emits one formatted line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define LOGFS_LOG(level)                                              \
+  if (::logfs::LogLevel::level < ::logfs::GetLogThreshold()) {        \
+  } else                                                              \
+    ::logfs::LogMessage(::logfs::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_UTIL_LOGGING_H_

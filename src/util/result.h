@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the logfs equivalent of std::expected<T, Status>.
+#ifndef LOGFS_SRC_UTIL_RESULT_H_
+#define LOGFS_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/util/status.h"
+
+namespace logfs {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return 42;` or `return NotFoundError("...")`.
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : state_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(state_).ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return state_.index() == 0; }
+
+  // Status of the result: OkStatus() when a value is held.
+  Status status() const { return ok() ? OkStatus() : std::get<1>(state_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Value if present, `fallback` otherwise.
+  T value_or(T fallback) const {
+    return ok() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// ASSIGN_OR_RETURN(lhs, expr): evaluate expr (a Result<T>), propagate the
+// error, or bind the value to lhs. `lhs` may include a declaration:
+//   ASSIGN_OR_RETURN(auto ino, fs->Lookup(dir, "name"));
+#define LOGFS_MACRO_CONCAT_INNER(a, b) a##b
+#define LOGFS_MACRO_CONCAT(a, b) LOGFS_MACRO_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto LOGFS_MACRO_CONCAT(result_tmp_, __LINE__) = (expr);     \
+  if (!LOGFS_MACRO_CONCAT(result_tmp_, __LINE__).ok()) {       \
+    return LOGFS_MACRO_CONCAT(result_tmp_, __LINE__).status(); \
+  }                                                            \
+  lhs = std::move(LOGFS_MACRO_CONCAT(result_tmp_, __LINE__)).value()
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_UTIL_RESULT_H_

@@ -1,0 +1,42 @@
+// Deterministic PRNG (xoshiro256**) for workload generators and
+// property-based tests. Not cryptographic; chosen for reproducibility
+// across platforms and standard-library versions (std::mt19937 streams are
+// portable too, but this is faster and the code is self-contained).
+#ifndef LOGFS_SRC_UTIL_RNG_H_
+#define LOGFS_SRC_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace logfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial.
+  bool NextBool(double probability_true);
+
+  // Exponentially distributed value with the given mean (for inter-arrival
+  // times and file lifetimes in synthetic workloads).
+  double NextExponential(double mean);
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_UTIL_RNG_H_

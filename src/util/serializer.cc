@@ -1,0 +1,174 @@
+#include "src/util/serializer.h"
+
+#include <bit>
+#include <cstring>
+
+namespace logfs {
+namespace {
+
+Status Overflow() { return CorruptedError("serialized structure exceeds buffer"); }
+
+}  // namespace
+
+Status BufferWriter::WriteU8(uint8_t value) {
+  if (remaining() < 1) {
+    return Overflow();
+  }
+  buffer_[offset_++] = static_cast<std::byte>(value);
+  return OkStatus();
+}
+
+Status BufferWriter::WriteU16(uint16_t value) {
+  if (remaining() < 2) {
+    return Overflow();
+  }
+  for (int i = 0; i < 2; ++i) {
+    buffer_[offset_++] = static_cast<std::byte>((value >> (8 * i)) & 0xFF);
+  }
+  return OkStatus();
+}
+
+Status BufferWriter::WriteU32(uint32_t value) {
+  if (remaining() < 4) {
+    return Overflow();
+  }
+  for (int i = 0; i < 4; ++i) {
+    buffer_[offset_++] = static_cast<std::byte>((value >> (8 * i)) & 0xFF);
+  }
+  return OkStatus();
+}
+
+Status BufferWriter::WriteU64(uint64_t value) {
+  if (remaining() < 8) {
+    return Overflow();
+  }
+  for (int i = 0; i < 8; ++i) {
+    buffer_[offset_++] = static_cast<std::byte>((value >> (8 * i)) & 0xFF);
+  }
+  return OkStatus();
+}
+
+Status BufferWriter::WriteI64(int64_t value) { return WriteU64(static_cast<uint64_t>(value)); }
+
+Status BufferWriter::WriteF64(double value) { return WriteU64(std::bit_cast<uint64_t>(value)); }
+
+Status BufferWriter::WriteBytes(std::span<const std::byte> data) {
+  if (remaining() < data.size()) {
+    return Overflow();
+  }
+  std::memcpy(buffer_.data() + offset_, data.data(), data.size());
+  offset_ += data.size();
+  return OkStatus();
+}
+
+Status BufferWriter::WriteString(std::string_view s) {
+  if (s.size() > UINT16_MAX) {
+    return InvalidArgumentError("string too long for u16 length prefix");
+  }
+  RETURN_IF_ERROR(WriteU16(static_cast<uint16_t>(s.size())));
+  return WriteBytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+Status BufferWriter::WriteZeros(size_t count) {
+  if (remaining() < count) {
+    return Overflow();
+  }
+  std::memset(buffer_.data() + offset_, 0, count);
+  offset_ += count;
+  return OkStatus();
+}
+
+Status BufferWriter::SeekTo(size_t offset) {
+  if (offset > buffer_.size()) {
+    return Overflow();
+  }
+  offset_ = offset;
+  return OkStatus();
+}
+
+Result<uint8_t> BufferReader::ReadU8() {
+  if (remaining() < 1) {
+    return Overflow();
+  }
+  return static_cast<uint8_t>(buffer_[offset_++]);
+}
+
+Result<uint16_t> BufferReader::ReadU16() {
+  if (remaining() < 2) {
+    return Overflow();
+  }
+  uint16_t value = 0;
+  for (int i = 0; i < 2; ++i) {
+    value = static_cast<uint16_t>(value | (static_cast<uint16_t>(buffer_[offset_++]) << (8 * i)));
+  }
+  return value;
+}
+
+Result<uint32_t> BufferReader::ReadU32() {
+  if (remaining() < 4) {
+    return Overflow();
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(buffer_[offset_++]) << (8 * i);
+  }
+  return value;
+}
+
+Result<uint64_t> BufferReader::ReadU64() {
+  if (remaining() < 8) {
+    return Overflow();
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(buffer_[offset_++]) << (8 * i);
+  }
+  return value;
+}
+
+Result<int64_t> BufferReader::ReadI64() {
+  ASSIGN_OR_RETURN(uint64_t raw, ReadU64());
+  return static_cast<int64_t>(raw);
+}
+
+Result<double> BufferReader::ReadF64() {
+  ASSIGN_OR_RETURN(uint64_t raw, ReadU64());
+  return std::bit_cast<double>(raw);
+}
+
+Status BufferReader::ReadBytes(std::span<std::byte> out) {
+  if (remaining() < out.size()) {
+    return Overflow();
+  }
+  std::memcpy(out.data(), buffer_.data() + offset_, out.size());
+  offset_ += out.size();
+  return OkStatus();
+}
+
+Result<std::string> BufferReader::ReadString() {
+  ASSIGN_OR_RETURN(uint16_t length, ReadU16());
+  if (remaining() < length) {
+    return Overflow();
+  }
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + offset_), length);
+  offset_ += length;
+  return s;
+}
+
+Status BufferReader::Skip(size_t count) {
+  if (remaining() < count) {
+    return Overflow();
+  }
+  offset_ += count;
+  return OkStatus();
+}
+
+Status BufferReader::SeekTo(size_t offset) {
+  if (offset > buffer_.size()) {
+    return Overflow();
+  }
+  offset_ = offset;
+  return OkStatus();
+}
+
+}  // namespace logfs

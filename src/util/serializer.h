@@ -1,0 +1,79 @@
+// Explicit little-endian serialization for on-disk structures.
+//
+// All logfs on-disk formats are defined by (de)serialization code rather than
+// by memcpy'ing host structs, so the disk image layout is independent of
+// compiler padding and host endianness (Fuchsia endian policy: little-endian
+// on disk, explicit codecs).
+#ifndef LOGFS_SRC_UTIL_SERIALIZER_H_
+#define LOGFS_SRC_UTIL_SERIALIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace logfs {
+
+// Writes fixed-width little-endian values into a caller-owned buffer.
+// Overflow is a programming error in format code, reported via Status so
+// corrupted size fields cannot cause out-of-bounds writes.
+class BufferWriter {
+ public:
+  explicit BufferWriter(std::span<std::byte> buffer) : buffer_(buffer) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return buffer_.size() - offset_; }
+
+  Status WriteU8(uint8_t value);
+  Status WriteU16(uint16_t value);
+  Status WriteU32(uint32_t value);
+  Status WriteU64(uint64_t value);
+  Status WriteI64(int64_t value);
+  Status WriteF64(double value);
+  Status WriteBytes(std::span<const std::byte> data);
+  // Writes length-prefixed (u16) string data.
+  Status WriteString(std::string_view s);
+  // Zero-fill `count` bytes (format padding).
+  Status WriteZeros(size_t count);
+
+  // Seek to an absolute offset (used to patch a checksum field after the
+  // rest of the structure is serialized).
+  Status SeekTo(size_t offset);
+
+ private:
+  std::span<std::byte> buffer_;
+  size_t offset_ = 0;
+};
+
+// Reads fixed-width little-endian values from a buffer; all reads are
+// bounds-checked and return kCorrupted on truncation.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::byte> buffer) : buffer_(buffer) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return buffer_.size() - offset_; }
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Status ReadBytes(std::span<std::byte> out);
+  Result<std::string> ReadString();
+  Status Skip(size_t count);
+  Status SeekTo(size_t offset);
+
+ private:
+  std::span<const std::byte> buffer_;
+  size_t offset_ = 0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_UTIL_SERIALIZER_H_

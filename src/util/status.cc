@@ -1,0 +1,82 @@
+#include "src/util/status.h"
+
+namespace logfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kExists:
+      return "Exists";
+    case ErrorCode::kNoSpace:
+      return "NoSpace";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kIoError:
+      return "IoError";
+    case ErrorCode::kCorrupted:
+      return "Corrupted";
+    case ErrorCode::kNotDirectory:
+      return "NotDirectory";
+    case ErrorCode::kIsDirectory:
+      return "IsDirectory";
+    case ErrorCode::kNotEmpty:
+      return "NotEmpty";
+    case ErrorCode::kNameTooLong:
+      return "NameTooLong";
+    case ErrorCode::kTooLarge:
+      return "TooLarge";
+    case ErrorCode::kReadOnly:
+      return "ReadOnly";
+    case ErrorCode::kBusy:
+      return "Busy";
+    case ErrorCode::kCrashed:
+      return "Crashed";
+    case ErrorCode::kNotSupported:
+      return "NotSupported";
+    case ErrorCode::kOutOfRange:
+      return "OutOfRange";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "Ok";
+  }
+  std::string result(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+Status OkStatus() { return Status(); }
+
+namespace {
+Status Make(ErrorCode code, std::string_view message) {
+  return Status(code, std::string(message));
+}
+}  // namespace
+
+Status NotFoundError(std::string_view m) { return Make(ErrorCode::kNotFound, m); }
+Status ExistsError(std::string_view m) { return Make(ErrorCode::kExists, m); }
+Status NoSpaceError(std::string_view m) { return Make(ErrorCode::kNoSpace, m); }
+Status InvalidArgumentError(std::string_view m) { return Make(ErrorCode::kInvalidArgument, m); }
+Status IoError(std::string_view m) { return Make(ErrorCode::kIoError, m); }
+Status CorruptedError(std::string_view m) { return Make(ErrorCode::kCorrupted, m); }
+Status NotDirectoryError(std::string_view m) { return Make(ErrorCode::kNotDirectory, m); }
+Status IsDirectoryError(std::string_view m) { return Make(ErrorCode::kIsDirectory, m); }
+Status NotEmptyError(std::string_view m) { return Make(ErrorCode::kNotEmpty, m); }
+Status NameTooLongError(std::string_view m) { return Make(ErrorCode::kNameTooLong, m); }
+Status TooLargeError(std::string_view m) { return Make(ErrorCode::kTooLarge, m); }
+Status ReadOnlyError(std::string_view m) { return Make(ErrorCode::kReadOnly, m); }
+Status BusyError(std::string_view m) { return Make(ErrorCode::kBusy, m); }
+Status CrashedError(std::string_view m) { return Make(ErrorCode::kCrashed, m); }
+Status NotSupportedError(std::string_view m) { return Make(ErrorCode::kNotSupported, m); }
+Status OutOfRangeError(std::string_view m) { return Make(ErrorCode::kOutOfRange, m); }
+
+}  // namespace logfs

@@ -1,0 +1,89 @@
+// Status: error propagation without exceptions.
+//
+// Every fallible operation in logfs returns either a Status (for void
+// operations) or a Result<T> (see result.h). Error codes are deliberately
+// coarse, POSIX-flavoured categories; the message carries the detail.
+#ifndef LOGFS_SRC_UTIL_STATUS_H_
+#define LOGFS_SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace logfs {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kNotFound,         // File, directory, or object does not exist.
+  kExists,           // Object already exists.
+  kNoSpace,          // Disk or structure is out of space.
+  kInvalidArgument,  // Caller passed a nonsensical argument.
+  kIoError,          // Device-level failure.
+  kCorrupted,        // On-disk structure failed validation.
+  kNotDirectory,     // Path component is not a directory.
+  kIsDirectory,      // Operation requires a regular file.
+  kNotEmpty,         // Directory not empty.
+  kNameTooLong,      // Directory entry name exceeds the format limit.
+  kTooLarge,         // File would exceed the maximum representable size.
+  kReadOnly,         // File system mounted (or forced) read-only.
+  kBusy,             // Object is in use (e.g. open handles, pinned blocks).
+  kCrashed,          // Simulated crash: device refuses further I/O.
+  kNotSupported,     // Operation not implemented by this file system.
+  kOutOfRange,       // Offset or index beyond the valid range.
+};
+
+// Human-readable name for an error code ("NotFound", "NoSpace", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// Value-type status. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NotFound: no such file" or "Ok".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Convenience constructors, mirroring absl-style factories.
+Status OkStatus();
+Status NotFoundError(std::string_view message);
+Status ExistsError(std::string_view message);
+Status NoSpaceError(std::string_view message);
+Status InvalidArgumentError(std::string_view message);
+Status IoError(std::string_view message);
+Status CorruptedError(std::string_view message);
+Status NotDirectoryError(std::string_view message);
+Status IsDirectoryError(std::string_view message);
+Status NotEmptyError(std::string_view message);
+Status NameTooLongError(std::string_view message);
+Status TooLargeError(std::string_view message);
+Status ReadOnlyError(std::string_view message);
+Status BusyError(std::string_view message);
+Status CrashedError(std::string_view message);
+Status NotSupportedError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+
+// Propagate a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                    \
+  do {                                           \
+    ::logfs::Status status_macro_tmp_ = (expr);  \
+    if (!status_macro_tmp_.ok()) {               \
+      return status_macro_tmp_;                  \
+    }                                            \
+  } while (0)
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_UTIL_STATUS_H_

@@ -1,0 +1,135 @@
+// Workload generators reproducing the paper's evaluation (Section 5) plus
+// the synthetic office/engineering workload the design targets (Section 3).
+//
+// Each benchmark runs against the abstract FileSystem interface and reports
+// phase results measured on the simulated clock, so every binary in bench/
+// can run it unchanged on both LFS and FFS.
+#ifndef LOGFS_SRC_WORKLOAD_BENCHMARKS_H_
+#define LOGFS_SRC_WORKLOAD_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fsbase/file_system.h"
+#include "src/sim/sim_clock.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/workload/testbed.h"
+
+namespace logfs {
+
+struct PhaseResult {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t operations = 0;
+  uint64_t bytes = 0;
+
+  double OpsPerSecond() const { return seconds > 0 ? operations / seconds : 0.0; }
+  double KBytesPerSecond() const { return seconds > 0 ? bytes / 1024.0 / seconds : 0.0; }
+};
+
+// --- Figure 3: small-file I/O -----------------------------------------------
+//
+// Create `num_files` files of `file_size` bytes spread over `num_dirs`
+// directories (10 MB of data in the paper: 10000 x 1 KB or 1000 x 10 KB);
+// flush the cache; read them all back in creation order; delete them all.
+struct SmallFileParams {
+  int num_files = 10000;
+  size_t file_size = 1024;
+  int num_dirs = 10;
+  uint64_t seed = 1;
+};
+
+Result<std::vector<PhaseResult>> RunSmallFileBenchmark(Testbed& bed,
+                                                       const SmallFileParams& params);
+
+// --- Figure 4: large-file I/O -----------------------------------------------
+//
+// Five phases on one file with `request_size` transfers: sequential write,
+// sequential read, random write, random read, sequential re-read.
+struct LargeFileParams {
+  uint64_t file_bytes = 100ull << 20;
+  size_t request_size = 8192;
+  uint64_t seed = 2;
+};
+
+Result<std::vector<PhaseResult>> RunLargeFileBenchmark(Testbed& bed,
+                                                       const LargeFileParams& params);
+
+// --- Figure 5: cleaning rate vs segment utilization ---------------------------
+//
+// Fill the log with small files, delete all but `utilization` of them
+// (uniformly, so segments end up at ~uniform utilization), then measure the
+// rate at which the cleaner generates clean segments.
+struct CleaningRateParams {
+  double utilization = 0.5;       // Fraction of live blocks at cleaning time.
+  uint64_t fill_bytes = 0;        // 0 = ~70% of the disk.
+  size_t file_size = 4096;        // One block per file, as in the paper's 1 KB
+                                  // files on 4 KB blocks (block-granular).
+  uint64_t seed = 3;
+};
+
+struct CleaningRateResult {
+  double utilization_target = 0.0;
+  double utilization_measured = 0.0;  // Mean live fraction of cleaned victims.
+  uint32_t segments_cleaned = 0;      // Gross victims processed.
+  double net_clean_kb = 0.0;          // Net clean space generated (gross minus
+                                      // the space the survivors re-occupy).
+  double seconds = 0.0;
+  // Paper's y-axis: KB/s at which clean segments are generated (net).
+  double CleanKBytesPerSecond() const {
+    return seconds > 0 ? net_clean_kb / seconds : 0.0;
+  }
+};
+
+// Requires an LFS testbed (`bed.fs` must be an LfsFileSystem).
+Result<CleaningRateResult> RunCleaningRateBenchmark(Testbed& bed,
+                                                    const CleaningRateParams& params);
+
+// --- Section 3.1: create/delete latency vs CPU speed ---------------------------
+//
+// Creates and deletes `iterations` empty files, fsyncing each step the way
+// the BSD create path forces synchronous metadata writes; reports the mean
+// latency of a create+delete pair. Sweeping CPU MIPS exposes whether the
+// file system couples application speed to disk speed.
+struct CreateDeleteLatencyResult {
+  double seconds_per_pair = 0.0;
+};
+
+Result<CreateDeleteLatencyResult> RunCreateDeleteLatency(Testbed& bed, int iterations);
+
+// --- Office/engineering synthetic workload (Section 3) -------------------------
+//
+// The design-target workload: many small short-lived files accessed whole,
+// with an 80/20 working-set skew and occasional large files. Used by the
+// workload-replay example and the cache ablation bench.
+struct OfficeWorkloadParams {
+  int operations = 5000;
+  int max_live_files = 400;
+  double read_fraction = 0.55;   // Reads vs (create/overwrite/delete).
+  double delete_fraction = 0.2;
+  double think_time_seconds = 0.05;  // Advances the clock between ops.
+  uint64_t seed = 4;
+};
+
+struct OfficeWorkloadResult {
+  uint64_t operations = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t files_created = 0;
+  uint64_t files_deleted = 0;
+  double seconds = 0.0;
+  double OpsPerSecond() const { return seconds > 0 ? operations / seconds : 0.0; }
+};
+
+Result<OfficeWorkloadResult> RunOfficeWorkload(Testbed& bed,
+                                               const OfficeWorkloadParams& params);
+
+// Draws a file size from the office/engineering distribution ("a large
+// number of relatively small files, less than 8 KB, accessed in their
+// entirety"; a small tail of big files).
+size_t DrawOfficeFileSize(Rng& rng);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_WORKLOAD_BENCHMARKS_H_

@@ -1,0 +1,51 @@
+#include "src/workload/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace logfs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << "  " << cell;
+      for (size_t pad = cell.size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::vector<std::string> rule(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule[c] = std::string(widths[c], '-');
+  }
+  print_row(rule);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string TablePrinter::Int(uint64_t value) { return std::to_string(value); }
+
+}  // namespace logfs

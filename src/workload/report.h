@@ -1,0 +1,30 @@
+// Small fixed-width table printer for benchmark output. Produces the same
+// rows/series the paper's figures report, in plain text.
+#ifndef LOGFS_SRC_WORKLOAD_REPORT_H_
+#define LOGFS_SRC_WORKLOAD_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace logfs {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  // Numeric formatting helpers.
+  static std::string Fixed(double value, int decimals = 1);
+  static std::string Int(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_WORKLOAD_REPORT_H_

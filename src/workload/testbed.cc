@@ -1,0 +1,39 @@
+#include "src/workload/testbed.h"
+
+namespace logfs {
+namespace {
+
+Testbed MakeMachine(const TestbedParams& params) {
+  Testbed bed;
+  bed.clock = std::make_unique<SimClock>();
+  bed.cpu = std::make_unique<CpuModel>(bed.clock.get(), params.mips);
+  bed.disk = std::make_unique<MemoryDisk>(params.disk_bytes / kSectorSize, bed.clock.get(),
+                                          params.disk_model);
+  return bed;
+}
+
+}  // namespace
+
+Result<Testbed> MakeLfsTestbed(const TestbedParams& params) {
+  Testbed bed = MakeMachine(params);
+  RETURN_IF_ERROR(LfsFileSystem::Format(bed.disk.get(), params.lfs));
+  ASSIGN_OR_RETURN(auto fs, LfsFileSystem::Mount(bed.disk.get(), bed.clock.get(),
+                                                 bed.cpu.get(), params.lfs_options));
+  bed.fs = std::move(fs);
+  bed.paths = std::make_unique<PathFs>(bed.fs.get());
+  bed.disk->ResetStats();
+  return bed;
+}
+
+Result<Testbed> MakeFfsTestbed(const TestbedParams& params) {
+  Testbed bed = MakeMachine(params);
+  RETURN_IF_ERROR(FfsFileSystem::Format(bed.disk.get(), params.ffs));
+  ASSIGN_OR_RETURN(auto fs, FfsFileSystem::Mount(bed.disk.get(), bed.clock.get(),
+                                                 bed.cpu.get(), params.ffs_options));
+  bed.fs = std::move(fs);
+  bed.paths = std::make_unique<PathFs>(bed.fs.get());
+  bed.disk->ResetStats();
+  return bed;
+}
+
+}  // namespace logfs

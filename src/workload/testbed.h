@@ -1,0 +1,50 @@
+// Testbed: assembles the simulated machine from the paper's Section 5 —
+// a Sun-4/260-class CPU and a WREN IV disk with ~300 MB of usable storage —
+// and mounts either file system on it. Shared by the benchmark binaries and
+// the examples.
+#ifndef LOGFS_SRC_WORKLOAD_TESTBED_H_
+#define LOGFS_SRC_WORKLOAD_TESTBED_H_
+
+#include <memory>
+
+#include "src/disk/memory_disk.h"
+#include "src/ffs/ffs_file_system.h"
+#include "src/fsbase/path.h"
+#include "src/lfs/lfs_file_system.h"
+#include "src/sim/cpu_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+
+struct TestbedParams {
+  // Disk size. Paper: "around 300 megabytes of usable storage".
+  uint64_t disk_bytes = 300ull << 20;
+  // CPU speed. The Sun-4/260's 16.6 MHz SPARC is roughly 10 MIPS.
+  double mips = 10.0;
+  DiskModelParams disk_model;  // WREN IV defaults.
+  LfsParams lfs;
+  FfsParams ffs;
+  LfsFileSystem::Options lfs_options;
+  FfsFileSystem::Options ffs_options;
+};
+
+// A fully assembled machine with one mounted file system.
+struct Testbed {
+  std::unique_ptr<SimClock> clock;
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<MemoryDisk> disk;
+  std::unique_ptr<FileSystem> fs;
+  std::unique_ptr<PathFs> paths;
+
+  double Now() const { return clock->Now(); }
+};
+
+// Formats and mounts an LFS testbed.
+Result<Testbed> MakeLfsTestbed(const TestbedParams& params = {});
+
+// Formats and mounts an FFS testbed.
+Result<Testbed> MakeFfsTestbed(const TestbedParams& params = {});
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_WORKLOAD_TESTBED_H_

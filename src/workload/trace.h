@@ -1,0 +1,81 @@
+// Line-oriented file-system trace format, recorder, and replayer.
+//
+// Format (one operation per line, '#' comments allowed):
+//
+//   mkdir  <path>
+//   create <path>
+//   write  <path> <offset> <length> [seed]
+//   read   <path> <offset> <length>
+//   unlink <path>
+//   rmdir  <path>
+//   rename <from> <to>
+//   trunc  <path> <size>
+//   sync
+//   fsync  <path>
+//   idle   <seconds>            # advance the clock, run Tick()
+//
+// Replaying the same trace against FFS and LFS testbeds is how the
+// workload_replay example compares the systems on identical operation
+// streams (the simulation equivalent of the paper's plan to put LFS "in
+// continuous use by the Sprite user community").
+#ifndef LOGFS_SRC_WORKLOAD_TRACE_H_
+#define LOGFS_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/workload/testbed.h"
+
+namespace logfs {
+
+struct TraceOp {
+  enum class Kind {
+    kMkdir,
+    kCreate,
+    kWrite,
+    kRead,
+    kUnlink,
+    kRmdir,
+    kRename,
+    kTruncate,
+    kSync,
+    kFsync,
+    kIdle,
+  };
+  Kind kind = Kind::kSync;
+  std::string path;
+  std::string path2;     // Rename target.
+  uint64_t offset = 0;
+  uint64_t length = 0;   // Also: truncate size; idle seconds (x1000).
+  uint64_t seed = 0;
+  double seconds = 0.0;  // Idle time.
+};
+
+// Parses a trace from text; reports the first malformed line.
+Result<std::vector<TraceOp>> ParseTrace(std::string_view text);
+
+// Serializes ops back to the text format.
+std::string FormatTrace(const std::vector<TraceOp>& ops);
+
+struct TraceReplayResult {
+  uint64_t operations = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  double seconds = 0.0;       // Total elapsed simulated time.
+  double idle_seconds = 0.0;  // Time spent in explicit `idle` ops.
+  double ActiveSeconds() const { return seconds - idle_seconds; }
+};
+
+// Replays a trace against a testbed.
+Result<TraceReplayResult> ReplayTrace(Testbed& bed, const std::vector<TraceOp>& ops);
+
+// Generates a synthetic office/engineering trace of `operations` ops
+// (deterministic for a seed), suitable for cross-FS replay.
+std::vector<TraceOp> GenerateOfficeTrace(int operations, uint64_t seed);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,302 @@
+// Unit tests for the write-behind BufferCache.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+namespace {
+
+constexpr size_t kBlockSize = 512;
+
+// Writeback handler that records what it was given.
+class RecordingHandler : public WritebackHandler {
+ public:
+  Status WriteBack(std::span<CacheBlock* const> blocks) override {
+    ++batches;
+    std::vector<BlockKey> keys;
+    for (CacheBlock* block : blocks) {
+      keys.push_back(block->key());
+      last_data[block->key().index] =
+          std::vector<std::byte>(block->data().begin(), block->data().end());
+    }
+    batch_keys.push_back(keys);
+    if (fail_next) {
+      fail_next = false;
+      return IoError("injected writeback failure");
+    }
+    return OkStatus();
+  }
+
+  int batches = 0;
+  bool fail_next = false;
+  std::vector<std::vector<BlockKey>> batch_keys;
+  std::map<uint64_t, std::vector<std::byte>> last_data;
+};
+
+BufferCache::FetchFn FillWith(uint8_t value) {
+  return [value](std::span<std::byte> out) {
+    std::memset(out.data(), value, out.size());
+    return OkStatus();
+  };
+}
+
+CachePolicy SmallPolicy(size_t capacity, size_t watermark = 0) {
+  CachePolicy policy;
+  policy.capacity_blocks = capacity;
+  policy.dirty_high_watermark = watermark != 0 ? watermark : capacity;
+  return policy;
+}
+
+TEST(BufferCacheTest, MissFetchesThenHits) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(4), &clock);
+  auto ref = cache.Acquire(BlockKey{1, 0}, FillWith(0xAA));
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ((*ref)->data()[0], std::byte{0xAA});
+  EXPECT_EQ(cache.stats().misses, 1u);
+  auto again = cache.Acquire(BlockKey{1, 0}, FillWith(0xBB));  // Fetch not called.
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->data()[0], std::byte{0xAA});
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BufferCacheTest, FetchFailurePropagatesAndLeavesNoEntry) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(4), &clock);
+  auto ref = cache.Acquire(BlockKey{1, 0}, [](std::span<std::byte>) {
+    return IoError("bad sector");
+  });
+  EXPECT_FALSE(ref.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BufferCacheTest, CreateZeroFills) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(4), &clock);
+  auto ref = cache.Create(BlockKey{2, 9});
+  ASSERT_TRUE(ref.ok());
+  for (std::byte b : (*ref)->data()) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(BufferCacheTest, LruEvictionOfCleanBlocks) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(2), &clock);
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 0}, FillWith(1)).ok());
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 1}, FillWith(2)).ok());
+  // Touch block 0 so block 1 is LRU.
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 0}, FillWith(0)).ok());
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 2}, FillWith(3)).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.AcquireIfPresent(BlockKey{1, 0}));
+  EXPECT_FALSE(cache.AcquireIfPresent(BlockKey{1, 1}));  // Evicted.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BufferCacheTest, PinnedBlocksAreNotEvicted) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(2), &clock);
+  auto pinned = cache.Acquire(BlockKey{1, 0}, FillWith(1));
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 1}, FillWith(2)).ok());
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 2}, FillWith(3)).ok());
+  // Block 0 is pinned by `pinned`; block 1 must have been evicted instead.
+  EXPECT_TRUE(cache.AcquireIfPresent(BlockKey{1, 0}));
+  EXPECT_FALSE(cache.AcquireIfPresent(BlockKey{1, 1}));
+}
+
+TEST(BufferCacheTest, DirtyBlocksWrittenBackOnFlushAll) {
+  SimClock clock;
+  RecordingHandler handler;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  cache.set_writeback_handler(&handler);
+  auto ref = cache.Acquire(BlockKey{1, 3}, FillWith(0));
+  ASSERT_TRUE(ref.ok());
+  (*ref)->mutable_data()[0] = std::byte{0x5A};
+  cache.MarkDirty(ref->get());
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  ref->Release();
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  EXPECT_EQ(handler.batches, 1);
+  EXPECT_EQ(handler.last_data[3][0], std::byte{0x5A});
+}
+
+TEST(BufferCacheTest, WritebackBatchesSortedByKey) {
+  SimClock clock;
+  RecordingHandler handler;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  cache.set_writeback_handler(&handler);
+  for (uint64_t index : {5u, 1u, 3u}) {
+    auto ref = cache.Acquire(BlockKey{1, index}, FillWith(0));
+    ASSERT_TRUE(ref.ok());
+    cache.MarkDirty(ref->get());
+  }
+  ASSERT_TRUE(cache.FlushAll().ok());
+  ASSERT_EQ(handler.batch_keys.size(), 1u);
+  ASSERT_EQ(handler.batch_keys[0].size(), 3u);
+  EXPECT_EQ(handler.batch_keys[0][0].index, 1u);
+  EXPECT_EQ(handler.batch_keys[0][1].index, 3u);
+  EXPECT_EQ(handler.batch_keys[0][2].index, 5u);
+}
+
+TEST(BufferCacheTest, FailedWritebackKeepsBlocksDirty) {
+  SimClock clock;
+  RecordingHandler handler;
+  handler.fail_next = true;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  cache.set_writeback_handler(&handler);
+  auto ref = cache.Acquire(BlockKey{1, 0}, FillWith(0));
+  ASSERT_TRUE(ref.ok());
+  cache.MarkDirty(ref->get());
+  ref->Release();
+  EXPECT_FALSE(cache.FlushAll().ok());
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  EXPECT_TRUE(cache.FlushAll().ok());  // Retry succeeds.
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST(BufferCacheTest, AgeBasedWritebackHonorsThreshold) {
+  SimClock clock;
+  RecordingHandler handler;
+  CachePolicy policy = SmallPolicy(8);
+  policy.writeback_age_seconds = 30.0;
+  BufferCache cache(kBlockSize, policy, &clock);
+  cache.set_writeback_handler(&handler);
+  auto ref = cache.Acquire(BlockKey{1, 0}, FillWith(0));
+  ASSERT_TRUE(ref.ok());
+  cache.MarkDirty(ref->get());
+  ref->Release();
+  clock.Advance(10.0);
+  ASSERT_TRUE(cache.MaybeWriteBackByAge().ok());
+  EXPECT_EQ(handler.batches, 0);  // Too young.
+  clock.Advance(25.0);
+  ASSERT_TRUE(cache.MaybeWriteBackByAge().ok());
+  EXPECT_EQ(handler.batches, 1);  // 35 s old now.
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST(BufferCacheTest, AgeTriggerFlushesAllDirtyBlocks) {
+  // Once one block crosses the age threshold, the whole dirty set goes out
+  // (maximizing the segment write, as LFS wants).
+  SimClock clock;
+  RecordingHandler handler;
+  CachePolicy policy = SmallPolicy(8);
+  policy.writeback_age_seconds = 30.0;
+  BufferCache cache(kBlockSize, policy, &clock);
+  cache.set_writeback_handler(&handler);
+  {
+    auto old_ref = cache.Acquire(BlockKey{1, 0}, FillWith(0));
+    ASSERT_TRUE(old_ref.ok());
+    cache.MarkDirty(old_ref->get());
+  }
+  clock.Advance(31.0);
+  {
+    auto young_ref = cache.Acquire(BlockKey{1, 1}, FillWith(0));
+    ASSERT_TRUE(young_ref.ok());
+    cache.MarkDirty(young_ref->get());
+  }
+  ASSERT_TRUE(cache.MaybeWriteBackByAge().ok());
+  EXPECT_EQ(handler.batches, 1);
+  ASSERT_EQ(handler.batch_keys[0].size(), 2u);
+}
+
+TEST(BufferCacheTest, NeedsWritebackAtHighWatermark) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(8, /*watermark=*/2), &clock);
+  auto a = cache.Acquire(BlockKey{1, 0}, FillWith(0));
+  ASSERT_TRUE(a.ok());
+  cache.MarkDirty(a->get());
+  EXPECT_FALSE(cache.NeedsWriteback());
+  auto b = cache.Acquire(BlockKey{1, 1}, FillWith(0));
+  ASSERT_TRUE(b.ok());
+  cache.MarkDirty(b->get());
+  EXPECT_TRUE(cache.NeedsWriteback());
+}
+
+TEST(BufferCacheTest, FlushObjectOnlyFlushesThatObject) {
+  SimClock clock;
+  RecordingHandler handler;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  cache.set_writeback_handler(&handler);
+  for (uint64_t object : {7u, 8u}) {
+    auto ref = cache.Acquire(BlockKey{object, 0}, FillWith(0));
+    ASSERT_TRUE(ref.ok());
+    cache.MarkDirty(ref->get());
+  }
+  ASSERT_TRUE(cache.FlushObject(7).ok());
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  ASSERT_EQ(handler.batch_keys.size(), 1u);
+  EXPECT_EQ(handler.batch_keys[0][0].object_id, 7u);
+}
+
+TEST(BufferCacheTest, InvalidateObjectDropsDirtyBlocks) {
+  SimClock clock;
+  RecordingHandler handler;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  cache.set_writeback_handler(&handler);
+  for (uint64_t index = 0; index < 3; ++index) {
+    auto ref = cache.Acquire(BlockKey{5, index}, FillWith(0));
+    ASSERT_TRUE(ref.ok());
+    cache.MarkDirty(ref->get());
+  }
+  cache.InvalidateObject(5, /*first_index=*/1);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  EXPECT_TRUE(cache.AcquireIfPresent(BlockKey{5, 0}));
+  EXPECT_FALSE(cache.AcquireIfPresent(BlockKey{5, 1}));
+  EXPECT_FALSE(cache.AcquireIfPresent(BlockKey{5, 2}));
+  cache.InvalidateObject(5);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST(BufferCacheTest, InvalidateSingleBlock) {
+  SimClock clock;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 0}, FillWith(0)).ok());
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 1}, FillWith(0)).ok());
+  cache.InvalidateBlock(BlockKey{1, 0});
+  EXPECT_FALSE(cache.AcquireIfPresent(BlockKey{1, 0}));
+  EXPECT_TRUE(cache.AcquireIfPresent(BlockKey{1, 1}));
+  cache.InvalidateBlock(BlockKey{9, 9});  // Absent: no-op.
+}
+
+TEST(BufferCacheTest, DropCleanKeepsDirty) {
+  SimClock clock;
+  RecordingHandler handler;
+  BufferCache cache(kBlockSize, SmallPolicy(8), &clock);
+  cache.set_writeback_handler(&handler);
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 0}, FillWith(0)).ok());
+  auto dirty_ref = cache.Acquire(BlockKey{1, 1}, FillWith(0));
+  ASSERT_TRUE(dirty_ref.ok());
+  cache.MarkDirty(dirty_ref->get());
+  dirty_ref->Release();
+  cache.DropClean();
+  EXPECT_FALSE(cache.AcquireIfPresent(BlockKey{1, 0}));
+  EXPECT_TRUE(cache.AcquireIfPresent(BlockKey{1, 1}));
+}
+
+TEST(BufferCacheTest, EvictionTriggersWritebackWhenAllDirty) {
+  SimClock clock;
+  RecordingHandler handler;
+  BufferCache cache(kBlockSize, SmallPolicy(2), &clock);
+  cache.set_writeback_handler(&handler);
+  for (uint64_t index = 0; index < 2; ++index) {
+    auto ref = cache.Acquire(BlockKey{1, index}, FillWith(0));
+    ASSERT_TRUE(ref.ok());
+    cache.MarkDirty(ref->get());
+  }
+  // Cache is full of dirty blocks; acquiring a third must flush.
+  ASSERT_TRUE(cache.Acquire(BlockKey{1, 2}, FillWith(0)).ok());
+  EXPECT_GE(handler.batches, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace logfs

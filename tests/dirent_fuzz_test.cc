@@ -1,0 +1,96 @@
+// Randomized model test of the directory-entry block format: thousands of
+// random insert/remove/replace sequences are mirrored against a std::map
+// reference; after every mutation the block must validate, list exactly the
+// reference contents, and find exactly the reference names.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/fsbase/dirent.h"
+#include "src/util/rng.h"
+
+namespace logfs {
+namespace {
+
+class DirentFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomName(Rng& rng) {
+  const size_t length = 1 + rng.NextBelow(24);
+  std::string name(length, 'a');
+  for (char& c : name) {
+    c = static_cast<char>('a' + rng.NextBelow(26));
+  }
+  return name;
+}
+
+TEST_P(DirentFuzzTest, MatchesMapReference) {
+  Rng rng(GetParam());
+  const size_t block_size = 512 + rng.NextBelow(4) * 512;  // 512..2048.
+  std::vector<std::byte> block(block_size);
+  DirBlockView view(block);
+  ASSERT_TRUE(view.InitEmpty().ok());
+  std::map<std::string, std::pair<InodeNum, FileType>> reference;
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t action = rng.NextBelow(100);
+    if (action < 50) {
+      // Insert a (probably fresh) name.
+      const std::string name = RandomName(rng);
+      const InodeNum ino = static_cast<InodeNum>(1 + rng.NextBelow(10000));
+      const FileType type = rng.NextBool(0.3) ? FileType::kDirectory : FileType::kRegular;
+      Status inserted = view.Insert(ino, type, name);
+      if (reference.contains(name)) {
+        ASSERT_EQ(inserted.code(), ErrorCode::kExists) << name;
+      } else if (inserted.ok()) {
+        reference[name] = {ino, type};
+      } else {
+        ASSERT_EQ(inserted.code(), ErrorCode::kNoSpace) << inserted.ToString();
+      }
+    } else if (action < 80 && !reference.empty()) {
+      // Remove an existing name.
+      auto it = reference.begin();
+      std::advance(it, rng.NextBelow(reference.size()));
+      ASSERT_TRUE(view.Remove(it->first).ok()) << it->first;
+      reference.erase(it);
+    } else if (action < 90 && !reference.empty()) {
+      // Rewrite an entry's inode (the rename-overwrite path).
+      auto it = reference.begin();
+      std::advance(it, rng.NextBelow(reference.size()));
+      const InodeNum ino = static_cast<InodeNum>(1 + rng.NextBelow(10000));
+      ASSERT_TRUE(view.SetInode(it->first, ino, it->second.second).ok());
+      it->second.first = ino;
+    } else {
+      // Remove of a missing name must fail cleanly.
+      EXPECT_EQ(view.Remove("definitely-not-here-" + std::to_string(step)).code(),
+                ErrorCode::kNotFound);
+    }
+
+    // Invariants after every step.
+    ASSERT_TRUE(view.Validate().ok()) << "step " << step;
+    auto listing = view.List();
+    ASSERT_TRUE(listing.ok());
+    ASSERT_EQ(listing->size(), reference.size()) << "step " << step;
+    for (const DirEntry& entry : *listing) {
+      auto it = reference.find(entry.name);
+      ASSERT_NE(it, reference.end()) << entry.name;
+      EXPECT_EQ(entry.ino, it->second.first);
+      EXPECT_EQ(entry.type, it->second.second);
+    }
+    auto empty = view.Empty();
+    ASSERT_TRUE(empty.ok());
+    EXPECT_EQ(*empty, reference.empty());
+  }
+  // Spot-check Find for every surviving name.
+  for (const auto& [name, value] : reference) {
+    auto found = view.Find(name);
+    ASSERT_TRUE(found.ok()) << name;
+    EXPECT_EQ(found->ino, value.first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirentFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace logfs

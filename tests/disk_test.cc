@@ -1,0 +1,289 @@
+// Unit tests for the simulated block-device stack: MemoryDisk timing and
+// stats, FaultInjectingDisk crash semantics, TracingDisk records.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/disk/fault_disk.h"
+#include "src/disk/memory_disk.h"
+#include "src/disk/striped_disk.h"
+#include "src/disk/tracing_disk.h"
+#include "src/fsbase/path.h"
+#include "src/lfs/lfs_file_system.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+namespace {
+
+std::vector<std::byte> Pattern(size_t bytes, uint8_t seed) {
+  std::vector<std::byte> data(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::byte>(seed + i);
+  }
+  return data;
+}
+
+TEST(DiskModelTest, SequentialAccessHasNoPositioningCost) {
+  DiskModel model(DiskModelParams{}, 1 << 20);
+  EXPECT_DOUBLE_EQ(model.PositioningSeconds(100, 100), 0.0);
+  EXPECT_GT(model.PositioningSeconds(101, 100), 0.0);
+}
+
+TEST(DiskModelTest, LongerSeeksCostMore) {
+  DiskModel model(DiskModelParams{}, 1 << 20);
+  const double near = model.PositioningSeconds(1000, 0);
+  const double far = model.PositioningSeconds(900000, 0);
+  EXPECT_LT(near, far);
+}
+
+TEST(DiskModelTest, TransferScalesWithSize) {
+  DiskModel model(DiskModelParams{}, 1 << 20);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(8), 4.0 * model.TransferSeconds(2));
+}
+
+TEST(DiskModelTest, BandwidthMatchesWrenIv) {
+  DiskModel model(DiskModelParams{}, 1 << 20);
+  // 1 MB transfer at 1.3 MB/s takes ~0.79 s.
+  const double t = model.TransferSeconds((1 << 20) / kSectorSize);
+  EXPECT_NEAR(t, (1 << 20) / 1.3e6, 1e-6);
+}
+
+TEST(MemoryDiskTest, ReadBackWritten) {
+  SimClock clock;
+  MemoryDisk disk(1024, &clock);
+  auto data = Pattern(3 * kSectorSize, 7);
+  ASSERT_TRUE(disk.WriteSectors(10, data).ok());
+  std::vector<std::byte> out(3 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(10, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemoryDiskTest, UnwrittenSectorsReadZero) {
+  SimClock clock;
+  MemoryDisk disk(64, &clock);
+  std::vector<std::byte> out(kSectorSize, std::byte{0xEE});
+  ASSERT_TRUE(disk.ReadSectors(5, out).ok());
+  for (std::byte b : out) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(MemoryDiskTest, RejectsBadExtents) {
+  SimClock clock;
+  MemoryDisk disk(16, &clock);
+  std::vector<std::byte> buffer(kSectorSize);
+  EXPECT_EQ(disk.ReadSectors(16, buffer).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(disk.WriteSectors(15, Pattern(2 * kSectorSize, 1)).code(), ErrorCode::kOutOfRange);
+  std::vector<std::byte> odd(100);
+  EXPECT_EQ(disk.ReadSectors(0, odd).code(), ErrorCode::kInvalidArgument);
+  std::vector<std::byte> empty;
+  EXPECT_EQ(disk.ReadSectors(0, empty).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MemoryDiskTest, ClockAdvancesWithIo) {
+  SimClock clock;
+  MemoryDisk disk(1 << 16, &clock);
+  ASSERT_TRUE(disk.WriteSectors(1000, Pattern(kSectorSize, 0)).ok());
+  const double after_random = clock.Now();
+  EXPECT_GT(after_random, 0.0);
+  // Sequential continuation is much cheaper than the seek was.
+  ASSERT_TRUE(disk.WriteSectors(1001, Pattern(kSectorSize, 0)).ok());
+  const double sequential_cost = clock.Now() - after_random;
+  EXPECT_LT(sequential_cost, after_random / 10);
+}
+
+TEST(MemoryDiskTest, StatsTrackOpsAndSeeks) {
+  SimClock clock;
+  MemoryDisk disk(1 << 16, &clock);
+  ASSERT_TRUE(disk.WriteSectors(100, Pattern(2 * kSectorSize, 0),
+                                IoOptions{.synchronous = true}).ok());
+  ASSERT_TRUE(disk.WriteSectors(102, Pattern(kSectorSize, 0)).ok());
+  std::vector<std::byte> out(kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(5000, out).ok());
+  const DiskStats& stats = disk.stats();
+  EXPECT_EQ(stats.write_ops, 2u);
+  EXPECT_EQ(stats.read_ops, 1u);
+  EXPECT_EQ(stats.sync_writes, 1u);
+  EXPECT_EQ(stats.sectors_written, 3u);
+  EXPECT_EQ(stats.sectors_read, 1u);
+  EXPECT_EQ(stats.seeks, 2u);           // First write and the read.
+  EXPECT_EQ(stats.sequential_ops, 1u);  // Second write continued at head.
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().write_ops, 0u);
+}
+
+TEST(MemoryDiskTest, LargeSequentialBeatsSmallRandomByOrderOfMagnitude) {
+  // The core premise of the paper (Section 2.3): sequential I/O uses the
+  // disk an order of magnitude more efficiently than small random I/O.
+  SimClock clock;
+  MemoryDisk disk(1 << 20, &clock);
+  const size_t total_bytes = 1 << 20;
+
+  // 1 MB as one sequential transfer.
+  const double t0 = clock.Now();
+  ASSERT_TRUE(disk.WriteSectors(0, Pattern(total_bytes, 0)).ok());
+  const double seq_time = clock.Now() - t0;
+
+  // 1 MB as 256 scattered 4 KB writes.
+  const double t1 = clock.Now();
+  auto chunk = Pattern(4096, 0);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(disk.WriteSectors(((i * 2654435761u) % 100000) * 8, chunk).ok());
+  }
+  const double random_time = clock.Now() - t1;
+  EXPECT_GT(random_time, 8 * seq_time);
+}
+
+TEST(FaultDiskTest, CrashAfterNWrites) {
+  SimClock clock;
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.CrashAfterWrites(2);
+  ASSERT_TRUE(disk.WriteSectors(0, Pattern(kSectorSize, 1)).ok());
+  ASSERT_TRUE(disk.WriteSectors(1, Pattern(kSectorSize, 2)).ok());
+  EXPECT_EQ(disk.WriteSectors(2, Pattern(kSectorSize, 3)).code(), ErrorCode::kCrashed);
+  EXPECT_TRUE(disk.crashed());
+  std::vector<std::byte> out(kSectorSize);
+  EXPECT_EQ(disk.ReadSectors(0, out).code(), ErrorCode::kCrashed);
+  // Reboot: data written before the crash survives.
+  disk.Reset();
+  ASSERT_TRUE(disk.ReadSectors(1, out).ok());
+  EXPECT_EQ(out, Pattern(kSectorSize, 2));
+  // The crashed write never reached the medium.
+  ASSERT_TRUE(disk.ReadSectors(2, out).ok());
+  for (std::byte b : out) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(FaultDiskTest, TornWriteKeepsPrefix) {
+  SimClock clock;
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.CrashAfterWrites(0, /*torn_sectors=*/2);
+  auto data = Pattern(4 * kSectorSize, 9);
+  EXPECT_EQ(disk.WriteSectors(0, data).code(), ErrorCode::kCrashed);
+  disk.Reset();
+  std::vector<std::byte> out(4 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(0, out).ok());
+  // First two sectors made it; the rest did not.
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 2 * kSectorSize, data.begin()));
+  for (size_t i = 2 * kSectorSize; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], std::byte{0});
+  }
+}
+
+TEST(FaultDiskTest, CrashNowStopsEverything) {
+  SimClock clock;
+  MemoryDisk inner(64, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.CrashNow();
+  EXPECT_EQ(disk.Flush().code(), ErrorCode::kCrashed);
+}
+
+TEST(TracingDiskTest, RecordsRequests) {
+  SimClock clock;
+  MemoryDisk inner(4096, &clock);
+  TracingDisk disk(&inner, &clock);
+  ASSERT_TRUE(disk.WriteSectors(0, Pattern(2 * kSectorSize, 0),
+                                IoOptions{.synchronous = true}).ok());
+  ASSERT_TRUE(disk.WriteSectors(2, Pattern(kSectorSize, 0)).ok());
+  ASSERT_TRUE(disk.WriteSectors(100, Pattern(kSectorSize, 0)).ok());
+  std::vector<std::byte> out(kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(0, out).ok());
+
+  ASSERT_EQ(disk.trace().size(), 4u);
+  EXPECT_EQ(disk.WriteRequestCount(), 3u);
+  EXPECT_EQ(disk.SyncWriteRequestCount(), 1u);
+  // Second write continued at sector 2 (sequential); writes 1 and 3 did not.
+  EXPECT_EQ(disk.NonSequentialWriteCount(), 2u);
+  EXPECT_TRUE(disk.trace()[1].sequential);
+  EXPECT_FALSE(disk.trace()[2].sequential);
+  disk.ClearTrace();
+  EXPECT_TRUE(disk.trace().empty());
+}
+
+TEST(StripedDiskTest, ReadBackAcrossStripeBoundaries) {
+  SimClock clock;
+  StripedDisk array(4, 1024, /*stripe_sectors=*/8, &clock);
+  EXPECT_EQ(array.sector_count(), 4096u);
+  // A write spanning several stripes round-trips bit-exactly.
+  auto data = Pattern(40 * kSectorSize, 3);
+  ASSERT_TRUE(array.WriteSectors(5, data).ok());
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(array.ReadSectors(5, out).ok());
+  EXPECT_EQ(out, data);
+  // Unwritten regions read zero.
+  std::vector<std::byte> hole(kSectorSize);
+  ASSERT_TRUE(array.ReadSectors(2000, hole).ok());
+  for (std::byte b : hole) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(StripedDiskTest, RejectsBadExtents) {
+  SimClock clock;
+  StripedDisk array(2, 64, 8, &clock);
+  std::vector<std::byte> buffer(kSectorSize);
+  EXPECT_EQ(array.ReadSectors(128, buffer).code(), ErrorCode::kOutOfRange);
+  std::vector<std::byte> odd(100);
+  EXPECT_EQ(array.ReadSectors(0, odd).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(StripedDiskTest, SequentialBandwidthScalesWithMembers) {
+  // The paper's Section 2.1 asymmetry: arrays raise bandwidth, not access
+  // time. A large transfer must finish ~N times faster on N members.
+  auto time_large_write = [](uint32_t members) {
+    SimClock clock;
+    StripedDisk array(members, 1 << 16, /*stripe_sectors=*/128, &clock);
+    std::vector<std::byte> data(4 << 20, std::byte{0x11});
+    (void)array.WriteSectors(0, data);
+    return clock.Now();
+  };
+  const double one = time_large_write(1);
+  const double four = time_large_write(4);
+  EXPECT_GT(one / four, 3.0);
+  EXPECT_LT(one / four, 5.0);
+}
+
+TEST(StripedDiskTest, SmallAccessLatencyDoesNotImprove) {
+  auto time_small_random_ops = [](uint32_t members) {
+    SimClock clock;
+    StripedDisk array(members, 1 << 16, /*stripe_sectors=*/128, &clock);
+    std::vector<std::byte> sector(kSectorSize, std::byte{0x22});
+    for (int i = 0; i < 50; ++i) {
+      (void)array.WriteSectors((i * 7919) % (1 << 15), sector);
+    }
+    return clock.Now();
+  };
+  const double one = time_small_random_ops(1);
+  const double four = time_small_random_ops(4);
+  // Small scattered accesses gain little from the array (each op still pays
+  // a full positioning delay on some member).
+  EXPECT_GT(four, one * 0.5);
+}
+
+TEST(StripedDiskTest, LfsRunsOnAnArray) {
+  // The whole file system stack works unchanged on RAID-0, and its large
+  // sequential segment writes are what actually harvests the array's
+  // bandwidth.
+  SimClock clock;
+  StripedDisk array(4, 32768, /*stripe_sectors=*/256, &clock);
+  LfsParams params;
+  params.max_inodes = 2048;
+  ASSERT_TRUE(LfsFileSystem::Format(&array, params).ok());
+  auto fs = LfsFileSystem::Mount(&array, &clock, nullptr);
+  ASSERT_TRUE(fs.ok());
+  PathFs paths(fs->get());
+  auto data = Pattern(1 << 20, 9);
+  ASSERT_TRUE(paths.WriteFile("/striped", data).ok());
+  ASSERT_TRUE((*fs)->Sync().ok());
+  ASSERT_TRUE((*fs)->DropCaches().ok());
+  auto back = paths.ReadFile("/striped");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,233 @@
+// Model-based property test: a random operation sequence is applied both to
+// a trivial in-memory reference model and to the real file system; after
+// every few steps the observable state (directory trees, file contents,
+// stat sizes) must match. Runs against both FFS and LFS, with periodic
+// Sync/DropCaches/Tick/remount shuffles so the on-disk paths are exercised,
+// and (for LFS) ends with a full consistency check.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/ffs/ffs_check.h"
+#include "src/lfs/lfs_check.h"
+#include "src/util/rng.h"
+#include "tests/fs_fixture.h"
+
+namespace logfs {
+namespace {
+
+// Reference model: paths to contents; directories are a set of paths.
+struct Model {
+  std::map<std::string, std::vector<std::byte>> files;
+  std::set<std::string> dirs;  // Without trailing slash; root implied.
+
+  bool DirExists(const std::string& path) const {
+    return path == "" || dirs.contains(path);
+  }
+  bool HasChildren(const std::string& path) const {
+    const std::string prefix = path + "/";
+    for (const auto& [file, _] : files) {
+      if (file.starts_with(prefix)) {
+        return true;
+      }
+    }
+    for (const auto& dir : dirs) {
+      if (dir.starts_with(prefix)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+template <typename Instance>
+class PropertyHarness {
+ public:
+  explicit PropertyHarness(uint64_t seed) : rng_(seed) {}
+
+  void Run(int steps) {
+    for (int step = 0; step < steps; ++step) {
+      Step(step);
+      if (step % 16 == 15) {
+        VerifyAll();
+      }
+      if (rng_.NextBool(0.05)) {
+        ASSERT_TRUE(inst_.fs->Sync().ok());
+      }
+      if (rng_.NextBool(0.05)) {
+        ASSERT_TRUE(inst_.fs->DropCaches().ok());
+      }
+      if (rng_.NextBool(0.1)) {
+        inst_.clock->Advance(rng_.NextDouble() * 40.0);
+        ASSERT_TRUE(inst_.fs->Tick().ok());
+      }
+    }
+    VerifyAll();
+    FinalCheck();
+  }
+
+ private:
+  std::string PickDir() {
+    if (model_.dirs.empty() || rng_.NextBool(0.4)) {
+      return "";
+    }
+    auto it = model_.dirs.begin();
+    std::advance(it, rng_.NextBelow(model_.dirs.size()));
+    return *it;
+  }
+
+  std::string PickFile() {
+    if (model_.files.empty()) {
+      return "";
+    }
+    auto it = model_.files.begin();
+    std::advance(it, rng_.NextBelow(model_.files.size()));
+    return it->first;
+  }
+
+  void Step(int step) {
+    const uint64_t action = rng_.NextBelow(100);
+    if (action < 30) {  // Create/overwrite a file.
+      const std::string dir = PickDir();
+      const std::string path = dir + "/file" + std::to_string(rng_.NextBelow(40));
+      const size_t size = rng_.NextBelow(30000);
+      auto data = TestBytes(size, step);
+      ASSERT_TRUE(inst_.paths->WriteFile(path, data).ok()) << path;
+      model_.files[path] = data;
+    } else if (action < 45) {  // Append.
+      const std::string path = PickFile();
+      if (path.empty()) {
+        return;
+      }
+      auto data = TestBytes(rng_.NextBelow(8000), step + 1000);
+      ASSERT_TRUE(inst_.paths->AppendFile(path, data).ok()) << path;
+      auto& content = model_.files[path];
+      content.insert(content.end(), data.begin(), data.end());
+    } else if (action < 55) {  // Random in-place patch.
+      const std::string path = PickFile();
+      if (path.empty() || model_.files[path].empty()) {
+        return;
+      }
+      auto& content = model_.files[path];
+      const uint64_t offset = rng_.NextBelow(content.size());
+      const size_t len = 1 + rng_.NextBelow(5000);
+      auto patch = TestBytes(len, step + 2000);
+      auto ino = inst_.paths->Resolve(path);
+      ASSERT_TRUE(ino.ok());
+      ASSERT_TRUE(inst_.fs->Write(*ino, offset, patch).ok());
+      if (offset + len > content.size()) {
+        content.resize(offset + len);
+      }
+      std::copy(patch.begin(), patch.end(), content.begin() + offset);
+    } else if (action < 65) {  // Delete a file.
+      const std::string path = PickFile();
+      if (path.empty()) {
+        return;
+      }
+      ASSERT_TRUE(inst_.paths->Unlink(path).ok()) << path;
+      model_.files.erase(path);
+    } else if (action < 75) {  // Truncate.
+      const std::string path = PickFile();
+      if (path.empty()) {
+        return;
+      }
+      auto& content = model_.files[path];
+      const uint64_t new_size = rng_.NextBelow(40000);
+      auto ino = inst_.paths->Resolve(path);
+      ASSERT_TRUE(ino.ok());
+      ASSERT_TRUE(inst_.fs->Truncate(*ino, new_size).ok());
+      content.resize(new_size, std::byte{0});
+    } else if (action < 85) {  // Mkdir.
+      const std::string dir = PickDir();
+      const std::string path = dir + "/dir" + std::to_string(rng_.NextBelow(12));
+      if (model_.dirs.contains(path) || model_.files.contains(path)) {
+        return;
+      }
+      ASSERT_TRUE(inst_.paths->Mkdir(path).ok()) << path;
+      model_.dirs.insert(path);
+    } else if (action < 92) {  // Rmdir (only empty ones).
+      if (model_.dirs.empty()) {
+        return;
+      }
+      auto it = model_.dirs.begin();
+      std::advance(it, rng_.NextBelow(model_.dirs.size()));
+      const std::string path = *it;
+      if (model_.HasChildren(path)) {
+        EXPECT_EQ(inst_.paths->Rmdir(path).code(), ErrorCode::kNotEmpty) << path;
+        return;
+      }
+      ASSERT_TRUE(inst_.paths->Rmdir(path).ok()) << path;
+      model_.dirs.erase(path);
+    } else {  // Rename a file.
+      const std::string from = PickFile();
+      if (from.empty()) {
+        return;
+      }
+      const std::string to_dir = PickDir();
+      if (!model_.DirExists(to_dir)) {
+        return;
+      }
+      const std::string to = to_dir + "/renamed" + std::to_string(rng_.NextBelow(20));
+      if (model_.dirs.contains(to) || to == from) {
+        return;
+      }
+      ASSERT_TRUE(inst_.paths->Rename(from, to).ok()) << from << " -> " << to;
+      model_.files[to] = model_.files[from];
+      model_.files.erase(from);
+    }
+  }
+
+  void VerifyAll() {
+    for (const auto& [path, expected] : model_.files) {
+      auto back = inst_.paths->ReadFile(path);
+      ASSERT_TRUE(back.ok()) << path << ": " << back.status().ToString();
+      ASSERT_EQ(*back, expected) << path;
+      auto stat = inst_.paths->Stat(path);
+      ASSERT_TRUE(stat.ok());
+      ASSERT_EQ(stat->size, expected.size()) << path;
+    }
+    for (const auto& dir : model_.dirs) {
+      auto stat = inst_.paths->Stat(dir);
+      ASSERT_TRUE(stat.ok()) << dir;
+      ASSERT_EQ(stat->type, FileType::kDirectory) << dir;
+    }
+  }
+
+  void FinalCheck() {
+    if constexpr (std::is_same_v<Instance, LfsInstance>) {
+      LfsChecker checker(inst_.fs.get());
+      auto report = checker.Check();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->ok()) << report->Summary();
+    } else {
+      FfsChecker checker(inst_.fs.get());
+      auto report = checker.Check();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->ok()) << report->Summary();
+    }
+  }
+
+  Rng rng_;
+  Instance inst_;
+  Model model_;
+};
+
+class FfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+class LfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FfsPropertyTest, RandomOpsMatchModel) {
+  PropertyHarness<FfsInstance> harness(GetParam());
+  harness.Run(250);
+}
+
+TEST_P(LfsPropertyTest, RandomOpsMatchModel) {
+  PropertyHarness<LfsInstance> harness(GetParam());
+  harness.Run(250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FfsPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+INSTANTIATE_TEST_SUITE_P(Seeds, LfsPropertyTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,233 @@
+// Unit tests for the shared file-system layer: inode codec, block-map
+// geometry, directory block format, path utilities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fsbase/dirent.h"
+#include "src/fsbase/inode.h"
+#include "src/fsbase/path.h"
+
+namespace logfs {
+namespace {
+
+TEST(InodeCodecTest, RoundTrip) {
+  Inode inode;
+  inode.type = FileType::kRegular;
+  inode.mode = 0755;
+  inode.nlink = 3;
+  inode.uid = 100;
+  inode.gid = 200;
+  inode.size = 123456789;
+  inode.atime = 1.25;
+  inode.mtime = 2.5;
+  inode.ctime = 3.75;
+  inode.generation = 42;
+  for (size_t i = 0; i < kNumDirect; ++i) {
+    inode.direct[i] = i * 1000 + 1;
+  }
+  inode.single_indirect = 777777;
+  inode.double_indirect = kNoAddr;
+
+  std::vector<std::byte> slot(kInodeDiskSize);
+  ASSERT_TRUE(EncodeInode(inode, slot).ok());
+  auto decoded = DecodeInode(slot);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, FileType::kRegular);
+  EXPECT_EQ(decoded->mode, 0755);
+  EXPECT_EQ(decoded->nlink, 3);
+  EXPECT_EQ(decoded->uid, 100u);
+  EXPECT_EQ(decoded->gid, 200u);
+  EXPECT_EQ(decoded->size, 123456789u);
+  EXPECT_DOUBLE_EQ(decoded->atime, 1.25);
+  EXPECT_DOUBLE_EQ(decoded->mtime, 2.5);
+  EXPECT_DOUBLE_EQ(decoded->ctime, 3.75);
+  EXPECT_EQ(decoded->generation, 42u);
+  EXPECT_EQ(decoded->direct, inode.direct);
+  EXPECT_EQ(decoded->single_indirect, 777777u);
+  EXPECT_EQ(decoded->double_indirect, kNoAddr);
+}
+
+TEST(InodeCodecTest, RejectsGarbage) {
+  std::vector<std::byte> slot(kInodeDiskSize, std::byte{0});
+  EXPECT_FALSE(DecodeInode(slot).ok());
+  slot.assign(kInodeDiskSize, std::byte{0xFF});
+  EXPECT_FALSE(DecodeInode(slot).ok());
+  std::vector<std::byte> small(10);
+  EXPECT_FALSE(DecodeInode(small).ok());
+}
+
+TEST(BlockMapTest, DirectRange) {
+  for (uint64_t i = 0; i < kNumDirect; ++i) {
+    auto loc = ResolveBlockIndex(i, 512);
+    ASSERT_TRUE(loc.ok());
+    EXPECT_EQ(loc->level, BlockLocation::Level::kDirect);
+    EXPECT_EQ(loc->direct_index, i);
+  }
+}
+
+TEST(BlockMapTest, SingleIndirectRange) {
+  auto loc = ResolveBlockIndex(kNumDirect, 512);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->level, BlockLocation::Level::kSingleIndirect);
+  EXPECT_EQ(loc->l1_index, 0u);
+  loc = ResolveBlockIndex(kNumDirect + 511, 512);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->level, BlockLocation::Level::kSingleIndirect);
+  EXPECT_EQ(loc->l1_index, 511u);
+}
+
+TEST(BlockMapTest, DoubleIndirectRange) {
+  const uint64_t base = kNumDirect + 512;
+  auto loc = ResolveBlockIndex(base, 512);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->level, BlockLocation::Level::kDoubleIndirect);
+  EXPECT_EQ(loc->l1_index, 0u);
+  EXPECT_EQ(loc->l2_index, 0u);
+  loc = ResolveBlockIndex(base + 512 * 300 + 77, 512);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->l1_index, 300u);
+  EXPECT_EQ(loc->l2_index, 77u);
+}
+
+TEST(BlockMapTest, BeyondDoubleIndirectFails) {
+  const uint64_t max = MaxFileBlocks(512);
+  EXPECT_TRUE(ResolveBlockIndex(max - 1, 512).ok());
+  EXPECT_EQ(ResolveBlockIndex(max, 512).status().code(), ErrorCode::kTooLarge);
+}
+
+TEST(BlockMapTest, MaxFileBlocksFormula) {
+  EXPECT_EQ(MaxFileBlocks(512), kNumDirect + 512 + 512 * 512);
+}
+
+TEST(IndirectEntryTest, ZeroEncodesHole) {
+  std::vector<std::byte> block(4096, std::byte{0});
+  EXPECT_EQ(ReadIndirectEntry(block, 0), kNoAddr);
+  WriteIndirectEntry(block, 3, 12345);
+  EXPECT_EQ(ReadIndirectEntry(block, 3), 12345u);
+  WriteIndirectEntry(block, 3, kNoAddr);
+  EXPECT_EQ(ReadIndirectEntry(block, 3), kNoAddr);
+}
+
+class DirBlockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    block_.assign(1024, std::byte{0xCD});
+    view_ = std::make_unique<DirBlockView>(std::span<std::byte>(block_));
+    ASSERT_TRUE(view_->InitEmpty().ok());
+  }
+  std::vector<std::byte> block_;
+  std::unique_ptr<DirBlockView> view_;
+};
+
+TEST_F(DirBlockTest, EmptyAfterInit) {
+  ASSERT_TRUE(view_->Validate().ok());
+  auto empty = view_->Empty();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(*empty);
+  EXPECT_EQ(view_->Find("anything").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DirBlockTest, InsertAndFind) {
+  ASSERT_TRUE(view_->Insert(10, FileType::kRegular, "hello.txt").ok());
+  auto entry = view_->Find("hello.txt");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->ino, 10u);
+  EXPECT_EQ(entry->type, FileType::kRegular);
+  EXPECT_EQ(entry->name, "hello.txt");
+}
+
+TEST_F(DirBlockTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(view_->Insert(10, FileType::kRegular, "a").ok());
+  EXPECT_EQ(view_->Insert(11, FileType::kRegular, "a").code(), ErrorCode::kExists);
+}
+
+TEST_F(DirBlockTest, EmptyAndOverlongNamesRejected) {
+  EXPECT_EQ(view_->Insert(1, FileType::kRegular, "").code(), ErrorCode::kInvalidArgument);
+  std::string long_name(kMaxNameLen + 1, 'x');
+  EXPECT_EQ(view_->Insert(1, FileType::kRegular, long_name).code(), ErrorCode::kNameTooLong);
+}
+
+TEST_F(DirBlockTest, RemoveThenReinsert) {
+  ASSERT_TRUE(view_->Insert(1, FileType::kRegular, "a").ok());
+  ASSERT_TRUE(view_->Insert(2, FileType::kRegular, "b").ok());
+  ASSERT_TRUE(view_->Insert(3, FileType::kRegular, "c").ok());
+  ASSERT_TRUE(view_->Remove("b").ok());
+  EXPECT_EQ(view_->Find("b").status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(view_->Validate().ok());
+  // The freed space is reusable.
+  ASSERT_TRUE(view_->Insert(4, FileType::kDirectory, "bb").ok());
+  auto listing = view_->List();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 3u);
+}
+
+TEST_F(DirBlockTest, RemoveFirstRecordLeavesHole) {
+  ASSERT_TRUE(view_->Insert(1, FileType::kRegular, "first").ok());
+  ASSERT_TRUE(view_->Insert(2, FileType::kRegular, "second").ok());
+  ASSERT_TRUE(view_->Remove("first").ok());
+  ASSERT_TRUE(view_->Validate().ok());
+  EXPECT_TRUE(view_->Find("second").ok());
+  ASSERT_TRUE(view_->Insert(3, FileType::kRegular, "third").ok());
+  EXPECT_TRUE(view_->Find("third").ok());
+}
+
+TEST_F(DirBlockTest, FillsUntilNoSpace) {
+  int inserted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "file_" + std::to_string(i);
+    Status status = view_->Insert(static_cast<InodeNum>(i + 1), FileType::kRegular, name);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), ErrorCode::kNoSpace);
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 20);  // 1024-byte block should hold dozens of entries.
+  auto listing = view_->List();
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(static_cast<int>(listing->size()), inserted);
+  // Every inserted entry findable.
+  for (int i = 0; i < inserted; ++i) {
+    EXPECT_TRUE(view_->Find("file_" + std::to_string(i)).ok());
+  }
+}
+
+TEST_F(DirBlockTest, SetInodeRewritesEntry) {
+  ASSERT_TRUE(view_->Insert(5, FileType::kRegular, "victim").ok());
+  ASSERT_TRUE(view_->SetInode("victim", 9, FileType::kDirectory).ok());
+  auto entry = view_->Find("victim");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->ino, 9u);
+  EXPECT_EQ(entry->type, FileType::kDirectory);
+}
+
+TEST_F(DirBlockTest, ValidateRejectsCorruptReclen) {
+  ASSERT_TRUE(view_->Insert(1, FileType::kRegular, "x").ok());
+  block_[8] = std::byte{3};  // reclen low byte: unaligned, too small.
+  block_[9] = std::byte{0};
+  EXPECT_FALSE(view_->Validate().ok());
+}
+
+TEST(DirRecordSizeTest, AlignsToFour) {
+  EXPECT_EQ(DirRecordSize(0) % 4, 0u);
+  EXPECT_EQ(DirRecordSize(1), DirRecordSize(3));
+  EXPECT_LT(DirRecordSize(1), DirRecordSize(4));
+}
+
+TEST(SplitPathTest, Basics) {
+  EXPECT_EQ(SplitPath("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitPath("a/b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath("//a///b//"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("").empty());
+}
+
+TEST(SplitPathTest, DotsHandling) {
+  EXPECT_EQ(SplitPath("/a/./b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath("/a/../b"), (std::vector<std::string>{"a", "..", "b"}));
+  EXPECT_EQ(SplitPath("."), std::vector<std::string>{});
+}
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,172 @@
+// Segment-cleaner tests: liveness identification, compaction, greedy victim
+// selection, checkpoint commit of cleaned segments, invariants under load.
+#include <gtest/gtest.h>
+
+#include "src/lfs/lfs_check.h"
+#include "tests/fs_fixture.h"
+
+namespace logfs {
+namespace {
+
+Status ExpectClean(LfsFileSystem* fs) {
+  LfsChecker checker(fs);
+  ASSIGN_OR_RETURN(LfsCheckReport report, checker.Check());
+  if (!report.ok()) {
+    return CorruptedError(report.Summary());
+  }
+  return OkStatus();
+}
+
+// Fills the log with 1 KB files, then deletes a fraction, leaving
+// fragmented segments — the paper's Figure 5 setup.
+Status MakeFragmentation(LfsInstance& inst, int total_files, int delete_every_nth) {
+  for (int i = 0; i < total_files; ++i) {
+    RETURN_IF_ERROR(
+        inst.paths->WriteFile("/frag" + std::to_string(i), TestBytes(1024, i)));
+    if (i % 64 == 63) {
+      RETURN_IF_ERROR(inst.fs->Sync());
+    }
+  }
+  RETURN_IF_ERROR(inst.fs->Sync());
+  for (int i = 0; i < total_files; i += delete_every_nth) {
+    RETURN_IF_ERROR(inst.paths->Unlink("/frag" + std::to_string(i)));
+  }
+  return inst.fs->Sync();
+}
+
+TEST(LfsCleanerTest, CleaningFullyDeadSegmentsIsFree) {
+  LfsInstance inst;
+  // Create and delete everything: segments become fully dead.
+  ASSERT_TRUE(MakeFragmentation(inst, 2000, 1).ok());
+  const uint32_t clean_before = inst.fs->CleanSegmentCount();
+  auto cleaned = inst.fs->CleanNow(64);
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_GT(*cleaned, 0u);
+  EXPECT_GT(inst.fs->CleanSegmentCount(), clean_before);
+  // Nothing live was copied out of fully dead data segments beyond metadata.
+  EXPECT_TRUE(ExpectClean(inst.fs.get()).ok());
+}
+
+TEST(LfsCleanerTest, LiveDataSurvivesCleaning) {
+  LfsInstance inst;
+  ASSERT_TRUE(MakeFragmentation(inst, 1500, 2).ok());  // Half the files survive.
+  auto cleaned = inst.fs->CleanNow(32);
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_GT(*cleaned, 0u);
+  EXPECT_GT(inst.fs->cleaner_stats().live_blocks_copied, 0u);
+  // Every surviving file is intact.
+  for (int i = 1; i < 1500; i += 2) {
+    auto back = inst.paths->ReadFile("/frag" + std::to_string(i));
+    ASSERT_TRUE(back.ok()) << i;
+    ASSERT_EQ(*back, TestBytes(1024, i)) << i;
+  }
+  EXPECT_TRUE(ExpectClean(inst.fs.get()).ok());
+}
+
+TEST(LfsCleanerTest, CleanedSegmentsHaveZeroLiveBytes) {
+  LfsInstance inst;
+  ASSERT_TRUE(MakeFragmentation(inst, 1000, 3).ok());
+  auto cleaned = inst.fs->CleanNow(16);
+  ASSERT_TRUE(cleaned.ok());
+  for (uint32_t seg = 0; seg < inst.fs->superblock().num_segments; ++seg) {
+    if (inst.fs->usage().Get(seg).state == SegState::kClean) {
+      EXPECT_EQ(inst.fs->usage().Get(seg).live_bytes, 0u) << "segment " << seg;
+    }
+  }
+}
+
+TEST(LfsCleanerTest, GreedyPolicyPicksLeastUtilizedFirst) {
+  LfsInstance inst;
+  ASSERT_TRUE(MakeFragmentation(inst, 1500, 2).ok());
+  // Find the least-utilized dirty segment before cleaning.
+  uint32_t min_live = UINT32_MAX;
+  for (uint32_t seg = 0; seg < inst.fs->superblock().num_segments; ++seg) {
+    const SegUsage& usage = inst.fs->usage().Get(seg);
+    if (usage.state == SegState::kDirty) {
+      min_live = std::min(min_live, usage.live_bytes);
+    }
+  }
+  auto cleaned = inst.fs->CleanNow(1);
+  ASSERT_TRUE(cleaned.ok());
+  ASSERT_EQ(*cleaned, 1u);
+  // After cleaning one victim, no remaining dirty segment can be *less*
+  // utilized than the victim was (greedy picked the minimum).
+  for (uint32_t seg = 0; seg < inst.fs->superblock().num_segments; ++seg) {
+    const SegUsage& usage = inst.fs->usage().Get(seg);
+    if (usage.state == SegState::kDirty) {
+      EXPECT_GE(usage.live_bytes + 4096, min_live);
+    }
+  }
+}
+
+TEST(LfsCleanerTest, CleaningIsIdempotentWhenNothingToClean) {
+  LfsInstance inst;
+  ASSERT_TRUE(inst.fs->Sync().ok());
+  auto cleaned = inst.fs->CleanNow(8);
+  ASSERT_TRUE(cleaned.ok());
+  // A freshly formatted system has at most metadata-only dirty segments.
+  auto again = inst.fs->CleanNow(8);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(ExpectClean(inst.fs.get()).ok());
+}
+
+TEST(LfsCleanerTest, AutoCleanTriggersViaTick) {
+  LfsParams params = LfsInstance::DefaultParams();
+  params.clean_start_segments = 16;
+  params.clean_stop_segments = 20;
+  // ~40 segments total, so the threshold of 16 clean segments is reachable.
+  LfsInstance inst(40 * 2048 + 8192, params);
+  ASSERT_TRUE(MakeFragmentation(inst, 2000, 2).ok());
+  // Burn down clean segments until Tick's threshold fires. Advancing the
+  // clock past the write-back age makes each round actually hit the disk.
+  const uint64_t passes_before = inst.fs->cleaner_stats().passes;
+  for (int i = 0; i < 120 && inst.fs->cleaner_stats().passes == passes_before; ++i) {
+    // Overwrite a rotating set of 30 files so dead space accumulates and
+    // the log keeps consuming clean segments.
+    ASSERT_TRUE(
+        inst.paths->WriteFile("/more" + std::to_string(i % 30), TestBytes(524288, i)).ok());
+    inst.clock->Advance(31.0);
+    ASSERT_TRUE(inst.fs->Tick().ok());
+  }
+  EXPECT_GT(inst.fs->cleaner_stats().passes, passes_before);
+  EXPECT_TRUE(ExpectClean(inst.fs.get()).ok());
+}
+
+TEST(LfsCleanerTest, RepeatedOverwriteChurnStaysConsistent) {
+  // Steady-state churn on a small disk forces many cleaning passes.
+  LfsParams params = LfsInstance::DefaultParams();
+  LfsInstance inst(32 * 2048 + 4096, params);  // ~16 MB usable.
+  for (int round = 0; round < 30; ++round) {
+    for (int f = 0; f < 8; ++f) {
+      ASSERT_TRUE(inst.paths
+                      ->WriteFile("/churn" + std::to_string(f),
+                                  TestBytes(256 * 1024, round * 10 + f))
+                      .ok())
+          << "round " << round << " file " << f;
+    }
+    inst.clock->Advance(31.0);  // Let the age-based write-back fire.
+    ASSERT_TRUE(inst.fs->Tick().ok());
+  }
+  EXPECT_GT(inst.fs->cleaner_stats().segments_cleaned, 0u);
+  for (int f = 0; f < 8; ++f) {
+    auto back = inst.paths->ReadFile("/churn" + std::to_string(f));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, TestBytes(256 * 1024, 29 * 10 + f));
+  }
+  EXPECT_TRUE(ExpectClean(inst.fs.get()).ok());
+}
+
+TEST(LfsCleanerTest, StatsAccumulate) {
+  LfsInstance inst;
+  ASSERT_TRUE(MakeFragmentation(inst, 1000, 2).ok());
+  auto cleaned = inst.fs->CleanNow(8);
+  ASSERT_TRUE(cleaned.ok());
+  const auto& stats = inst.fs->cleaner_stats();
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.segments_cleaned, *cleaned);
+  EXPECT_EQ(stats.segment_reads, *cleaned);
+  EXPECT_GT(stats.blocks_examined, 0u);
+}
+
+}  // namespace
+}  // namespace logfs

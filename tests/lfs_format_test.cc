@@ -1,0 +1,303 @@
+// Unit tests for LFS on-disk codecs: superblock, checkpoint region, segment
+// summaries, packed inode blocks, meta-log blocks, inode map and segment
+// usage serialization.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/lfs/lfs_blocks.h"
+#include "src/lfs/lfs_format.h"
+#include "src/lfs/lfs_inode_map.h"
+#include "src/lfs/lfs_seg_usage.h"
+#include "src/lfs/lfs_segment.h"
+
+namespace logfs {
+namespace {
+
+constexpr uint32_t kBs = 4096;
+
+TEST(LfsGeometryTest, ComputesSegmentsAndCheckpointRegions) {
+  LfsParams params;
+  auto sb = ComputeLfsGeometry(params, 300 * 2048);  // ~300 MB.
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(sb->block_size, 4096u);
+  EXPECT_EQ(sb->segment_size, 1u << 20);
+  EXPECT_GT(sb->num_segments, 250u);
+  EXPECT_GT(sb->checkpoint_region_blocks, 0u);
+  // Segment area starts after superblock + 2 checkpoint regions.
+  EXPECT_EQ(sb->first_segment_sector,
+            (1 + 2ull * sb->checkpoint_region_blocks) * sb->SectorsPerBlock());
+  // Address mapping round-trips.
+  const uint64_t sector = sb->SegmentBlockSector(7, 13);
+  EXPECT_EQ(sb->SegmentOfSector(sector), 7u);
+}
+
+TEST(LfsGeometryTest, RejectsTinyDevice) {
+  EXPECT_FALSE(ComputeLfsGeometry(LfsParams{}, 2048).ok());
+}
+
+TEST(LfsGeometryTest, RejectsBadParams) {
+  LfsParams params;
+  params.block_size = 1000;
+  EXPECT_FALSE(ComputeLfsGeometry(params, 1 << 20).ok());
+  params = LfsParams{};
+  params.segment_size = 4096;  // Only 1 block per segment.
+  EXPECT_FALSE(ComputeLfsGeometry(params, 1 << 20).ok());
+}
+
+TEST(LfsSuperblockCodecTest, RoundTrip) {
+  auto sb = ComputeLfsGeometry(LfsParams{}, 300 * 2048);
+  ASSERT_TRUE(sb.ok());
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(EncodeLfsSuperblock(*sb, block).ok());
+  auto back = DecodeLfsSuperblock(block);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_segments, sb->num_segments);
+  EXPECT_EQ(back->first_segment_sector, sb->first_segment_sector);
+  EXPECT_EQ(back->checkpoint_region_blocks, sb->checkpoint_region_blocks);
+}
+
+TEST(LfsSuperblockCodecTest, CorruptionDetected) {
+  auto sb = ComputeLfsGeometry(LfsParams{}, 300 * 2048);
+  ASSERT_TRUE(sb.ok());
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(EncodeLfsSuperblock(*sb, block).ok());
+  block[10] ^= std::byte{0xFF};
+  EXPECT_FALSE(DecodeLfsSuperblock(block).ok());
+}
+
+TEST(CheckpointCodecTest, RoundTrip) {
+  CheckpointRecord ckpt;
+  ckpt.sequence = 42;
+  ckpt.timestamp = 123.5;
+  ckpt.next_log_seq = 99;
+  ckpt.tail_segment = 7;
+  ckpt.tail_offset = 200;
+  ckpt.next_ino_hint = 55;
+  ckpt.total_live_bytes = 1 << 20;
+  ckpt.imap_block_addrs = {kNoAddr, 4096, 8192};
+  ckpt.usage_block_addrs = {12288};
+  std::vector<std::byte> region(8192);
+  ASSERT_TRUE(EncodeCheckpoint(ckpt, region).ok());
+  auto back = DecodeCheckpoint(region);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->sequence, 42u);
+  EXPECT_EQ(back->tail_segment, 7u);
+  EXPECT_EQ(back->tail_offset, 200u);
+  EXPECT_EQ(back->imap_block_addrs, ckpt.imap_block_addrs);
+  EXPECT_EQ(back->usage_block_addrs, ckpt.usage_block_addrs);
+}
+
+TEST(CheckpointCodecTest, TornRegionRejected) {
+  CheckpointRecord ckpt;
+  ckpt.sequence = 1;
+  ckpt.imap_block_addrs.assign(100, kNoAddr);
+  std::vector<std::byte> region(8192);
+  ASSERT_TRUE(EncodeCheckpoint(ckpt, region).ok());
+  region[100] ^= std::byte{1};
+  EXPECT_FALSE(DecodeCheckpoint(region).ok());
+  std::vector<std::byte> zeros(8192, std::byte{0});
+  EXPECT_FALSE(DecodeCheckpoint(zeros).ok());
+}
+
+TEST(SummaryCodecTest, RoundTripWithContentCrc) {
+  SegmentSummary summary;
+  summary.seq = 17;
+  summary.timestamp = 2.25;
+  summary.entries = {
+      {BlockKind::kData, 5, 1, 0},
+      {BlockKind::kData, 5, 1, 1},
+      {BlockKind::kInodeBlock, 0, 0, 0},
+  };
+  std::vector<std::byte> content(3 * kBs, std::byte{0x5A});
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(EncodeSummary(summary, block, content).ok());
+
+  auto peek = PeekSummary(block, kBs);
+  ASSERT_TRUE(peek.ok());
+  EXPECT_EQ(peek->seq, 17u);
+  EXPECT_EQ(peek->nblocks, 3u);
+
+  auto back = DecodeSummary(block, content);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->seq, 17u);
+  ASSERT_EQ(back->entries.size(), 3u);
+  EXPECT_EQ(back->entries[0].kind, BlockKind::kData);
+  EXPECT_EQ(back->entries[2].kind, BlockKind::kInodeBlock);
+  EXPECT_EQ(back->entries[1].offset, 1);
+}
+
+TEST(SummaryCodecTest, TornContentDetected) {
+  // The CRC covers the content blocks: flipping a content byte (a torn
+  // write) must invalidate the whole partial segment.
+  SegmentSummary summary;
+  summary.seq = 1;
+  summary.entries = {{BlockKind::kData, 1, 1, 0}};
+  std::vector<std::byte> content(kBs, std::byte{0});
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(EncodeSummary(summary, block, content).ok());
+  content[kBs - 1] = std::byte{0xFF};
+  EXPECT_FALSE(DecodeSummary(block, content).ok());
+}
+
+TEST(SummaryCodecTest, CapacityMatchesFormat) {
+  const size_t capacity = SummaryCapacity(kBs);
+  EXPECT_GT(capacity, 100u);
+  SegmentSummary summary;
+  summary.entries.assign(capacity + 1, SummaryEntry{});
+  std::vector<std::byte> block(kBs);
+  EXPECT_FALSE(EncodeSummary(summary, block, {}).ok());
+}
+
+TEST(InodeBlockCodecTest, RoundTrip) {
+  const size_t capacity = InodesPerLfsBlock(kBs);
+  EXPECT_GE(capacity, 10u);
+  std::vector<PackedInode> inodes(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    inodes[i].ino = static_cast<InodeNum>(i + 10);
+    inodes[i].version = static_cast<uint32_t>(i * 3 + 1);
+    inodes[i].inode.type = FileType::kRegular;
+    inodes[i].inode.size = i * 1000;
+    inodes[i].inode.nlink = 1;
+  }
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(EncodeInodeBlock(inodes, block).ok());
+  auto back = DecodeInodeBlock(block);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    EXPECT_EQ((*back)[i].ino, inodes[i].ino);
+    EXPECT_EQ((*back)[i].version, inodes[i].version);
+    EXPECT_EQ((*back)[i].inode.size, inodes[i].inode.size);
+  }
+}
+
+TEST(InodeBlockCodecTest, RejectsGarbageAndOverflow) {
+  std::vector<std::byte> block(kBs, std::byte{0});
+  EXPECT_FALSE(DecodeInodeBlock(block).ok());
+  std::vector<PackedInode> too_many(InodesPerLfsBlock(kBs) + 1);
+  EXPECT_FALSE(EncodeInodeBlock(too_many, block).ok());
+  EXPECT_FALSE(EncodeInodeBlock({}, block).ok());
+}
+
+TEST(MetaLogCodecTest, RoundTrip) {
+  std::vector<FreeRecord> records = {{5, 2}, {9, 7}, {100, 1}};
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(EncodeMetaLogBlock(records, block).ok());
+  auto back = DecodeMetaLogBlock(block);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[1].ino, 9u);
+  EXPECT_EQ((*back)[1].new_version, 7u);
+}
+
+TEST(InodeMapTest, AllocateFreeVersioning) {
+  InodeMap imap(64, kBs);
+  auto a = imap.Allocate(kRootIno);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, kRootIno);
+  EXPECT_TRUE(imap.Get(*a).allocated);
+  const uint32_t v1 = imap.Get(*a).version;
+  imap.Free(*a);
+  EXPECT_FALSE(imap.Get(*a).allocated);
+  EXPECT_GT(imap.Get(*a).version, v1);
+  // Reallocation bumps again (old blocks must read as dead).
+  auto b = imap.Allocate(kRootIno);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  EXPECT_GT(imap.Get(*b).version, v1 + 1);
+}
+
+TEST(InodeMapTest, AllocationHintAndExhaustion) {
+  InodeMap imap(16, kBs);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(imap.Allocate(8).ok());
+  }
+  EXPECT_EQ(imap.allocated_count(), 16u);
+  EXPECT_EQ(imap.Allocate(1).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST(InodeMapTest, BlockSerializationRoundTrip) {
+  InodeMap imap(400, kBs);
+  ASSERT_TRUE(imap.Allocate(kRootIno).ok());
+  imap.SetLocation(kRootIno, 8192, 3);
+  imap.SetAtime(kRootIno, 7.5);
+  EXPECT_TRUE(imap.BlockDirty(0));
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(imap.EncodeBlock(0, block).ok());
+
+  InodeMap other(400, kBs);
+  ASSERT_TRUE(other.DecodeBlock(0, block).ok());
+  EXPECT_TRUE(other.Get(kRootIno).allocated);
+  EXPECT_EQ(other.Get(kRootIno).block_addr, 8192u);
+  EXPECT_EQ(other.Get(kRootIno).slot, 3);
+  EXPECT_DOUBLE_EQ(other.Get(kRootIno).atime, 7.5);
+  EXPECT_EQ(other.allocated_count(), 1u);
+  EXPECT_FALSE(other.BlockDirty(0));
+}
+
+TEST(SegUsageTest, LiveAccountingAndStates) {
+  SegmentUsageTable usage(16, kBs);
+  EXPECT_EQ(usage.CountState(SegState::kClean), 16u);
+  usage.AddLive(3, 8192);
+  usage.SetState(3, SegState::kDirty);
+  usage.AddLive(3, -4096);
+  EXPECT_EQ(usage.Get(3).live_bytes, 4096u);
+  EXPECT_EQ(usage.TotalLiveBytes(), 4096u);
+  auto clean = usage.PickClean();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, 0u);
+}
+
+TEST(SegUsageTest, VictimSelectionIsGreedy) {
+  SegmentUsageTable usage(8, kBs);
+  usage.SetState(1, SegState::kDirty);
+  usage.SetLive(1, 100);
+  usage.SetState(2, SegState::kDirty);
+  usage.SetLive(2, 50);
+  usage.SetState(3, SegState::kDirty);
+  usage.SetLive(3, 200);
+  usage.SetState(4, SegState::kActive);
+  usage.SetLive(4, 10);  // Active: never a victim.
+  auto victims = usage.PickVictims(2, 1000);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], 2u);
+  EXPECT_EQ(victims[1], 1u);
+  // The live-byte ceiling filters out nearly-full segments.
+  victims = usage.PickVictims(10, 100);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 2u);
+}
+
+TEST(SegUsageTest, PendingCleanCommit) {
+  SegmentUsageTable usage(4, kBs);
+  usage.SetState(1, SegState::kCleanPending);
+  usage.SetLive(1, 123);  // Hint may be stale; commit zeroes it.
+  EXPECT_EQ(usage.PickVictims(4, 1 << 20).size(), 0u);  // Pending not a victim.
+  usage.CommitPendingClean();
+  EXPECT_EQ(usage.Get(1).state, SegState::kClean);
+  EXPECT_EQ(usage.Get(1).live_bytes, 0u);
+}
+
+TEST(SegUsageTest, SerializationRoundTripMapsStates) {
+  SegmentUsageTable usage(8, kBs);
+  usage.SetState(0, SegState::kActive);
+  usage.SetLive(0, 4096);
+  usage.SetState(1, SegState::kDirty);
+  usage.SetLive(1, 999);
+  usage.SetState(2, SegState::kCleanPending);
+  usage.SetWriteSeq(1, 77);
+  std::vector<std::byte> block(kBs);
+  ASSERT_TRUE(usage.EncodeBlock(0, block).ok());
+  SegmentUsageTable other(8, kBs);
+  ASSERT_TRUE(other.DecodeBlock(0, block).ok());
+  // kActive persists as kDirty; kCleanPending reloads as kClean.
+  EXPECT_EQ(other.Get(0).state, SegState::kDirty);
+  EXPECT_EQ(other.Get(1).state, SegState::kDirty);
+  EXPECT_EQ(other.Get(1).live_bytes, 999u);
+  EXPECT_EQ(other.Get(1).last_write_seq, 77u);
+  EXPECT_EQ(other.Get(2).state, SegState::kClean);
+}
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,146 @@
+// Unit tests for SegmentBuilder: address assignment, partial-segment
+// boundaries, deferred-content patching, on-disk layout verified by reading
+// raw sectors back.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/disk/memory_disk.h"
+#include "src/lfs/lfs_segment.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+namespace {
+
+class SegmentBuilderTest : public ::testing::Test {
+ protected:
+  SegmentBuilderTest() : disk_(131072, &clock_) {
+    auto geometry = ComputeLfsGeometry(LfsParams{.max_inodes = 1024}, disk_.sector_count());
+    sb_ = *geometry;
+    builder_ = std::make_unique<SegmentBuilder>(&disk_, sb_);
+  }
+
+  std::vector<std::byte> Block(uint8_t fill) {
+    return std::vector<std::byte>(sb_.block_size, std::byte{fill});
+  }
+
+  SimClock clock_;
+  MemoryDisk disk_;
+  LfsSuperblock sb_;
+  std::unique_ptr<SegmentBuilder> builder_;
+};
+
+TEST_F(SegmentBuilderTest, AddressesAreContiguousAfterSummary) {
+  builder_->StartAt(3, 0);
+  auto a = builder_->Append(BlockKind::kData, 7, 1, 0, Block(0xA1));
+  auto b = builder_->Append(BlockKind::kData, 7, 1, 1, Block(0xA2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Offset 0 is the summary; content starts at offset 1.
+  EXPECT_EQ(*a, sb_.SegmentBlockSector(3, 1));
+  EXPECT_EQ(*b, sb_.SegmentBlockSector(3, 2));
+  EXPECT_EQ(builder_->pending(), 2u);
+  ASSERT_TRUE(builder_->Flush(1, 0.0).ok());
+  EXPECT_EQ(builder_->pending(), 0u);
+  EXPECT_EQ(builder_->next_offset(), 3u);
+}
+
+TEST_F(SegmentBuilderTest, FlushedPartialDecodesFromRawSectors) {
+  builder_->StartAt(0, 0);
+  ASSERT_TRUE(builder_->Append(BlockKind::kData, 9, 4, 17, Block(0x55)).ok());
+  ASSERT_TRUE(builder_->Append(BlockKind::kIndirect, 9, 4, 0, Block(0x66)).ok());
+  ASSERT_TRUE(builder_->Flush(42, 1.5).ok());
+
+  std::vector<std::byte> summary(sb_.block_size);
+  ASSERT_TRUE(disk_.ReadSectors(sb_.SegmentBlockSector(0, 0), summary).ok());
+  auto peek = PeekSummary(summary, sb_.block_size);
+  ASSERT_TRUE(peek.ok());
+  EXPECT_EQ(peek->seq, 42u);
+  EXPECT_EQ(peek->nblocks, 2u);
+  std::vector<std::byte> content(2 * sb_.block_size);
+  ASSERT_TRUE(disk_.ReadSectors(sb_.SegmentBlockSector(0, 1), content).ok());
+  auto decoded = DecodeSummary(summary, content);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->timestamp, 1.5);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].kind, BlockKind::kData);
+  EXPECT_EQ(decoded->entries[0].ino, 9u);
+  EXPECT_EQ(decoded->entries[0].offset, 17);
+  EXPECT_EQ(decoded->entries[1].kind, BlockKind::kIndirect);
+  EXPECT_EQ(content[0], std::byte{0x55});
+  EXPECT_EQ(content[sb_.block_size], std::byte{0x66});
+}
+
+TEST_F(SegmentBuilderTest, CanAppendRespectsSegmentBoundary) {
+  const uint32_t bps = sb_.BlocksPerSegment();
+  // Start two blocks from the end: room for summary + one content block.
+  builder_->StartAt(1, bps - 2);
+  EXPECT_TRUE(builder_->CanAppend());
+  ASSERT_TRUE(builder_->Append(BlockKind::kData, 1, 1, 0, Block(1)).ok());
+  EXPECT_FALSE(builder_->CanAppend());  // Segment is exactly full now.
+  ASSERT_TRUE(builder_->Flush(1, 0.0).ok());
+  EXPECT_FALSE(builder_->SegmentHasRoom());
+}
+
+TEST_F(SegmentBuilderTest, CanAppendRespectsSummaryCapacity) {
+  builder_->StartAt(0, 0);
+  const size_t capacity = SummaryCapacity(sb_.block_size);
+  ASSERT_LT(capacity, sb_.BlocksPerSegment());  // 4 KB blocks: 203 < 256.
+  for (size_t i = 0; i < capacity; ++i) {
+    ASSERT_TRUE(builder_->CanAppend()) << i;
+    ASSERT_TRUE(builder_->Append(BlockKind::kData, 1, 1, static_cast<int64_t>(i),
+                                 Block(static_cast<uint8_t>(i))).ok());
+  }
+  EXPECT_FALSE(builder_->CanAppend());  // Entry table full before the segment.
+  ASSERT_TRUE(builder_->Flush(1, 0.0).ok());
+  EXPECT_TRUE(builder_->SegmentHasRoom());  // But the segment still has space.
+  EXPECT_TRUE(builder_->CanAppend());
+}
+
+TEST_F(SegmentBuilderTest, DeferredContentIsPatchedBeforeFlush) {
+  builder_->StartAt(2, 0);
+  std::span<std::byte> buffer;
+  auto addr = builder_->AppendDeferred(BlockKind::kSegUsage, 0, 0, 0, &buffer);
+  ASSERT_TRUE(addr.ok());
+  // Patch after the append, before the flush.
+  std::memset(buffer.data(), 0xEE, buffer.size());
+  ASSERT_TRUE(builder_->Flush(7, 0.0).ok());
+  std::vector<std::byte> block(sb_.block_size);
+  ASSERT_TRUE(disk_.ReadSectors(*addr, block).ok());
+  EXPECT_EQ(block[0], std::byte{0xEE});
+  EXPECT_EQ(block[sb_.block_size - 1], std::byte{0xEE});
+}
+
+TEST_F(SegmentBuilderTest, EmptyFlushIsANoOp) {
+  builder_->StartAt(5, 10);
+  const uint64_t writes_before = disk_.stats().write_ops;
+  ASSERT_TRUE(builder_->Flush(1, 0.0).ok());
+  EXPECT_EQ(disk_.stats().write_ops, writes_before);
+  EXPECT_EQ(builder_->next_offset(), 10u);
+}
+
+TEST_F(SegmentBuilderTest, MultiplePartialsChainWithinASegment) {
+  builder_->StartAt(4, 0);
+  ASSERT_TRUE(builder_->Append(BlockKind::kData, 1, 1, 0, Block(1)).ok());
+  ASSERT_TRUE(builder_->Flush(10, 0.0).ok());
+  ASSERT_TRUE(builder_->Append(BlockKind::kData, 1, 1, 1, Block(2)).ok());
+  ASSERT_TRUE(builder_->Append(BlockKind::kData, 1, 1, 2, Block(3)).ok());
+  ASSERT_TRUE(builder_->Flush(11, 0.0).ok());
+
+  // Walk the chain the way the cleaner does.
+  std::vector<std::byte> summary(sb_.block_size);
+  uint32_t offset = 0;
+  std::vector<uint64_t> seqs;
+  while (true) {
+    ASSERT_TRUE(disk_.ReadSectors(sb_.SegmentBlockSector(4, offset), summary).ok());
+    auto peek = PeekSummary(summary, sb_.block_size);
+    if (!peek.ok()) {
+      break;
+    }
+    seqs.push_back(peek->seq);
+    offset += 1 + peek->nblocks;
+  }
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{10, 11}));
+}
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,131 @@
+// Soak tests: long-horizon simulated use with automatic cleaning,
+// checkpoints, cache pressure and periodic consistency audits — the
+// paper's closing remark that "the real test of a file system is its
+// performance over months and years of use", compressed into simulated
+// days on a small disk.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/lfs/lfs_check.h"
+#include "src/util/rng.h"
+#include "tests/fs_fixture.h"
+
+namespace logfs {
+namespace {
+
+TEST(LfsSoakTest, DaysOfOfficeChurnStayConsistent) {
+  // ~24 MB disk, heavy churn: the cleaner must run many times.
+  LfsParams params = LfsInstance::DefaultParams();
+  LfsInstance inst(24 * 2048 + 8192, params);
+  Rng rng(2026);
+  std::map<std::string, uint64_t> live;  // Path -> content seed.
+  uint64_t counter = 0;
+  double simulated_end = 0.0;
+
+  for (int hour = 0; hour < 24; ++hour) {
+    for (int op = 0; op < 60; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.45 && !live.empty()) {
+        auto it = live.begin();
+        std::advance(it, rng.NextBelow(live.size()));
+        auto back = inst.paths->ReadFile(it->first);
+        ASSERT_TRUE(back.ok()) << it->first;
+        ASSERT_EQ(*back, TestBytes(back->size(), it->second)) << it->first;
+      } else if (dice < 0.65 && !live.empty()) {
+        auto it = live.begin();
+        std::advance(it, rng.NextBelow(live.size()));
+        ASSERT_TRUE(inst.paths->Unlink(it->first).ok());
+        live.erase(it);
+      } else {
+        const std::string path = "/soak" + std::to_string(counter % 120);
+        const uint64_t seed = ++counter;
+        const size_t size = 512 + rng.NextBelow(60000);
+        ASSERT_TRUE(inst.paths->WriteFile(path, TestBytes(size, seed)).ok())
+            << path << " at hour " << hour;
+        live[path] = seed;
+      }
+      inst.clock->Advance(30.0 + rng.NextDouble() * 60.0);
+      ASSERT_TRUE(inst.fs->Tick().ok());
+    }
+    // Nightly audit.
+    LfsChecker checker(inst.fs.get());
+    auto report = checker.Check(/*verify_data=*/false);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report->ok()) << "hour " << hour << ": " << report->Summary();
+    simulated_end = inst.clock->Now();
+  }
+  // The cleaner must have actually worked for a living.
+  EXPECT_GT(inst.fs->cleaner_stats().segments_cleaned, 10u);
+  EXPECT_GT(inst.fs->checkpoint_count(), 20u);
+  EXPECT_GT(simulated_end, 3600.0 * 20);  // At least ~20 simulated hours.
+  // Every surviving file still byte-exact after the whole run.
+  for (const auto& [path, seed] : live) {
+    auto back = inst.paths->ReadFile(path);
+    ASSERT_TRUE(back.ok()) << path;
+    ASSERT_EQ(*back, TestBytes(back->size(), seed)) << path;
+  }
+}
+
+TEST(LfsSoakTest, RepeatedRemountsOverALongLife) {
+  // A volume that gets mounted and unmounted many times accumulates
+  // checkpoints in alternating regions; every generation must mount.
+  LfsInstance inst;
+  Rng rng(7);
+  std::map<std::string, uint64_t> live;
+  for (int generation = 0; generation < 12; ++generation) {
+    for (int i = 0; i < 25; ++i) {
+      const std::string path = "/gen" + std::to_string(generation) + "_" + std::to_string(i);
+      const uint64_t seed = generation * 100 + i;
+      ASSERT_TRUE(inst.paths->WriteFile(path, TestBytes(2000 + i, seed)).ok());
+      live[path] = seed;
+    }
+    if (generation % 3 == 2 && !live.empty()) {
+      // Occasionally delete an old generation entirely.
+      const std::string prefix = "/gen" + std::to_string(generation - 2) + "_";
+      for (auto it = live.begin(); it != live.end();) {
+        if (it->first.starts_with(prefix)) {
+          ASSERT_TRUE(inst.paths->Unlink(it->first).ok());
+          it = live.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    ASSERT_TRUE(inst.Remount().ok()) << "generation " << generation;
+    for (const auto& [path, seed] : live) {
+      auto back = inst.paths->ReadFile(path);
+      ASSERT_TRUE(back.ok()) << path << " gen " << generation;
+      ASSERT_EQ(*back, TestBytes(back->size(), seed)) << path;
+    }
+  }
+  LfsChecker checker(inst.fs.get());
+  auto report = checker.Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+}
+
+TEST(LfsSoakTest, TinyCacheSurvivesPressure) {
+  // A pathologically small cache (64 blocks = 256 KB) forces constant
+  // eviction-driven write-back; everything must still be correct.
+  LfsFileSystem::Options options;
+  options.cache_policy.capacity_blocks = 64;
+  options.cache_policy.dirty_high_watermark = 16;
+  LfsInstance inst(131072, LfsInstance::DefaultParams(), options);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(inst.paths->WriteFile("/p" + std::to_string(i), TestBytes(50000, i)).ok())
+        << i;
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto back = inst.paths->ReadFile("/p" + std::to_string(i));
+    ASSERT_TRUE(back.ok()) << i;
+    ASSERT_EQ(*back, TestBytes(50000, i)) << i;
+  }
+  LfsChecker checker(inst.fs.get());
+  auto report = checker.Check();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->Summary();
+}
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,62 @@
+// Unit tests for the simulation substrate: SimClock and CpuModel.
+// (DiskModel is covered in disk_test.cc.)
+#include <gtest/gtest.h>
+
+#include "src/sim/cpu_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+namespace {
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.Advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.AdvanceTo(10.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 10.0);
+}
+
+TEST(CpuModelTest, ChargeConvertsInstructionsToSeconds) {
+  SimClock clock;
+  CpuModel cpu(&clock, /*mips=*/10.0);
+  cpu.Charge(10'000'000);  // 10M instructions at 10 MIPS = 1 second.
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.0);
+  cpu.set_mips(20.0);
+  cpu.Charge(10'000'000);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+}
+
+TEST(CpuModelTest, TrackedChargesAccumulate) {
+  SimClock clock;
+  CpuModel cpu(&clock, 1.0);
+  cpu.ChargeTracked(100);
+  cpu.ChargeTracked(200);
+  EXPECT_EQ(cpu.total_instructions(), 300u);
+  cpu.Charge(500);  // Untracked.
+  EXPECT_EQ(cpu.total_instructions(), 300u);
+}
+
+TEST(CpuModelTest, FasterCpuMeansLessTime) {
+  SimClock slow_clock;
+  SimClock fast_clock;
+  CpuModel slow(&slow_clock, 0.9);
+  CpuModel fast(&fast_clock, 14.0);
+  slow.Charge(1'000'000);
+  fast.Charge(1'000'000);
+  // The Section 3.1 ratio: 14 MIPS runs the same path ~15.6x faster.
+  EXPECT_NEAR(slow_clock.Now() / fast_clock.Now(), 14.0 / 0.9, 1e-9);
+}
+
+TEST(CpuModelTest, DefaultCostsAreSane) {
+  CpuCosts costs;
+  // Creates cost more than lookups; per-block work is cheaper than both.
+  EXPECT_GT(costs.create_instructions, costs.lookup_instructions);
+  EXPECT_GT(costs.remove_instructions, costs.per_block_instructions);
+  EXPECT_GT(costs.per_block_instructions, costs.per_kilobyte_copy_instructions);
+}
+
+}  // namespace
+}  // namespace logfs

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_readahead.dir/bench_ablation_readahead.cc.o"
+  "CMakeFiles/bench_ablation_readahead.dir/bench_ablation_readahead.cc.o.d"
+  "bench_ablation_readahead"
+  "bench_ablation_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_create_pattern.dir/bench_create_pattern.cc.o"
+  "CMakeFiles/bench_create_pattern.dir/bench_create_pattern.cc.o.d"
+  "bench_create_pattern"
+  "bench_create_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_create_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_file.dir/bench_large_file.cc.o"
+  "CMakeFiles/bench_large_file.dir/bench_large_file.cc.o.d"
+  "bench_large_file"
+  "bench_large_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raid.dir/bench_raid.cc.o"
+  "CMakeFiles/bench_raid.dir/bench_raid.cc.o.d"
+  "bench_raid"
+  "bench_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

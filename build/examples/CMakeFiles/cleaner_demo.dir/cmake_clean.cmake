@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaner_demo.dir/cleaner_demo.cpp.o"
+  "CMakeFiles/cleaner_demo.dir/cleaner_demo.cpp.o.d"
+  "cleaner_demo"
+  "cleaner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_inspect.dir/lfs_inspect.cpp.o"
+  "CMakeFiles/lfs_inspect.dir/lfs_inspect.cpp.o.d"
+  "lfs_inspect"
+  "lfs_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

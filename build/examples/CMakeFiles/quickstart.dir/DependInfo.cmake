@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/logfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffs/CMakeFiles/logfs_ffs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/logfs_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/logfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/logfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsbase/CMakeFiles/logfs_fsbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

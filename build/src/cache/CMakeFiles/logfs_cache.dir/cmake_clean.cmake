@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_cache.dir/buffer_cache.cc.o"
+  "CMakeFiles/logfs_cache.dir/buffer_cache.cc.o.d"
+  "liblogfs_cache.a"
+  "liblogfs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_disk.dir/fault_disk.cc.o"
+  "CMakeFiles/logfs_disk.dir/fault_disk.cc.o.d"
+  "CMakeFiles/logfs_disk.dir/memory_disk.cc.o"
+  "CMakeFiles/logfs_disk.dir/memory_disk.cc.o.d"
+  "CMakeFiles/logfs_disk.dir/striped_disk.cc.o"
+  "CMakeFiles/logfs_disk.dir/striped_disk.cc.o.d"
+  "CMakeFiles/logfs_disk.dir/tracing_disk.cc.o"
+  "CMakeFiles/logfs_disk.dir/tracing_disk.cc.o.d"
+  "liblogfs_disk.a"
+  "liblogfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for logfs_disk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ffs/ffs_check.cc" "src/ffs/CMakeFiles/logfs_ffs.dir/ffs_check.cc.o" "gcc" "src/ffs/CMakeFiles/logfs_ffs.dir/ffs_check.cc.o.d"
+  "/root/repo/src/ffs/ffs_file_system.cc" "src/ffs/CMakeFiles/logfs_ffs.dir/ffs_file_system.cc.o" "gcc" "src/ffs/CMakeFiles/logfs_ffs.dir/ffs_file_system.cc.o.d"
+  "/root/repo/src/ffs/ffs_format.cc" "src/ffs/CMakeFiles/logfs_ffs.dir/ffs_format.cc.o" "gcc" "src/ffs/CMakeFiles/logfs_ffs.dir/ffs_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/logfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/logfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsbase/CMakeFiles/logfs_fsbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

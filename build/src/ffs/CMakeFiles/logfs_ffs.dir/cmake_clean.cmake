@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_ffs.dir/ffs_check.cc.o"
+  "CMakeFiles/logfs_ffs.dir/ffs_check.cc.o.d"
+  "CMakeFiles/logfs_ffs.dir/ffs_file_system.cc.o"
+  "CMakeFiles/logfs_ffs.dir/ffs_file_system.cc.o.d"
+  "CMakeFiles/logfs_ffs.dir/ffs_format.cc.o"
+  "CMakeFiles/logfs_ffs.dir/ffs_format.cc.o.d"
+  "liblogfs_ffs.a"
+  "liblogfs_ffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsbase/dirent.cc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/dirent.cc.o" "gcc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/dirent.cc.o.d"
+  "/root/repo/src/fsbase/file_system.cc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/file_system.cc.o" "gcc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/file_system.cc.o.d"
+  "/root/repo/src/fsbase/inode.cc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/inode.cc.o" "gcc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/inode.cc.o.d"
+  "/root/repo/src/fsbase/path.cc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/path.cc.o" "gcc" "src/fsbase/CMakeFiles/logfs_fsbase.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

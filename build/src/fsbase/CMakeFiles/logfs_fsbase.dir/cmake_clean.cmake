@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_fsbase.dir/dirent.cc.o"
+  "CMakeFiles/logfs_fsbase.dir/dirent.cc.o.d"
+  "CMakeFiles/logfs_fsbase.dir/file_system.cc.o"
+  "CMakeFiles/logfs_fsbase.dir/file_system.cc.o.d"
+  "CMakeFiles/logfs_fsbase.dir/inode.cc.o"
+  "CMakeFiles/logfs_fsbase.dir/inode.cc.o.d"
+  "CMakeFiles/logfs_fsbase.dir/path.cc.o"
+  "CMakeFiles/logfs_fsbase.dir/path.cc.o.d"
+  "liblogfs_fsbase.a"
+  "liblogfs_fsbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_fsbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfs/lfs_blocks.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_blocks.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_blocks.cc.o.d"
+  "/root/repo/src/lfs/lfs_check.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_check.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_check.cc.o.d"
+  "/root/repo/src/lfs/lfs_cleaner.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_cleaner.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_cleaner.cc.o.d"
+  "/root/repo/src/lfs/lfs_file_system.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_file_system.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_file_system.cc.o.d"
+  "/root/repo/src/lfs/lfs_file_system_ops.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_file_system_ops.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_file_system_ops.cc.o.d"
+  "/root/repo/src/lfs/lfs_format.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_format.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_format.cc.o.d"
+  "/root/repo/src/lfs/lfs_inode_map.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_inode_map.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_inode_map.cc.o.d"
+  "/root/repo/src/lfs/lfs_seg_usage.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_seg_usage.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_seg_usage.cc.o.d"
+  "/root/repo/src/lfs/lfs_segment.cc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_segment.cc.o" "gcc" "src/lfs/CMakeFiles/logfs_lfs.dir/lfs_segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/logfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/logfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsbase/CMakeFiles/logfs_fsbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

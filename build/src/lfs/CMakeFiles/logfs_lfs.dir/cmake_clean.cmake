@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_lfs.dir/lfs_blocks.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_blocks.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_check.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_check.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_cleaner.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_cleaner.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_file_system.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_file_system.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_file_system_ops.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_file_system_ops.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_format.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_format.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_inode_map.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_inode_map.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_seg_usage.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_seg_usage.cc.o.d"
+  "CMakeFiles/logfs_lfs.dir/lfs_segment.cc.o"
+  "CMakeFiles/logfs_lfs.dir/lfs_segment.cc.o.d"
+  "liblogfs_lfs.a"
+  "liblogfs_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

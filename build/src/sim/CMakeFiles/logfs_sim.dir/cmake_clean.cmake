@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_sim.dir/disk_model.cc.o"
+  "CMakeFiles/logfs_sim.dir/disk_model.cc.o.d"
+  "liblogfs_sim.a"
+  "liblogfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

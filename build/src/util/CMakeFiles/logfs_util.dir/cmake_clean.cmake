@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_util.dir/crc32.cc.o"
+  "CMakeFiles/logfs_util.dir/crc32.cc.o.d"
+  "CMakeFiles/logfs_util.dir/logging.cc.o"
+  "CMakeFiles/logfs_util.dir/logging.cc.o.d"
+  "CMakeFiles/logfs_util.dir/rng.cc.o"
+  "CMakeFiles/logfs_util.dir/rng.cc.o.d"
+  "CMakeFiles/logfs_util.dir/serializer.cc.o"
+  "CMakeFiles/logfs_util.dir/serializer.cc.o.d"
+  "CMakeFiles/logfs_util.dir/status.cc.o"
+  "CMakeFiles/logfs_util.dir/status.cc.o.d"
+  "liblogfs_util.a"
+  "liblogfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

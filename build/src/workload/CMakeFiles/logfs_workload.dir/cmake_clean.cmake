@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/logfs_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/logfs_workload.dir/report.cc.o"
+  "CMakeFiles/logfs_workload.dir/report.cc.o.d"
+  "CMakeFiles/logfs_workload.dir/testbed.cc.o"
+  "CMakeFiles/logfs_workload.dir/testbed.cc.o.d"
+  "CMakeFiles/logfs_workload.dir/trace.cc.o"
+  "CMakeFiles/logfs_workload.dir/trace.cc.o.d"
+  "liblogfs_workload.a"
+  "liblogfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirent_fuzz_test.dir/dirent_fuzz_test.cc.o"
+  "CMakeFiles/dirent_fuzz_test.dir/dirent_fuzz_test.cc.o.d"
+  "dirent_fuzz_test"
+  "dirent_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirent_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_check_test.dir/ffs_check_test.cc.o"
+  "CMakeFiles/ffs_check_test.dir/ffs_check_test.cc.o.d"
+  "ffs_check_test"
+  "ffs_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

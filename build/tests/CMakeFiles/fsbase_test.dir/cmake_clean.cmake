@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsbase_test.dir/fsbase_test.cc.o"
+  "CMakeFiles/fsbase_test.dir/fsbase_test.cc.o.d"
+  "fsbase_test"
+  "fsbase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

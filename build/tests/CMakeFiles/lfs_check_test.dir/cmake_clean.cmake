@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_check_test.dir/lfs_check_test.cc.o"
+  "CMakeFiles/lfs_check_test.dir/lfs_check_test.cc.o.d"
+  "lfs_check_test"
+  "lfs_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_cleaner_crash_test.dir/lfs_cleaner_crash_test.cc.o"
+  "CMakeFiles/lfs_cleaner_crash_test.dir/lfs_cleaner_crash_test.cc.o.d"
+  "lfs_cleaner_crash_test"
+  "lfs_cleaner_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_cleaner_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

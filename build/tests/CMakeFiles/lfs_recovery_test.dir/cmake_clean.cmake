@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_recovery_test.dir/lfs_recovery_test.cc.o"
+  "CMakeFiles/lfs_recovery_test.dir/lfs_recovery_test.cc.o.d"
+  "lfs_recovery_test"
+  "lfs_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

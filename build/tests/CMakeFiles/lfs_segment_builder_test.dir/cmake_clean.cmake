@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_segment_builder_test.dir/lfs_segment_builder_test.cc.o"
+  "CMakeFiles/lfs_segment_builder_test.dir/lfs_segment_builder_test.cc.o.d"
+  "lfs_segment_builder_test"
+  "lfs_segment_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_segment_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

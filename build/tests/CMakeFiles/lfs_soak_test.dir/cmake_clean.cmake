@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_soak_test.dir/lfs_soak_test.cc.o"
+  "CMakeFiles/lfs_soak_test.dir/lfs_soak_test.cc.o.d"
+  "lfs_soak_test"
+  "lfs_soak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

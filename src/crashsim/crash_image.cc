@@ -1,0 +1,125 @@
+#include "src/crashsim/crash_image.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/disk/fault_disk.h"
+#include "src/disk/memory_disk.h"
+
+namespace logfs {
+
+std::string CrashPlan::Describe() const {
+  std::string out = "prefix=" + std::to_string(prefix);
+  if (torn_sectors > 0) {
+    out += " torn=" + std::to_string(torn_sectors);
+  }
+  if (dropped != kNoDrop) {
+    out += " dropped=" + std::to_string(dropped);
+  }
+  return out;
+}
+
+CrashImageGenerator::CrashImageGenerator(std::vector<std::byte> base_image,
+                                         const std::vector<WriteRecord>* writes)
+    : base_image_(std::move(base_image)), writes_(writes) {
+  prefix_sectors_.reserve(writes_->size() + 1);
+  uint64_t total = 0;
+  prefix_sectors_.push_back(0);
+  for (const WriteRecord& record : *writes_) {
+    total += record.SectorCount();
+    prefix_sectors_.push_back(total);
+  }
+}
+
+std::vector<CrashPlan> CrashImageGenerator::Enumerate(
+    const CrashEnumerationBudget& budget,
+    const std::vector<size_t>& barrier_positions) const {
+  const size_t n = writes_->size();
+  const size_t boundaries = n + 1;  // p = 0 .. n (n = the complete image).
+  size_t stride = 1;
+  if (budget.max_boundaries > 0 && boundaries > budget.max_boundaries) {
+    stride = (boundaries + budget.max_boundaries - 1) / budget.max_boundaries;
+  }
+  // True if a completed durability barrier separates writes j and p.
+  auto barrier_between = [&](size_t j, size_t p) {
+    for (size_t b : barrier_positions) {
+      if (j < b && b <= p) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<CrashPlan> plans;
+  for (size_t p = 0; p < boundaries; p += stride) {
+    plans.push_back(CrashPlan{p, 0, CrashPlan::kNoDrop});
+    if (p < n) {
+      const uint64_t in_flight = (*writes_)[p].SectorCount();
+      for (uint64_t torn : budget.torn_variants) {
+        if (torn > 0 && torn < in_flight) {
+          plans.push_back(CrashPlan{p, torn, CrashPlan::kNoDrop});
+        }
+      }
+    }
+    if (budget.reorder_within_epoch && p >= 2) {
+      // Drop a request from the open flush epoch: same epoch as the last
+      // landed write, not a barrier write, no completed barrier in between.
+      const uint64_t open_epoch = (*writes_)[p - 1].epoch;
+      size_t drops = 0;
+      for (size_t j = p - 1; j-- > 0 && drops < budget.max_drops_per_boundary;) {
+        const WriteRecord& candidate = (*writes_)[j];
+        if (candidate.epoch != open_epoch) {
+          break;  // Left the open epoch; everything earlier is ordered.
+        }
+        if (candidate.synchronous || barrier_between(j, p)) {
+          break;
+        }
+        plans.push_back(CrashPlan{p, 0, j});
+        ++drops;
+      }
+    }
+  }
+  return plans;
+}
+
+Result<std::vector<std::byte>> CrashImageGenerator::Materialize(const CrashPlan& plan) const {
+  if (plan.prefix > writes_->size()) {
+    return InvalidArgumentError("crash plan prefix beyond journal");
+  }
+  MemoryDisk scratch(sector_count(), /*clock=*/nullptr);
+  std::memcpy(scratch.MutableRawImage().data(), base_image_.data(), base_image_.size());
+
+  if (plan.dropped == CrashPlan::kNoDrop) {
+    // Replay through the fault injector: the torn tail is produced by the
+    // same CrashAfterSectors logic the in-situ crash tests use.
+    FaultInjectingDisk fault(&scratch);
+    fault.CrashAfterSectors(prefix_sectors_[plan.prefix] + plan.torn_sectors, /*torn=*/true);
+    const size_t last = std::min(plan.prefix + 1, writes_->size());
+    for (size_t i = 0; i < last; ++i) {
+      const WriteRecord& record = (*writes_)[i];
+      Status written = fault.WriteSectors(record.first, record.data);
+      if (!written.ok()) {
+        if (written.code() == ErrorCode::kCrashed) {
+          break;
+        }
+        return written;
+      }
+    }
+  } else {
+    if (plan.dropped >= plan.prefix || plan.torn_sectors != 0) {
+      return InvalidArgumentError("reorder plan must drop a landed write, untorn");
+    }
+    for (size_t i = 0; i < plan.prefix; ++i) {
+      if (i == plan.dropped) {
+        continue;
+      }
+      const WriteRecord& record = (*writes_)[i];
+      RETURN_IF_ERROR(scratch.WriteSectors(record.first, record.data));
+    }
+  }
+
+  std::span<const std::byte> raw = scratch.RawImage();
+  return std::vector<std::byte>(raw.begin(), raw.end());
+}
+
+}  // namespace logfs

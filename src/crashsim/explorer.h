@@ -1,0 +1,90 @@
+// ExploreCrashStates: the crash-state exploration driver.
+//
+// Runs a trace workload against an LFS instance whose block device is
+// wrapped in a RecordingDisk, shadowing every op in a WorkloadModel. Then
+// enumerates candidate post-crash images with CrashImageGenerator and has
+// the Oracle remount and judge each one — under roll-forward recovery,
+// checkpoint-only recovery, or both.
+//
+// The three invariants checked per image (see oracle.h):
+//   1. the mount succeeds,
+//   2. LfsChecker finds no structural damage,
+//   3. every path shows a state the durability contract allows.
+#ifndef LOGFS_SRC_CRASHSIM_EXPLORER_H_
+#define LOGFS_SRC_CRASHSIM_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crashsim/crash_image.h"
+#include "src/crashsim/oracle.h"
+#include "src/lfs/lfs_file_system.h"
+#include "src/lfs/lfs_format.h"
+#include "src/util/result.h"
+#include "src/workload/trace.h"
+
+namespace logfs {
+
+// How much of the crash-state space to cover.
+struct ExploreBudget {
+  // Forwarded to CrashEnumerationBudget (see crash_image.h).
+  size_t max_boundaries = 0;
+  std::vector<uint64_t> torn_variants = {1, 4, 8, 12};
+  bool reorder_within_epoch = false;
+  size_t max_drops_per_boundary = 2;
+  // Which mount modes every image is judged under.
+  bool check_roll_forward = true;
+  bool check_checkpoint_only = true;
+  // Have LfsChecker also read every file's bytes back.
+  bool verify_data = true;
+};
+
+// The simulated rig the workload runs on. Small by default — 24 MB is
+// 24 segments, enough for the cleaner to matter while keeping hundreds of
+// image materializations cheap.
+struct ExploreRigParams {
+  ExploreRigParams() {
+    lfs.max_inodes = 2048;
+    lfs.clean_start_segments = 4;
+    lfs.clean_stop_segments = 6;
+    lfs.reserved_segments = 3;
+  }
+  uint64_t sectors = 49152;  // 24 MB.
+  LfsParams lfs;
+  // Used for the workload mount and for every Oracle remount (roll_forward
+  // is overridden per check). Setting unsafe_skip_rollforward_crc here is
+  // how the self-test weakens recovery to prove the Oracle notices.
+  LfsFileSystem::Options mount_options;
+};
+
+// Verdict for one (crash plan, mount mode) pair.
+struct CrashStateResult {
+  CrashPlan plan;
+  bool roll_forward = false;
+  OracleVerdict verdict;
+};
+
+struct ExploreReport {
+  size_t journal_writes = 0;    // Writes recorded during the workload.
+  size_t plans = 0;             // Crash images materialized.
+  size_t states_checked = 0;    // (plan, mount mode) pairs judged.
+  size_t failed_states = 0;     // Pairs with at least one violation.
+  size_t violations = 0;        // Total violation strings.
+  std::vector<CrashStateResult> results;  // One per pair, in plan order.
+
+  bool ok() const { return failed_states == 0; }
+  std::string Summary() const;
+};
+
+// Formats a fresh rig, replays `workload` while recording, then enumerates
+// and judges crash states under `budget`. Errors are infrastructure
+// failures (the workload itself failing, images not materializing);
+// invariant violations are reported in the returned ExploreReport.
+Result<ExploreReport> ExploreCrashStates(const std::vector<TraceOp>& workload,
+                                         const ExploreBudget& budget = {},
+                                         const ExploreRigParams& rig = {});
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_CRASHSIM_EXPLORER_H_

@@ -1,0 +1,39 @@
+#include "src/crashsim/recording_disk.h"
+
+namespace logfs {
+
+Status RecordingDisk::ReadSectors(uint64_t first, std::span<std::byte> out,
+                                  IoOptions options) {
+  return inner_->ReadSectors(first, out, options);
+}
+
+Status RecordingDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
+                                   IoOptions options) {
+  RETURN_IF_ERROR(inner_->WriteSectors(first, data, options));
+  // A synchronous write is a barrier on both sides: close the open epoch,
+  // journal the request alone in its own epoch, and open a fresh one.
+  if (options.synchronous && !writes_.empty() && writes_.back().epoch == epoch_) {
+    ++epoch_;
+  }
+  WriteRecord record;
+  record.first = first;
+  record.data.assign(data.begin(), data.end());
+  record.epoch = epoch_;
+  record.synchronous = options.synchronous;
+  sectors_recorded_ += record.SectorCount();
+  writes_.push_back(std::move(record));
+  if (options.synchronous) {
+    ++epoch_;
+  }
+  return OkStatus();
+}
+
+Status RecordingDisk::Flush() {
+  RETURN_IF_ERROR(inner_->Flush());
+  if (!writes_.empty() && writes_.back().epoch == epoch_) {
+    ++epoch_;
+  }
+  return OkStatus();
+}
+
+}  // namespace logfs

@@ -1,0 +1,62 @@
+// RecordingDisk: BlockDevice decorator that journals the complete write
+// stream of a workload run — sector extent, payload bytes, and the flush
+// epoch each request belongs to. The journal is the raw material the crash
+// explorer (explorer.h) slices into candidate post-crash disk images:
+// every prefix of the stream is a crash state, every prefix plus a partial
+// final request is a torn-write state, and requests inside one flush epoch
+// may be reordered or dropped.
+//
+// Flush epochs: Flush() closes the current epoch, and a synchronous write
+// (IoOptions::synchronous) is treated as a full barrier — it gets an epoch
+// of its own, so it can never be reordered against its neighbours. This is
+// the write-ahead contract LFS relies on for the checkpoint region.
+#ifndef LOGFS_SRC_CRASHSIM_RECORDING_DISK_H_
+#define LOGFS_SRC_CRASHSIM_RECORDING_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/disk/block_device.h"
+
+namespace logfs {
+
+// One journaled write request, in stream order.
+struct WriteRecord {
+  uint64_t first = 0;           // First sector of the request.
+  std::vector<std::byte> data;  // Full payload (multiple of kSectorSize).
+  uint64_t epoch = 0;           // Flush epoch the request belongs to.
+  bool synchronous = false;     // Marked IoOptions::synchronous.
+
+  uint64_t SectorCount() const { return data.size() / kSectorSize; }
+};
+
+class RecordingDisk : public BlockDevice {
+ public:
+  explicit RecordingDisk(BlockDevice* inner) : inner_(inner) {}
+
+  Status ReadSectors(uint64_t first, std::span<std::byte> out,
+                     IoOptions options = {}) override;
+  Status WriteSectors(uint64_t first, std::span<const std::byte> data,
+                      IoOptions options = {}) override;
+  Status Flush() override;
+
+  uint64_t sector_count() const override { return inner_->sector_count(); }
+  const DiskStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  // The journal. Stable across calls; grows only at the tail.
+  const std::vector<WriteRecord>& writes() const { return writes_; }
+  size_t write_count() const { return writes_.size(); }
+  uint64_t sectors_recorded() const { return sectors_recorded_; }
+  uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  BlockDevice* inner_;
+  std::vector<WriteRecord> writes_;
+  uint64_t sectors_recorded_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_CRASHSIM_RECORDING_DISK_H_

@@ -16,21 +16,35 @@ Status FaultInjectingDisk::WriteSectors(uint64_t first, std::span<const std::byt
     return CrashedError("device is powered off");
   }
   ++write_requests_seen_;
+  const uint64_t sectors = data.size() / kSectorSize;
   if (armed_) {
     if (writes_until_crash_ == 0) {
       // This is the write that gets interrupted: a prefix may reach disk.
-      const uint64_t sectors = data.size() / kSectorSize;
       const uint64_t keep = torn_sectors_ < sectors ? torn_sectors_ : sectors;
       if (keep > 0) {
         // Best-effort: a failure here is indistinguishable from the crash.
         (void)inner_->WriteSectors(first, data.subspan(0, keep * kSectorSize), options);
       }
+      sectors_written_seen_ += keep;
       crashed_ = true;
       armed_ = false;
       return CrashedError("simulated crash during write");
     }
     --writes_until_crash_;
+    if (sectors > sectors_until_crash_) {
+      // The sector budget runs out inside this request.
+      const uint64_t keep = torn_on_sector_boundary_ ? sectors_until_crash_ : 0;
+      if (keep > 0) {
+        (void)inner_->WriteSectors(first, data.subspan(0, keep * kSectorSize), options);
+      }
+      sectors_written_seen_ += keep;
+      crashed_ = true;
+      armed_ = false;
+      return CrashedError("simulated crash mid-write at sector budget");
+    }
+    sectors_until_crash_ -= sectors;
   }
+  sectors_written_seen_ += sectors;
   return inner_->WriteSectors(first, data, options);
 }
 

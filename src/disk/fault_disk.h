@@ -24,6 +24,21 @@ class FaultInjectingDisk : public BlockDevice {
   void CrashAfterWrites(uint64_t n, uint64_t torn_sectors = 0) {
     writes_until_crash_ = n;
     torn_sectors_ = torn_sectors;
+    sectors_until_crash_ = std::numeric_limits<uint64_t>::max();
+    crashed_ = false;
+    armed_ = true;
+  }
+
+  // Crash after `n` more written *sectors*. The write request that crosses
+  // the boundary is the one interrupted: with `torn` it persists exactly the
+  // sectors that fit in the remaining budget (a mid-transfer tear at an
+  // arbitrary sector), without it the whole request is dropped (a
+  // request-atomic device). A request that lands exactly on the boundary
+  // completes; the next write dies.
+  void CrashAfterSectors(uint64_t n, bool torn = true) {
+    sectors_until_crash_ = n;
+    torn_on_sector_boundary_ = torn;
+    writes_until_crash_ = std::numeric_limits<uint64_t>::max();
     crashed_ = false;
     armed_ = true;
   }
@@ -42,6 +57,7 @@ class FaultInjectingDisk : public BlockDevice {
 
   bool crashed() const { return crashed_; }
   uint64_t write_requests_seen() const { return write_requests_seen_; }
+  uint64_t sectors_written_seen() const { return sectors_written_seen_; }
 
   Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
   Status WriteSectors(uint64_t first, std::span<const std::byte> data,
@@ -58,7 +74,10 @@ class FaultInjectingDisk : public BlockDevice {
   bool crashed_ = false;
   uint64_t writes_until_crash_ = std::numeric_limits<uint64_t>::max();
   uint64_t torn_sectors_ = 0;
+  uint64_t sectors_until_crash_ = std::numeric_limits<uint64_t>::max();
+  bool torn_on_sector_boundary_ = true;
   uint64_t write_requests_seen_ = 0;
+  uint64_t sectors_written_seen_ = 0;
 };
 
 }  // namespace logfs

@@ -743,7 +743,10 @@ Status LfsFileSystem::RollForward() {
         if (!device_->ReadSectors(sb_.SegmentBlockSector(seg, offset + 1), content).ok()) {
           break;
         }
-        Result<SegmentSummary> summary = DecodeSummary(summary_block, content);
+        Result<SegmentSummary> summary =
+            options_.unsafe_skip_rollforward_crc
+                ? DecodeSummaryUnchecked(summary_block)
+                : DecodeSummary(summary_block, content);
         if (!summary.ok()) {
           break;  // Torn write: the log ends here.
         }

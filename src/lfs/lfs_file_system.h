@@ -63,6 +63,11 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
     // Soft cap on the in-core inode table; clean entries beyond it are
     // pruned at Tick() boundaries (dirty inodes are never dropped).
     size_t max_cached_inodes = 16384;
+    // TEST-ONLY fault injection: skip the summary-CRC validation during
+    // roll-forward, i.e. trust torn partial segments. Exists so the crash
+    // explorer's self-test (tests/crashsim_test.cc) can prove the Oracle
+    // detects a real recovery bug. Must stay false everywhere else.
+    bool unsafe_skip_rollforward_crc = false;
   };
 
   // Writes a fresh file system: superblock, two checkpoint regions, and a

@@ -60,8 +60,12 @@ Result<SummaryPeek> PeekSummary(std::span<const std::byte> block, uint32_t block
   return peek;
 }
 
-Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
-                                     std::span<const std::byte> content) {
+namespace {
+
+// Shared field decode for DecodeSummary / DecodeSummaryUnchecked; returns
+// the summary plus the stored CRC for the caller to (not) validate.
+Result<SegmentSummary> DecodeSummaryFields(std::span<const std::byte> block,
+                                           uint32_t* stored_crc_out) {
   BufferReader reader(block);
   ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kSummaryMagic) {
@@ -87,6 +91,16 @@ Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
     ASSIGN_OR_RETURN(entry.version, reader.ReadU32());
     ASSIGN_OR_RETURN(entry.offset, reader.ReadI64());
   }
+  *stored_crc_out = stored_crc;
+  return summary;
+}
+
+}  // namespace
+
+Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
+                                     std::span<const std::byte> content) {
+  uint32_t stored_crc = 0;
+  ASSIGN_OR_RETURN(SegmentSummary summary, DecodeSummaryFields(block, &stored_crc));
   // CRC over the summary block with the CRC field zeroed, then the content.
   std::vector<std::byte> copy(block.begin(), block.end());
   std::memset(copy.data() + 4, 0, 4);
@@ -98,6 +112,11 @@ Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
     return CorruptedError("summary CRC mismatch (torn or stale partial segment)");
   }
   return summary;
+}
+
+Result<SegmentSummary> DecodeSummaryUnchecked(std::span<const std::byte> block) {
+  uint32_t ignored = 0;
+  return DecodeSummaryFields(block, &ignored);
 }
 
 SegmentBuilder::SegmentBuilder(BlockDevice* device, const LfsSuperblock& sb)

@@ -69,6 +69,12 @@ Result<SummaryPeek> PeekSummary(std::span<const std::byte> block, uint32_t block
 Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
                                      std::span<const std::byte> content);
 
+// Decode WITHOUT validating the CRC over the content. Exists only so the
+// crash-state explorer can inject a "recovery trusts torn partial segments"
+// bug and prove its Oracle catches it (LfsFileSystem::Options::
+// unsafe_skip_rollforward_crc). Never use in production paths.
+Result<SegmentSummary> DecodeSummaryUnchecked(std::span<const std::byte> block);
+
 // Assembles partial segments in memory and writes each as one transfer.
 class SegmentBuilder {
  public:

@@ -5,12 +5,11 @@
 #include "src/workload/benchmarks.h"
 
 namespace logfs {
-namespace {
 
-std::vector<std::byte> Payload(size_t size, uint64_t seed) {
-  std::vector<std::byte> data(size);
+std::vector<std::byte> TracePayload(size_t length, uint64_t seed) {
+  std::vector<std::byte> data(length);
   uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
-  for (size_t i = 0; i < size; ++i) {
+  for (size_t i = 0; i < length; ++i) {
     x ^= x << 13;
     x ^= x >> 7;
     x ^= x << 17;
@@ -18,8 +17,6 @@ std::vector<std::byte> Payload(size_t size, uint64_t seed) {
   }
   return data;
 }
-
-}  // namespace
 
 Result<std::vector<TraceOp>> ParseTrace(std::string_view text) {
   std::vector<TraceOp> ops;
@@ -74,6 +71,11 @@ Result<std::vector<TraceOp>> ParseTrace(std::string_view text) {
       }
     } else if (verb == "sync") {
       op.kind = TraceOp::Kind::kSync;
+    } else if (verb == "clean") {
+      op.kind = TraceOp::Kind::kClean;
+      if (!(tokens >> op.length)) {
+        return bad("clean needs <max_victims>");
+      }
     } else if (verb == "idle") {
       op.kind = TraceOp::Kind::kIdle;
       if (!(tokens >> op.seconds)) {
@@ -124,6 +126,9 @@ std::string FormatTrace(const std::vector<TraceOp>& ops) {
       case TraceOp::Kind::kIdle:
         os << "idle " << op.seconds;
         break;
+      case TraceOp::Kind::kClean:
+        os << "clean " << op.length;
+        break;
     }
     os << "\n";
   }
@@ -145,7 +150,7 @@ Result<TraceReplayResult> ReplayTrace(Testbed& bed, const std::vector<TraceOp>& 
       case TraceOp::Kind::kWrite: {
         ASSIGN_OR_RETURN(InodeNum ino, bed.paths->Resolve(op.path));
         ASSIGN_OR_RETURN(uint64_t n,
-                         bed.fs->Write(ino, op.offset, Payload(op.length, op.seed)));
+                         bed.fs->Write(ino, op.offset, TracePayload(op.length, op.seed)));
         result.bytes_written += n;
         break;
       }
@@ -183,6 +188,12 @@ Result<TraceReplayResult> ReplayTrace(Testbed& bed, const std::vector<TraceOp>& 
         bed.clock->Advance(op.seconds);
         RETURN_IF_ERROR(bed.fs->Tick());
         result.idle_seconds += bed.Now() - before;
+        break;
+      }
+      case TraceOp::Kind::kClean: {
+        if (auto* lfs = dynamic_cast<LfsFileSystem*>(bed.fs.get())) {
+          RETURN_IF_ERROR(lfs->CleanNow(static_cast<uint32_t>(op.length)).status());
+        }
         break;
       }
     }
@@ -245,6 +256,48 @@ std::vector<TraceOp> GenerateOfficeTrace(int operations, uint64_t seed) {
     }
     if (rng.NextBool(0.02)) {
       ops.push_back(MakeOp(TraceOp::Kind::kIdle, {}, 0, 0, 0, 35.0));
+    }
+  }
+  ops.push_back(MakeOp(TraceOp::Kind::kSync));
+  return ops;
+}
+
+std::vector<TraceOp> GenerateCrashTrace(int operations, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TraceOp> ops;
+  std::vector<std::string> live;
+  uint64_t counter = 0;
+  ops.push_back(MakeOp(TraceOp::Kind::kMkdir, "/c"));
+  for (int i = 0; i < operations; ++i) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.55 || live.empty()) {
+      // Create a new file or overwrite an existing one, then often fsync it
+      // so the log grows a fresh partial segment (a new tearing target).
+      std::string path;
+      if (!live.empty() && rng.NextBool(0.4)) {
+        path = live[rng.NextBelow(live.size())];
+      } else {
+        path = "/c/f" + std::to_string(counter++);
+        ops.push_back(MakeOp(TraceOp::Kind::kCreate, path));
+        live.push_back(path);
+      }
+      const uint64_t size = 4096ull << rng.NextBelow(5);  // 4 KB .. 64 KB.
+      ops.push_back(MakeOp(TraceOp::Kind::kWrite, path, 0, size,
+                           seed * 1000 + static_cast<uint64_t>(i)));
+      if (rng.NextBool(0.6)) {
+        ops.push_back(MakeOp(TraceOp::Kind::kFsync, path));
+      }
+    } else if (dice < 0.75 && live.size() > 4) {
+      const size_t index = rng.NextBelow(live.size());
+      ops.push_back(MakeOp(TraceOp::Kind::kUnlink, live[index]));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(index));
+    } else if (dice < 0.88) {
+      ops.push_back(MakeOp(TraceOp::Kind::kSync));
+    } else {
+      // Deleted space only becomes reclaimable after a checkpoint, so pair
+      // the cleaner invocation with one.
+      ops.push_back(MakeOp(TraceOp::Kind::kSync));
+      ops.push_back(MakeOp(TraceOp::Kind::kClean, {}, 0, 2));
     }
   }
   ops.push_back(MakeOp(TraceOp::Kind::kSync));

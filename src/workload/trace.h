@@ -13,6 +13,7 @@
 //   sync
 //   fsync  <path>
 //   idle   <seconds>            # advance the clock, run Tick()
+//   clean  <max_victims>        # LFS: CleanNow; no-op on other file systems
 //
 // Replaying the same trace against FFS and LFS testbeds is how the
 // workload_replay example compares the systems on identical operation
@@ -44,15 +45,21 @@ struct TraceOp {
     kSync,
     kFsync,
     kIdle,
+    kClean,
   };
   Kind kind = Kind::kSync;
   std::string path;
   std::string path2;     // Rename target.
   uint64_t offset = 0;
-  uint64_t length = 0;   // Also: truncate size; idle seconds (x1000).
+  uint64_t length = 0;   // Also: truncate size; clean max_victims.
   uint64_t seed = 0;
   double seconds = 0.0;  // Idle time.
 };
+
+// The deterministic payload `write` ops carry: `length` bytes derived from
+// `seed`. Shared with the crash explorer, whose workload model must predict
+// file contents byte-for-byte.
+std::vector<std::byte> TracePayload(size_t length, uint64_t seed);
 
 // Parses a trace from text; reports the first malformed line.
 Result<std::vector<TraceOp>> ParseTrace(std::string_view text);
@@ -75,6 +82,12 @@ Result<TraceReplayResult> ReplayTrace(Testbed& bed, const std::vector<TraceOp>& 
 // Generates a synthetic office/engineering trace of `operations` ops
 // (deterministic for a seed), suitable for cross-FS replay.
 std::vector<TraceOp> GenerateOfficeTrace(int operations, uint64_t seed);
+
+// Generates a crash-exploration corpus: a mixed create / overwrite / fsync /
+// unlink / sync / clean / idle stream sized so that fsyncs land often (lots
+// of partial segments to tear) and the cleaner does real work. Used by
+// ExploreCrashStates (src/crashsim/) and the crash_explorer example.
+std::vector<TraceOp> GenerateCrashTrace(int operations, uint64_t seed);
 
 }  // namespace logfs
 

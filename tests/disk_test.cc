@@ -174,6 +174,63 @@ TEST(FaultDiskTest, TornWriteKeepsPrefix) {
   }
 }
 
+TEST(FaultDiskTest, CrashAfterSectorsTearsMidWrite) {
+  SimClock clock;
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.CrashAfterSectors(3, /*torn=*/true);
+  // 2 sectors fit the budget; the next 4-sector write tears after 1 more.
+  auto first = Pattern(2 * kSectorSize, 1);
+  auto second = Pattern(4 * kSectorSize, 7);
+  ASSERT_TRUE(disk.WriteSectors(0, first).ok());
+  EXPECT_EQ(disk.WriteSectors(10, second).code(), ErrorCode::kCrashed);
+  EXPECT_TRUE(disk.crashed());
+  disk.Reset();
+  std::vector<std::byte> out(2 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(0, out).ok());
+  EXPECT_EQ(out, first);
+  out.resize(4 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(10, out).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + kSectorSize, second.begin()));
+  for (size_t i = kSectorSize; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], std::byte{0});
+  }
+}
+
+TEST(FaultDiskTest, CrashAfterSectorsUntornDropsWholeRequest) {
+  SimClock clock;
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.CrashAfterSectors(1, /*torn=*/false);
+  auto data = Pattern(2 * kSectorSize, 3);
+  EXPECT_EQ(disk.WriteSectors(0, data).code(), ErrorCode::kCrashed);
+  disk.Reset();
+  std::vector<std::byte> out(2 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(0, out).ok());
+  for (std::byte b : out) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(FaultDiskTest, CrashAfterSectorsExactBudgetCompletesTheWrite) {
+  SimClock clock;
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.CrashAfterSectors(2, /*torn=*/true);
+  auto data = Pattern(2 * kSectorSize, 5);
+  ASSERT_TRUE(disk.WriteSectors(0, data).ok());  // Lands exactly on the budget.
+  EXPECT_EQ(disk.WriteSectors(2, Pattern(kSectorSize, 6)).code(), ErrorCode::kCrashed);
+  disk.Reset();
+  std::vector<std::byte> out(2 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(0, out).ok());
+  EXPECT_EQ(out, data);
+  out.resize(kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(2, out).ok());
+  for (std::byte b : out) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
 TEST(FaultDiskTest, CrashNowStopsEverything) {
   SimClock clock;
   MemoryDisk inner(64, &clock);

@@ -303,5 +303,50 @@ INSTANTIATE_TEST_SUITE_P(CrashPoints, CrashAnywhereTest,
                          ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233,
                                            377, 610));
 
+// Torn-partial-segment sweep: the log write carrying a fsynced file tears
+// after N sectors, for N ranging from "one sector" through "the summary
+// block exactly" (8 = one 4 KB block) to "most of the segment". Every tear
+// must be atomically discarded by roll-forward — the summary CRC covers the
+// content blocks, so a summary whose content never landed cannot validate —
+// while everything durable before the tear survives.
+class TornPartialSegmentTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TornPartialSegmentTest, RollForwardDiscardsTheTearKeepsThePast) {
+  const uint64_t torn_sectors = GetParam();
+  CrashRig rig;
+  {
+    auto fs = rig.MountFaulty();
+    ASSERT_TRUE(fs.ok());
+    PathFs paths(fs->get());
+    ASSERT_TRUE(paths.WriteFile("/durable", TestBytes(5000, 1)).ok());
+    ASSERT_TRUE((*fs)->Sync().ok());  // Checkpointed: survives any crash.
+    // Fsynced after the checkpoint: durable only through roll-forward.
+    ASSERT_TRUE(paths.WriteFile("/early", TestBytes(9000, 2)).ok());
+    auto early = paths.Resolve("/early");
+    ASSERT_TRUE(early.ok());
+    ASSERT_TRUE((*fs)->Fsync(*early).ok());
+    // This file's partial segment tears mid-transfer.
+    ASSERT_TRUE(paths.WriteFile("/late", TestBytes(100000, 3)).ok());
+    auto late = paths.Resolve("/late");
+    ASSERT_TRUE(late.ok());
+    rig.fault.CrashAfterSectors(torn_sectors, /*torn=*/true);
+    EXPECT_EQ((*fs)->Fsync(*late).code(), ErrorCode::kCrashed);
+  }
+  auto fs = rig.Reboot(/*roll_forward=*/true);
+  ASSERT_TRUE(fs.ok()) << "torn=" << torn_sectors << ": " << fs.status().ToString();
+  PathFs paths(fs->get());
+  auto durable = paths.ReadFile("/durable");
+  ASSERT_TRUE(durable.ok()) << "torn=" << torn_sectors;
+  EXPECT_EQ(*durable, TestBytes(5000, 1));
+  auto early = paths.ReadFile("/early");
+  ASSERT_TRUE(early.ok()) << "torn=" << torn_sectors;
+  EXPECT_EQ(*early, TestBytes(9000, 2));
+  EXPECT_FALSE(paths.Exists("/late")) << "torn=" << torn_sectors;
+  EXPECT_TRUE(ExpectClean(fs->get()).ok()) << "torn=" << torn_sectors;
+}
+
+INSTANTIATE_TEST_SUITE_P(TornSectors, TornPartialSegmentTest,
+                         ::testing::Values(1, 4, 7, 8, 9, 15, 16, 31, 64, 128));
+
 }  // namespace
 }  // namespace logfs

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates the wall-clock perf report (BENCH_PR2.json at the repo root)
+# from a fresh optimized build. The simulated-time benches are separate
+# binaries (bench_small_file, bench_cleaning, ...) and are bit-reproducible,
+# so they need no runner; this script exists for the host-time numbers,
+# which depend on the machine they ran on.
+#
+# Usage: bench/run_benches.sh [--smoke]
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_writepath >/dev/null
+
+./build/bench/bench_writepath "$@" --out BENCH_PR2.json

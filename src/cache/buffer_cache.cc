@@ -119,6 +119,26 @@ Result<CacheRef> BufferCache::Acquire(const BlockKey& key, const FetchFn& fetch)
   return CacheRef(this, &block);
 }
 
+Result<CacheRef> BufferCache::Install(const BlockKey& key, std::span<const std::byte> data) {
+  if (data.size() != block_size_) {
+    return InvalidArgumentError("Install data must be exactly one block");
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    TouchLru(key);
+    return CacheRef(this, &map_.find(key)->second->block);
+  }
+  ++stats_.misses;
+  RETURN_IF_ERROR(EnsureCapacity());
+  lru_.emplace_front();
+  CacheBlock& block = lru_.front().block;
+  block.key_ = key;
+  block.data_.assign(data.begin(), data.end());
+  map_.emplace(key, lru_.begin());
+  return CacheRef(this, &block);
+}
+
 CacheRef BufferCache::AcquireIfPresent(const BlockKey& key) {
   auto it = map_.find(key);
   if (it == map_.end()) {

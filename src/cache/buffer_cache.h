@@ -144,6 +144,13 @@ class BufferCache {
   // Look up or load a block. On miss, `fetch` fills the new block.
   Result<CacheRef> Acquire(const BlockKey& key, const FetchFn& fetch);
 
+  // Ensure `key` is cached given its current bytes in hand: a present block
+  // is returned untouched (the cached copy may be newer than `data`), an
+  // absent one is populated from `data` in a single copy. Accounting
+  // (hit/miss/eviction) matches Acquire with a memcpy fetch; the
+  // std::function detour is skipped. `data` must be exactly one block.
+  Result<CacheRef> Install(const BlockKey& key, std::span<const std::byte> data);
+
   // Look up without loading; empty ref if absent.
   CacheRef AcquireIfPresent(const BlockKey& key);
 

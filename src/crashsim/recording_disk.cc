@@ -10,6 +10,26 @@ Status RecordingDisk::ReadSectors(uint64_t first, std::span<std::byte> out,
 Status RecordingDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
                                    IoOptions options) {
   RETURN_IF_ERROR(inner_->WriteSectors(first, data, options));
+  const std::span<const std::byte> one[] = {data};
+  Journal(first, one, options);
+  return OkStatus();
+}
+
+Status RecordingDisk::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                   IoOptions options) {
+  return inner_->ReadSectorsV(first, bufs, options);
+}
+
+Status RecordingDisk::WriteSectorsV(uint64_t first,
+                                    std::span<const std::span<const std::byte>> bufs,
+                                    IoOptions options) {
+  RETURN_IF_ERROR(inner_->WriteSectorsV(first, bufs, options));
+  Journal(first, bufs, options);
+  return OkStatus();
+}
+
+void RecordingDisk::Journal(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                            IoOptions options) {
   // A synchronous write is a barrier on both sides: close the open epoch,
   // journal the request alone in its own epoch, and open a fresh one.
   if (options.synchronous && !writes_.empty() && writes_.back().epoch == epoch_) {
@@ -17,7 +37,10 @@ Status RecordingDisk::WriteSectors(uint64_t first, std::span<const std::byte> da
   }
   WriteRecord record;
   record.first = first;
-  record.data.assign(data.begin(), data.end());
+  record.data.reserve(IoVecBytes(bufs));
+  for (const auto& buf : bufs) {
+    record.data.insert(record.data.end(), buf.begin(), buf.end());
+  }
   record.epoch = epoch_;
   record.synchronous = options.synchronous;
   sectors_recorded_ += record.SectorCount();
@@ -25,7 +48,6 @@ Status RecordingDisk::WriteSectors(uint64_t first, std::span<const std::byte> da
   if (options.synchronous) {
     ++epoch_;
   }
-  return OkStatus();
 }
 
 Status RecordingDisk::Flush() {

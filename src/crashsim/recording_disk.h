@@ -38,6 +38,13 @@ class RecordingDisk : public BlockDevice {
                      IoOptions options = {}) override;
   Status WriteSectors(uint64_t first, std::span<const std::byte> data,
                       IoOptions options = {}) override;
+  // A vectored write is one request: it is journaled as a single record
+  // (payload concatenated), so crash-image enumeration sees the same
+  // request boundaries as the equivalent coalesced scalar write.
+  Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                      IoOptions options = {}) override;
+  Status WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                       IoOptions options = {}) override;
   Status Flush() override;
 
   uint64_t sector_count() const override { return inner_->sector_count(); }
@@ -51,6 +58,9 @@ class RecordingDisk : public BlockDevice {
   uint64_t current_epoch() const { return epoch_; }
 
  private:
+  void Journal(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+               IoOptions options);
+
   BlockDevice* inner_;
   std::vector<WriteRecord> writes_;
   uint64_t sectors_recorded_ = 0;

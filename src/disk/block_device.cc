@@ -1,0 +1,39 @@
+#include "src/disk/block_device.h"
+
+#include <cstring>
+
+namespace logfs {
+
+// Default vectored implementations: coalesce through a bounce buffer and
+// issue one scalar request. Extent and size validation is delegated to the
+// scalar call so errors match the device's own checks.
+
+Status BlockDevice::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                 IoOptions options) {
+  std::vector<std::byte> bounce(IoVecBytes(bufs));
+  RETURN_IF_ERROR(ReadSectors(first, bounce, options));
+  size_t offset = 0;
+  for (const auto& buf : bufs) {
+    if (!buf.empty()) {
+      std::memcpy(buf.data(), bounce.data() + offset, buf.size());
+      offset += buf.size();
+    }
+  }
+  return OkStatus();
+}
+
+Status BlockDevice::WriteSectorsV(uint64_t first,
+                                  std::span<const std::span<const std::byte>> bufs,
+                                  IoOptions options) {
+  std::vector<std::byte> bounce(IoVecBytes(bufs));
+  size_t offset = 0;
+  for (const auto& buf : bufs) {
+    if (!buf.empty()) {
+      std::memcpy(bounce.data() + offset, buf.data(), buf.size());
+      offset += buf.size();
+    }
+  }
+  return WriteSectors(first, bounce, options);
+}
+
+}  // namespace logfs

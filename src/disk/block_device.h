@@ -1,6 +1,7 @@
 // BlockDevice: the sector-extent storage interface every file system in
 // logfs is built on. Implementations: MemoryDisk (simulated spindle),
-// FaultInjectingDisk and TracingDisk (decorators).
+// StripedDisk (RAID-0), FaultInjectingDisk, TracingDisk and
+// crashsim::RecordingDisk (decorators).
 #ifndef LOGFS_SRC_DISK_BLOCK_DEVICE_H_
 #define LOGFS_SRC_DISK_BLOCK_DEVICE_H_
 
@@ -8,6 +9,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/sim/disk_model.h"
 #include "src/util/status.h"
@@ -50,6 +52,28 @@ class BlockDevice {
   virtual Status WriteSectors(uint64_t first, std::span<const std::byte> data,
                               IoOptions options = {}) = 0;
 
+  // Vectored (scatter-gather) I/O. One device request covering the sector
+  // extent [first, first + total/kSectorSize), where `total` is the summed
+  // size of all buffers; the buffers are consumed (gather write) or filled
+  // (scatter read) in order, as if they had been coalesced into one
+  // contiguous span. The contract:
+  //   * the vector must be non-empty and `total` a positive multiple of
+  //     kSectorSize; individual buffers may be any size, including sizes
+  //     that are not sector-aligned (empty buffers are permitted and
+  //     ignored);
+  //   * the request is accounted as ONE operation: DiskStats, traces, fault
+  //     budgets and crash journals see exactly what a scalar call on the
+  //     coalesced buffer would have seen;
+  //   * buffers need only stay valid for the duration of the call.
+  // The base-class default coalesces through a bounce buffer and issues one
+  // scalar request (correct everywhere, zero-copy nowhere); devices
+  // override it to move each extent directly.
+  virtual Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                              IoOptions options = {});
+  virtual Status WriteSectorsV(uint64_t first,
+                               std::span<const std::span<const std::byte>> bufs,
+                               IoOptions options = {});
+
   // Barrier: all previous writes are durable after Flush returns. The
   // simulated devices are always durable per-write, so this is a no-op hook
   // kept for interface fidelity (a real backing store would fsync here).
@@ -60,6 +84,40 @@ class BlockDevice {
   virtual const DiskStats& stats() const = 0;
   virtual void ResetStats() = 0;
 };
+
+// Summed byte count of an I/O vector (works for both const and mutable
+// buffer vectors).
+template <typename Span>
+constexpr size_t IoVecBytes(std::span<const Span> bufs) {
+  size_t total = 0;
+  for (const auto& buf : bufs) {
+    total += buf.size();
+  }
+  return total;
+}
+
+// The sub-vector of `bufs` covering the byte range [offset, offset + len),
+// preserving buffer boundaries. Used by decorators that must split or
+// truncate a vectored request (stripe runs, torn-write prefixes) without
+// coalescing it.
+template <typename Span>
+std::vector<Span> SliceIoVec(std::span<const Span> bufs, size_t offset, size_t len) {
+  std::vector<Span> out;
+  for (const auto& buf : bufs) {
+    if (len == 0) {
+      break;
+    }
+    if (offset >= buf.size()) {
+      offset -= buf.size();
+      continue;
+    }
+    const size_t take = std::min(buf.size() - offset, len);
+    out.push_back(buf.subspan(offset, take));
+    offset = 0;
+    len -= take;
+  }
+  return out;
+}
 
 }  // namespace logfs
 

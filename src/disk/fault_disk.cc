@@ -48,6 +48,52 @@ Status FaultInjectingDisk::WriteSectors(uint64_t first, std::span<const std::byt
   return inner_->WriteSectors(first, data, options);
 }
 
+Status FaultInjectingDisk::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                        IoOptions options) {
+  if (crashed_) {
+    return CrashedError("device is powered off");
+  }
+  return inner_->ReadSectorsV(first, bufs, options);
+}
+
+Status FaultInjectingDisk::WriteSectorsV(uint64_t first,
+                                         std::span<const std::span<const std::byte>> bufs,
+                                         IoOptions options) {
+  if (crashed_) {
+    return CrashedError("device is powered off");
+  }
+  ++write_requests_seen_;
+  const uint64_t sectors = IoVecBytes(bufs) / kSectorSize;
+  if (armed_) {
+    if (writes_until_crash_ == 0) {
+      const uint64_t keep = torn_sectors_ < sectors ? torn_sectors_ : sectors;
+      if (keep > 0) {
+        const auto prefix = SliceIoVec(bufs, 0, keep * kSectorSize);
+        (void)inner_->WriteSectorsV(first, prefix, options);
+      }
+      sectors_written_seen_ += keep;
+      crashed_ = true;
+      armed_ = false;
+      return CrashedError("simulated crash during write");
+    }
+    --writes_until_crash_;
+    if (sectors > sectors_until_crash_) {
+      const uint64_t keep = torn_on_sector_boundary_ ? sectors_until_crash_ : 0;
+      if (keep > 0) {
+        const auto prefix = SliceIoVec(bufs, 0, keep * kSectorSize);
+        (void)inner_->WriteSectorsV(first, prefix, options);
+      }
+      sectors_written_seen_ += keep;
+      crashed_ = true;
+      armed_ = false;
+      return CrashedError("simulated crash mid-write at sector budget");
+    }
+    sectors_until_crash_ -= sectors;
+  }
+  sectors_written_seen_ += sectors;
+  return inner_->WriteSectorsV(first, bufs, options);
+}
+
 Status FaultInjectingDisk::Flush() {
   if (crashed_) {
     return CrashedError("device is powered off");

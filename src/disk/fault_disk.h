@@ -62,6 +62,14 @@ class FaultInjectingDisk : public BlockDevice {
   Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
   Status WriteSectors(uint64_t first, std::span<const std::byte> data,
                       IoOptions options = {}) override;
+  // Vectored forwarding. Crash and torn budgets apply to the vector's total
+  // sector count exactly as they would to the coalesced request; a torn
+  // prefix is carved out of the vector at sector granularity, so a tear can
+  // land in the middle of any buffer.
+  Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                      IoOptions options = {}) override;
+  Status WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                       IoOptions options = {}) override;
   Status Flush() override;
 
   uint64_t sector_count() const override { return inner_->sector_count(); }

@@ -73,6 +73,36 @@ Status MemoryDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
   return OkStatus();
 }
 
+Status MemoryDisk::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                IoOptions options) {
+  const size_t total = IoVecBytes(bufs);
+  RETURN_IF_ERROR(CheckExtent(first, total));
+  const std::byte* src = data_.data() + first * kSectorSize;
+  for (const auto& buf : bufs) {
+    if (!buf.empty()) {
+      std::memcpy(buf.data(), src, buf.size());
+      src += buf.size();
+    }
+  }
+  Account(first, total / kSectorSize, /*is_write=*/false, options.synchronous);
+  return OkStatus();
+}
+
+Status MemoryDisk::WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                                 IoOptions options) {
+  const size_t total = IoVecBytes(bufs);
+  RETURN_IF_ERROR(CheckExtent(first, total));
+  std::byte* dst = data_.data() + first * kSectorSize;
+  for (const auto& buf : bufs) {
+    if (!buf.empty()) {
+      std::memcpy(dst, buf.data(), buf.size());
+      dst += buf.size();
+    }
+  }
+  Account(first, total / kSectorSize, /*is_write=*/true, options.synchronous);
+  return OkStatus();
+}
+
 Status MemoryDisk::Flush() { return OkStatus(); }
 
 }  // namespace logfs

@@ -24,6 +24,13 @@ class MemoryDisk : public BlockDevice {
   Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
   Status WriteSectors(uint64_t first, std::span<const std::byte> data,
                       IoOptions options = {}) override;
+  // Native scatter-gather: one memcpy per extent straight to/from the
+  // image, one Account() call — simulated stats and timing are identical to
+  // the scalar path on the coalesced buffer.
+  Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                      IoOptions options = {}) override;
+  Status WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                       IoOptions options = {}) override;
   Status Flush() override;
 
   uint64_t sector_count() const override { return sector_count_; }

@@ -16,9 +16,10 @@ StripedDisk::StripedDisk(uint32_t members, uint64_t sectors_per_member,
   }
 }
 
-Status StripedDisk::ForEachRun(uint64_t first, size_t bytes, bool is_write, IoOptions options,
-                               std::span<std::byte> read_out,
-                               std::span<const std::byte> write_data) {
+Status StripedDisk::ForEachRun(uint64_t first, bool is_write, IoOptions options,
+                               std::span<const std::span<std::byte>> read_bufs,
+                               std::span<const std::span<const std::byte>> write_bufs) {
+  const size_t bytes = is_write ? IoVecBytes(write_bufs) : IoVecBytes(read_bufs);
   if (bytes == 0 || bytes % kSectorSize != 0) {
     return InvalidArgumentError("I/O size must be a positive multiple of the sector size");
   }
@@ -42,11 +43,13 @@ Status StripedDisk::ForEachRun(uint64_t first, size_t bytes, bool is_write, IoOp
         (stripe_index / members_.size()) * stripe_sectors_ + within;
     const uint64_t run = std::min(stripe_sectors_ - within, count - done);
     if (is_write) {
-      RETURN_IF_ERROR(members_[member]->WriteSectors(
-          member_sector, write_data.subspan(done * kSectorSize, run * kSectorSize), options));
+      const auto fragments =
+          SliceIoVec(write_bufs, done * kSectorSize, run * kSectorSize);
+      RETURN_IF_ERROR(members_[member]->WriteSectorsV(member_sector, fragments, options));
     } else {
-      RETURN_IF_ERROR(members_[member]->ReadSectors(
-          member_sector, read_out.subspan(done * kSectorSize, run * kSectorSize), options));
+      const auto fragments =
+          SliceIoVec(read_bufs, done * kSectorSize, run * kSectorSize);
+      RETURN_IF_ERROR(members_[member]->ReadSectorsV(member_sector, fragments, options));
     }
     done += run;
   }
@@ -77,12 +80,25 @@ Status StripedDisk::ForEachRun(uint64_t first, size_t bytes, bool is_write, IoOp
 }
 
 Status StripedDisk::ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options) {
-  return ForEachRun(first, out.size(), /*is_write=*/false, options, out, {});
+  const std::span<std::byte> one[] = {out};
+  return ForEachRun(first, /*is_write=*/false, options, one, {});
 }
 
 Status StripedDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
                                  IoOptions options) {
-  return ForEachRun(first, data.size(), /*is_write=*/true, options, {}, data);
+  const std::span<const std::byte> one[] = {data};
+  return ForEachRun(first, /*is_write=*/true, options, {}, one);
+}
+
+Status StripedDisk::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                 IoOptions options) {
+  return ForEachRun(first, /*is_write=*/false, options, bufs, {});
+}
+
+Status StripedDisk::WriteSectorsV(uint64_t first,
+                                  std::span<const std::span<const std::byte>> bufs,
+                                  IoOptions options) {
+  return ForEachRun(first, /*is_write=*/true, options, {}, bufs);
 }
 
 Status StripedDisk::Flush() {

@@ -35,6 +35,13 @@ class StripedDisk : public BlockDevice {
   Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
   Status WriteSectors(uint64_t first, std::span<const std::byte> data,
                       IoOptions options = {}) override;
+  // Vectored I/O: extents are split at stripe boundaries and each member
+  // run is issued as one vectored request to the member, so buffers that
+  // straddle a boundary are never coalesced.
+  Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                      IoOptions options = {}) override;
+  Status WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                       IoOptions options = {}) override;
   Status Flush() override;
 
   uint64_t sector_count() const override { return total_sectors_; }
@@ -45,10 +52,12 @@ class StripedDisk : public BlockDevice {
   const MemoryDisk& member(uint32_t index) const { return *members_[index]; }
 
  private:
-  // Splits [first, first+count) into per-member runs and executes them,
-  // advancing the shared clock by the slowest member.
-  Status ForEachRun(uint64_t first, size_t bytes, bool is_write, IoOptions options,
-                    std::span<std::byte> read_out, std::span<const std::byte> write_data);
+  // Splits the request into per-member runs and executes them, advancing
+  // the shared clock by the slowest member. Exactly one of the two buffer
+  // vectors is used, selected by `is_write`.
+  Status ForEachRun(uint64_t first, bool is_write, IoOptions options,
+                    std::span<const std::span<std::byte>> read_bufs,
+                    std::span<const std::span<const std::byte>> write_bufs);
 
   uint64_t stripe_sectors_;
   uint64_t total_sectors_;

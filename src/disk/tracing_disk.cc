@@ -39,6 +39,21 @@ Status TracingDisk::WriteSectors(uint64_t first, std::span<const std::byte> data
   return OkStatus();
 }
 
+Status TracingDisk::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                 IoOptions options) {
+  RETURN_IF_ERROR(inner_->ReadSectorsV(first, bufs, options));
+  Record(TraceRecord::Kind::kRead, first, IoVecBytes(bufs) / kSectorSize, options.synchronous);
+  return OkStatus();
+}
+
+Status TracingDisk::WriteSectorsV(uint64_t first,
+                                  std::span<const std::span<const std::byte>> bufs,
+                                  IoOptions options) {
+  RETURN_IF_ERROR(inner_->WriteSectorsV(first, bufs, options));
+  Record(TraceRecord::Kind::kWrite, first, IoVecBytes(bufs) / kSectorSize, options.synchronous);
+  return OkStatus();
+}
+
 Status TracingDisk::Flush() { return inner_->Flush(); }
 
 uint64_t TracingDisk::WriteRequestCount() const {

@@ -32,6 +32,11 @@ class TracingDisk : public BlockDevice {
   Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
   Status WriteSectors(uint64_t first, std::span<const std::byte> data,
                       IoOptions options = {}) override;
+  // A vectored request is one transfer and traces as one record.
+  Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                      IoOptions options = {}) override;
+  Status WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                       IoOptions options = {}) override;
   Status Flush() override;
 
   uint64_t sector_count() const override { return inner_->sector_count(); }

@@ -114,13 +114,11 @@ Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image) {
             break;  // Superseded by a newer copy.
           }
           // Live: stage it through the cache, dirty, so the normal
-          // write-back relocates it.
+          // write-back relocates it (and, with zero-copy write-back, hands
+          // the cached bytes to the segment writer by reference).
           const BlockKey key{LfsFileSystem::DataObject(entry.ino),
                              static_cast<uint64_t>(entry.offset)};
-          ASSIGN_OR_RETURN(CacheRef ref, fs_->cache_.Acquire(key, [&](std::span<std::byte> out) {
-                             std::memcpy(out.data(), block.data(), bs);
-                             return OkStatus();
-                           }));
+          ASSIGN_OR_RETURN(CacheRef ref, fs_->cache_.Install(key, block));
           fs_->cache_.MarkDirty(ref.get());
           ++fs_->cleaner_stats_.live_blocks_copied;
           break;
@@ -140,10 +138,7 @@ Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image) {
           }
           const BlockKey key{LfsFileSystem::IndirectObject(entry.ino),
                              static_cast<uint64_t>(entry.offset)};
-          ASSIGN_OR_RETURN(CacheRef ref, fs_->cache_.Acquire(key, [&](std::span<std::byte> out) {
-                             std::memcpy(out.data(), block.data(), bs);
-                             return OkStatus();
-                           }));
+          ASSIGN_OR_RETURN(CacheRef ref, fs_->cache_.Install(key, block));
           fs_->cache_.MarkDirty(ref.get());
           ++fs_->cleaner_stats_.live_blocks_copied;
           break;

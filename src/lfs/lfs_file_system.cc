@@ -101,6 +101,14 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, SimClock* clock, CpuModel* cpu
   cache_.set_writeback_handler(this);
   imap_block_addrs_.assign(imap_.block_count(), kNoAddr);
   usage_block_addrs_.assign(usage_.block_count(), kNoAddr);
+  // Zero-copy write-back pins up to a partial segment's worth of blocks
+  // between append and flush; those pinned-clean blocks are not evictable,
+  // so a cache without comfortable headroom over that bound must copy into
+  // the builder instead (same device requests and stats either way).
+  const size_t max_partial_blocks =
+      std::min(SummaryCapacity(sb_.block_size),
+               static_cast<size_t>(sb_.BlocksPerSegment()) - 1);
+  zero_copy_writeback_ = cache_.policy().capacity_blocks >= 4 * max_partial_blocks;
 }
 
 LfsFileSystem::~LfsFileSystem() { (void)Sync(); }
@@ -411,16 +419,34 @@ Result<CacheRef> LfsFileSystem::ReadBlockRun(InodeNum ino, const Inode& inode, u
     }
     ++run;
   }
-  std::vector<std::byte> buffer(static_cast<size_t>(run) * BlockSize());
-  RETURN_IF_ERROR(device_->ReadSectors(addr, buffer));
+  // Create the run's cache blocks up front (read-ahead blocks first, then
+  // the target, matching the legacy fill order) and scatter the single
+  // transfer straight into their storage — no bounce buffer.
+  std::vector<CacheRef> ahead;
+  ahead.reserve(run);
   for (uint32_t k = 1; k < run; ++k) {
-    ASSIGN_OR_RETURN(CacheRef ahead, cache_.Create(BlockKey{DataObject(ino), index + k}));
-    std::memcpy(ahead->mutable_data().data(),
-                buffer.data() + static_cast<size_t>(k) * BlockSize(), BlockSize());
+    ASSIGN_OR_RETURN(CacheRef ref, cache_.Create(BlockKey{DataObject(ino), index + k}));
+    ahead.push_back(std::move(ref));
   }
-  ASSIGN_OR_RETURN(CacheRef ref, cache_.Create(BlockKey{DataObject(ino), index}));
-  std::memcpy(ref->mutable_data().data(), buffer.data(), BlockSize());
-  return ref;
+  ASSIGN_OR_RETURN(CacheRef main, cache_.Create(BlockKey{DataObject(ino), index}));
+  std::vector<std::span<std::byte>> bufs;
+  bufs.reserve(run);
+  bufs.push_back(main->mutable_data());  // Disk order: the target block is first.
+  for (CacheRef& ref : ahead) {
+    bufs.push_back(ref->mutable_data());
+  }
+  Status read = device_->ReadSectorsV(addr, bufs);
+  if (!read.ok()) {
+    // Drop the half-filled blocks so a later retry re-reads the device.
+    main.Release();
+    cache_.InvalidateBlock(BlockKey{DataObject(ino), index});
+    for (uint32_t k = 1; k < run; ++k) {
+      ahead[k - 1].Release();
+      cache_.InvalidateBlock(BlockKey{DataObject(ino), index + k});
+    }
+    return read;
+  }
+  return main;
 }
 
 // --- Log appending ----------------------------------------------------------------
@@ -439,27 +465,55 @@ Status LfsFileSystem::AdvanceSegment() {
   return OkStatus();
 }
 
-Result<DiskAddr> LfsFileSystem::AppendToLog(BlockKind kind, uint32_t ino, uint32_t version,
-                                            int64_t offset, std::span<const std::byte> data) {
+Status LfsFileSystem::EnsureAppendRoom() {
   if (!builder_.CanAppend()) {
     RETURN_IF_ERROR(FlushPartial());
     if (!builder_.SegmentHasRoom()) {
       RETURN_IF_ERROR(AdvanceSegment());
     }
   }
+  return OkStatus();
+}
+
+Result<DiskAddr> LfsFileSystem::AppendToLog(BlockKind kind, uint32_t ino, uint32_t version,
+                                            int64_t offset, std::span<const std::byte> data) {
+  RETURN_IF_ERROR(EnsureAppendRoom());
   ASSIGN_OR_RETURN(DiskAddr addr, builder_.Append(kind, ino, version, offset, data));
+  usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
+  return addr;
+}
+
+Result<DiskAddr> LfsFileSystem::AppendToLogExternal(BlockKind kind, uint32_t ino,
+                                                    uint32_t version, int64_t offset,
+                                                    std::span<const std::byte> data) {
+  RETURN_IF_ERROR(EnsureAppendRoom());
+  ASSIGN_OR_RETURN(DiskAddr addr, builder_.AppendExternal(kind, ino, version, offset, data));
+  usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
+  return addr;
+}
+
+Result<DiskAddr> LfsFileSystem::AppendToLogDeferred(BlockKind kind, uint32_t ino,
+                                                    uint32_t version, int64_t offset,
+                                                    std::span<std::byte>* buffer) {
+  RETURN_IF_ERROR(EnsureAppendRoom());
+  ASSIGN_OR_RETURN(DiskAddr addr, builder_.AppendDeferred(kind, ino, version, offset, buffer));
   usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
   return addr;
 }
 
 Status LfsFileSystem::FlushPartial() {
   if (builder_.pending() == 0) {
+    staged_pins_.clear();
     return OkStatus();
   }
   if (cpu_ != nullptr) {
     ChargeCpu(cpu_->costs().segment_build_per_block * builder_.pending());
   }
-  return builder_.Flush(next_log_seq_++, Now());
+  // On failure the builder keeps its entries (and their extents), so the
+  // pins stay too; everything unwinds together when the caller gives up.
+  RETURN_IF_ERROR(builder_.Flush(next_log_seq_++, Now()));
+  staged_pins_.clear();
+  return OkStatus();
 }
 
 void LfsFileSystem::AccountReplace(DiskAddr old_addr, DiskAddr new_addr, uint32_t bytes) {
@@ -489,8 +543,20 @@ Status LfsFileSystem::WriteBack(std::span<CacheBlock* const> blocks) {
       return CorruptedError("dirty block for unallocated inode");
     }
     const uint32_t version = imap_.Get(ino).version;
-    ASSIGN_OR_RETURN(DiskAddr addr, AppendToLog(BlockKind::kData, ino, version,
-                                                static_cast<int64_t>(index), block->data()));
+    DiskAddr addr = kNoAddr;
+    if (zero_copy_writeback_) {
+      // Stage the cache block's bytes in place, then pin it so eviction
+      // cannot free the storage before the vectored flush reads it. The pin
+      // must come after the append: an intervening FlushPartial (builder
+      // full) releases all staged pins, and until the append lands this
+      // block is still dirty and therefore unevictable anyway.
+      ASSIGN_OR_RETURN(addr, AppendToLogExternal(BlockKind::kData, ino, version,
+                                                 static_cast<int64_t>(index), block->data()));
+      staged_pins_.emplace_back(&cache_, block);
+    } else {
+      ASSIGN_OR_RETURN(addr, AppendToLog(BlockKind::kData, ino, version,
+                                         static_cast<int64_t>(index), block->data()));
+    }
     ASSIGN_OR_RETURN(DiskAddr old, SetDataBlockAddr(ino, index, addr));
     AccountReplace(old, addr, BlockSize());
     // Mark clean immediately so the cache has evictable blocks while the
@@ -523,9 +589,16 @@ Status LfsFileSystem::FlushDirtyIndirect(std::span<CacheBlock* const> /*batch*/)
         return CorruptedError("dirty indirect block for unallocated inode");
       }
       const uint32_t version = imap_.Get(ino).version;
-      ASSIGN_OR_RETURN(DiskAddr addr,
-                       AppendToLog(BlockKind::kIndirect, ino, version,
-                                   static_cast<int64_t>(slot), block->data()));
+      DiskAddr addr = kNoAddr;
+      if (zero_copy_writeback_) {
+        // Pin after the append, as in the data-block phase above.
+        ASSIGN_OR_RETURN(addr, AppendToLogExternal(BlockKind::kIndirect, ino, version,
+                                                   static_cast<int64_t>(slot), block->data()));
+        staged_pins_.emplace_back(&cache_, block);
+      } else {
+        ASSIGN_OR_RETURN(addr, AppendToLog(BlockKind::kIndirect, ino, version,
+                                           static_cast<int64_t>(slot), block->data()));
+      }
       ASSIGN_OR_RETURN(DiskAddr old, SetIndirectAddr(ino, slot, addr));
       AccountReplace(old, addr, BlockSize());
       cache_.MarkClean(block);
@@ -547,7 +620,6 @@ Status LfsFileSystem::FlushDirtyInodes() {
   std::sort(dirty.begin(), dirty.end());
   const size_t per_block = InodesPerLfsBlock(BlockSize());
   const uint32_t quantum = InodeLiveQuantum();
-  std::vector<std::byte> block(BlockSize());
   for (size_t start = 0; start < dirty.size(); start += per_block) {
     const size_t count = std::min(per_block, dirty.size() - start);
     std::vector<PackedInode> packed(count);
@@ -557,8 +629,10 @@ Status LfsFileSystem::FlushDirtyInodes() {
       packed[k].version = imap_.Get(ino).version;
       packed[k].inode = inodes_.at(ino).inode;
     }
+    // Encode straight into the builder's staging block.
+    std::span<std::byte> block;
+    ASSIGN_OR_RETURN(DiskAddr addr, AppendToLogDeferred(BlockKind::kInodeBlock, 0, 0, 0, &block));
     RETURN_IF_ERROR(EncodeInodeBlock(packed, block));
-    ASSIGN_OR_RETURN(DiskAddr addr, AppendToLog(BlockKind::kInodeBlock, 0, 0, 0, block));
     for (size_t k = 0; k < count; ++k) {
       const InodeNum ino = dirty[start + k];
       const DiskAddr old = imap_.Get(ino).block_addr;
@@ -575,12 +649,12 @@ Status LfsFileSystem::FlushPendingFrees() {
     return OkStatus();
   }
   const size_t per_block = FreeRecordsPerBlock(BlockSize());
-  std::vector<std::byte> block(BlockSize());
   for (size_t start = 0; start < pending_frees_.size(); start += per_block) {
     const size_t count = std::min(per_block, pending_frees_.size() - start);
+    std::span<std::byte> block;
+    RETURN_IF_ERROR(AppendToLogDeferred(BlockKind::kMetaLog, 0, 0, 0, &block).status());
     RETURN_IF_ERROR(EncodeMetaLogBlock(
         std::span<const FreeRecord>(pending_frees_).subspan(start, count), block));
-    RETURN_IF_ERROR(AppendToLog(BlockKind::kMetaLog, 0, 0, 0, block).status());
   }
   pending_frees_.clear();
   return OkStatus();
@@ -613,14 +687,15 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
 Status LfsFileSystem::Checkpoint() {
   RETURN_IF_ERROR(FlushEverything());
 
-  // Rewrite dirty inode-map blocks into the log.
-  std::vector<std::byte> block(BlockSize());
+  // Rewrite dirty inode-map blocks into the log, encoding each straight
+  // into the builder's staging block.
   for (uint32_t i = 0; i < imap_.block_count(); ++i) {
     if (!imap_.BlockDirty(i)) {
       continue;
     }
+    std::span<std::byte> block;
+    ASSIGN_OR_RETURN(DiskAddr addr, AppendToLogDeferred(BlockKind::kImap, 0, 0, i, &block));
     RETURN_IF_ERROR(imap_.EncodeBlock(i, block));
-    ASSIGN_OR_RETURN(DiskAddr addr, AppendToLog(BlockKind::kImap, 0, 0, i, block));
     AccountReplace(imap_block_addrs_[i], addr, BlockSize());
     imap_block_addrs_[i] = addr;
     imap_.ClearBlockDirty(i);

@@ -204,8 +204,20 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
                                 DiskAddr addr);
 
   // --- log appending ---
+  // Makes sure the builder can take one more block (flushing the pending
+  // partial and/or advancing the segment as needed).
+  Status EnsureAppendRoom();
   Result<DiskAddr> AppendToLog(BlockKind kind, uint32_t ino, uint32_t version, int64_t offset,
                                std::span<const std::byte> data);
+  // Zero-copy variant: `data` is referenced, not copied, and must stay
+  // valid until the partial segment is flushed. Cache-backed callers pin
+  // the block in staged_pins_ first.
+  Result<DiskAddr> AppendToLogExternal(BlockKind kind, uint32_t ino, uint32_t version,
+                                       int64_t offset, std::span<const std::byte> data);
+  // Deferred variant: returns the builder-owned block to encode into
+  // directly (valid until the flush), saving the bounce buffer.
+  Result<DiskAddr> AppendToLogDeferred(BlockKind kind, uint32_t ino, uint32_t version,
+                                       int64_t offset, std::span<std::byte>* buffer);
   Status FlushPartial();
   Status AdvanceSegment();
   uint32_t SegmentOfAddr(DiskAddr addr) const { return sb_.SegmentOfSector(addr); }
@@ -259,6 +271,17 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   InodeMap imap_;
   SegmentUsageTable usage_;
   SegmentBuilder builder_;
+  // Pins on cache blocks whose bytes the builder references in place
+  // (AppendToLogExternal): the blocks are marked clean as they are staged,
+  // and the pin is what keeps them from being evicted before the vectored
+  // flush reads them. Released by FlushPartial once the write is durable.
+  // Declared after cache_ and builder_ so the pins unwind first.
+  std::vector<CacheRef> staged_pins_;
+  // Whether write-back stages cache blocks by reference. Requires enough
+  // cache headroom that a partial segment's worth of pinned-clean blocks
+  // cannot starve eviction; tiny caches take the copying path (the on-disk
+  // stream and all simulated stats are identical either way).
+  bool zero_copy_writeback_ = false;
   std::unordered_map<InodeNum, CachedInode> inodes_;
   uint32_t dirty_inode_count_ = 0;
   std::vector<FreeRecord> pending_frees_;

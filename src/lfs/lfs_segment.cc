@@ -17,8 +17,8 @@ constexpr size_t kEntrySize = 1 + 4 + 4 + 8;
 
 size_t SummaryCapacity(uint32_t block_size) { return (block_size - kHeaderSize) / kEntrySize; }
 
-Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
-                     std::span<const std::byte> content) {
+Status EncodeSummaryV(const SegmentSummary& summary, std::span<std::byte> block,
+                      std::span<const std::span<const std::byte>> content_parts) {
   if (summary.entries.size() > SummaryCapacity(static_cast<uint32_t>(block.size()))) {
     return InvalidArgumentError("too many entries for summary block");
   }
@@ -37,10 +37,18 @@ Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
   }
   uint32_t crc = Crc32Init();
   crc = Crc32Update(crc, block);
-  crc = Crc32Update(crc, content);
+  for (const auto& part : content_parts) {
+    crc = Crc32Update(crc, part);
+  }
   crc = Crc32Finalize(crc);
   RETURN_IF_ERROR(writer.SeekTo(4));
   return writer.WriteU32(crc);
+}
+
+Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
+                     std::span<const std::byte> content) {
+  const std::span<const std::byte> one[] = {content};
+  return EncodeSummaryV(summary, block, one);
 }
 
 Result<SummaryPeek> PeekSummary(std::span<const std::byte> block, uint32_t block_size) {
@@ -102,10 +110,13 @@ Result<SegmentSummary> DecodeSummary(std::span<const std::byte> block,
   uint32_t stored_crc = 0;
   ASSIGN_OR_RETURN(SegmentSummary summary, DecodeSummaryFields(block, &stored_crc));
   // CRC over the summary block with the CRC field zeroed, then the content.
-  std::vector<std::byte> copy(block.begin(), block.end());
-  std::memset(copy.data() + 4, 0, 4);
+  // Streamed as prefix / four zero bytes / suffix so the block is not cloned
+  // just to blank the field.
+  static constexpr std::byte kZeroCrcField[4] = {};
   uint32_t crc = Crc32Init();
-  crc = Crc32Update(crc, copy);
+  crc = Crc32Update(crc, block.subspan(0, 4));
+  crc = Crc32Update(crc, kZeroCrcField);
+  crc = Crc32Update(crc, block.subspan(8));
   crc = Crc32Update(crc, content);
   crc = Crc32Finalize(crc);
   if (crc != stored_crc) {
@@ -120,7 +131,11 @@ Result<SegmentSummary> DecodeSummaryUnchecked(std::span<const std::byte> block) 
 }
 
 SegmentBuilder::SegmentBuilder(BlockDevice* device, const LfsSuperblock& sb)
-    : device_(device), sb_(sb), capacity_(SummaryCapacity(sb.block_size)) {
+    : device_(device), sb_(sb), summary_block_(sb.block_size),
+      capacity_(SummaryCapacity(sb.block_size)) {
+  // A partial segment holds at most BlocksPerSegment()-1 content blocks, so
+  // reserving the full segment size guarantees the resizes in
+  // AppendDeferred never reallocate (see the capacity assert there).
   buffer_.reserve(sb_.segment_size);
 }
 
@@ -129,6 +144,7 @@ void SegmentBuilder::StartAt(uint32_t segment, uint32_t offset) {
   segment_ = segment;
   start_offset_ = offset;
   buffer_.clear();
+  extents_.clear();
 }
 
 bool SegmentBuilder::CanAppend() const {
@@ -162,8 +178,28 @@ Result<DiskAddr> SegmentBuilder::AppendDeferred(BlockKind kind, uint32_t ino, ui
   const uint32_t block_offset = start_offset_ + 1 + static_cast<uint32_t>(entries_.size());
   entries_.push_back(SummaryEntry{kind, ino, version, offset});
   const size_t pos = buffer_.size();
+  // A reallocation here would dangle every span previously handed out and
+  // every slice in extents_; the constructor's reserve makes it impossible.
+  assert(pos + sb_.block_size <= buffer_.capacity() &&
+         "owned content outgrew the constructor reserve; handed-out spans would dangle");
   buffer_.resize(pos + sb_.block_size, std::byte{0});
   *buffer = std::span<std::byte>(buffer_).subspan(pos, sb_.block_size);
+  extents_.push_back(*buffer);
+  return sb_.SegmentBlockSector(segment_, block_offset);
+}
+
+Result<DiskAddr> SegmentBuilder::AppendExternal(BlockKind kind, uint32_t ino, uint32_t version,
+                                                int64_t offset,
+                                                std::span<const std::byte> data) {
+  if (!CanAppend()) {
+    return NoSpaceError("partial segment full; flush first");
+  }
+  if (data.size() != sb_.block_size) {
+    return InvalidArgumentError("content block must be exactly one block");
+  }
+  const uint32_t block_offset = start_offset_ + 1 + static_cast<uint32_t>(entries_.size());
+  entries_.push_back(SummaryEntry{kind, ino, version, offset});
+  extents_.push_back(data);
   return sb_.SegmentBlockSector(segment_, block_offset);
 }
 
@@ -175,14 +211,27 @@ Status SegmentBuilder::Flush(uint64_t seq, double timestamp) {
   summary.seq = seq;
   summary.timestamp = timestamp;
   summary.entries = entries_;
-  std::vector<std::byte> out(sb_.block_size + buffer_.size());
-  RETURN_IF_ERROR(EncodeSummary(summary, std::span<std::byte>(out).subspan(0, sb_.block_size),
-                                buffer_));
-  std::memcpy(out.data() + sb_.block_size, buffer_.data(), buffer_.size());
+  RETURN_IF_ERROR(EncodeSummaryV(summary, summary_block_, extents_));
+  // One vectored write: summary block first, then the content extents in
+  // entry order. Extents that are adjacent in memory (consecutive owned
+  // blocks in buffer_) are merged, so the common all-owned partial goes out
+  // as {summary, buffer_} — but nothing is ever copied to coalesce.
+  std::vector<std::span<const std::byte>> iov;
+  iov.reserve(1 + extents_.size());
+  iov.push_back(summary_block_);
+  for (const auto& extent : extents_) {
+    if (iov.size() > 1 && iov.back().data() + iov.back().size() == extent.data()) {
+      iov.back() = std::span<const std::byte>(iov.back().data(),
+                                              iov.back().size() + extent.size());
+    } else {
+      iov.push_back(extent);
+    }
+  }
   const uint64_t sector = sb_.SegmentBlockSector(segment_, start_offset_);
-  RETURN_IF_ERROR(device_->WriteSectors(sector, out));
+  RETURN_IF_ERROR(device_->WriteSectorsV(sector, iov));
   start_offset_ += 1 + static_cast<uint32_t>(entries_.size());
   entries_.clear();
+  extents_.clear();
   buffer_.clear();
   return OkStatus();
 }

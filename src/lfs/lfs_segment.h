@@ -57,6 +57,13 @@ size_t SummaryCapacity(uint32_t block_size);
 Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
                      std::span<const std::byte> content);
 
+// Same, with the content supplied as a list of extents (the zero-copy write
+// path never materializes the concatenation). The CRC streams over the
+// extents in order, so the stamped checksum is byte-identical to
+// EncodeSummary on the coalesced buffer.
+Status EncodeSummaryV(const SegmentSummary& summary, std::span<std::byte> block,
+                      std::span<const std::span<const std::byte>> content_parts);
+
 // Header fields readable without the content (no CRC validation). Used by
 // roll-forward to size the content read and to skip stale partials.
 struct SummaryPeek {
@@ -110,6 +117,13 @@ class SegmentBuilder {
   Result<DiskAddr> AppendDeferred(BlockKind kind, uint32_t ino, uint32_t version, int64_t offset,
                                   std::span<std::byte>* buffer);
 
+  // Appends a content block by reference: nothing is copied, and `data`
+  // must stay valid and unmodified until the next Flush or StartAt. This is
+  // the zero-copy path for blocks that already live in stable storage (the
+  // buffer cache pins them for the duration).
+  Result<DiskAddr> AppendExternal(BlockKind kind, uint32_t ino, uint32_t version, int64_t offset,
+                                  std::span<const std::byte> data);
+
   // Writes the pending partial segment as one sequential transfer and
   // advances past it. No-op when nothing is pending.
   Status Flush(uint64_t seq, double timestamp);
@@ -120,7 +134,15 @@ class SegmentBuilder {
   uint32_t segment_ = 0;
   uint32_t start_offset_ = 0;  // Where the pending partial segment begins.
   std::vector<SummaryEntry> entries_;
-  std::vector<std::byte> buffer_;  // Content blocks, in entry order.
+  // One extent per entry, in order: either a caller-owned span
+  // (AppendExternal) or a slice of buffer_ (Append/AppendDeferred). Handed
+  // to WriteSectorsV at Flush without coalescing.
+  std::vector<std::span<const std::byte>> extents_;
+  // Owned staging for Append/AppendDeferred blocks. Reserved to the full
+  // segment size up front and never allowed to reallocate: extents_ and the
+  // spans AppendDeferred hands out point into it.
+  std::vector<std::byte> buffer_;
+  std::vector<std::byte> summary_block_;
   size_t capacity_;
 };
 

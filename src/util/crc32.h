@@ -13,10 +13,17 @@ namespace logfs {
 uint32_t Crc32(std::span<const std::byte> data);
 
 // Incremental interface: Crc32Update(Crc32Init(), a) then more chunks,
-// finish with Crc32Finalize.
+// finish with Crc32Finalize. Update uses a slice-by-8 kernel (eight table
+// lookups per eight input bytes); chunking a buffer arbitrarily yields the
+// same result as one pass.
 uint32_t Crc32Init();
 uint32_t Crc32Update(uint32_t state, std::span<const std::byte> data);
 uint32_t Crc32Finalize(uint32_t state);
+
+// The one-table byte-at-a-time kernel. Same results as Crc32Update; kept as
+// the reference the slice-by-8 kernel is cross-checked (and benchmarked)
+// against.
+uint32_t Crc32UpdateBytewise(uint32_t state, std::span<const std::byte> data);
 
 }  // namespace logfs
 

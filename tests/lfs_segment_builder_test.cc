@@ -110,6 +110,72 @@ TEST_F(SegmentBuilderTest, DeferredContentIsPatchedBeforeFlush) {
   EXPECT_EQ(block[sb_.block_size - 1], std::byte{0xEE});
 }
 
+TEST_F(SegmentBuilderTest, DeferredSpansStayValidAtMaximumPartialSize) {
+  // Regression test for the buffer_ reservation: fill a partial segment to
+  // its maximum size entirely with deferred appends, patch every block
+  // through its span only AFTER the last append, and verify the bytes land.
+  // If any append reallocated the staging buffer, the earlier spans would
+  // dangle and the patched bytes would be lost (or ASan would fire).
+  builder_->StartAt(6, 0);
+  std::vector<std::span<std::byte>> spans;
+  std::vector<DiskAddr> addrs;
+  while (builder_->CanAppend()) {
+    std::span<std::byte> buffer;
+    auto addr = builder_->AppendDeferred(BlockKind::kData, 1, 1,
+                                         static_cast<int64_t>(spans.size()), &buffer);
+    ASSERT_TRUE(addr.ok());
+    spans.push_back(buffer);
+    addrs.push_back(*addr);
+  }
+  ASSERT_EQ(spans.size(), std::min<size_t>(SummaryCapacity(sb_.block_size),
+                                           sb_.BlocksPerSegment() - 1));
+  for (size_t i = 0; i < spans.size(); ++i) {
+    std::memset(spans[i].data(), static_cast<int>(i * 37 + 1), spans[i].size());
+  }
+  ASSERT_TRUE(builder_->Flush(3, 0.0).ok());
+  std::vector<std::byte> block(sb_.block_size);
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    ASSERT_TRUE(disk_.ReadSectors(addrs[i], block).ok());
+    EXPECT_EQ(block[0], static_cast<std::byte>(i * 37 + 1)) << "block " << i;
+    EXPECT_EQ(block[sb_.block_size - 1], static_cast<std::byte>(i * 37 + 1)) << "block " << i;
+  }
+}
+
+TEST_F(SegmentBuilderTest, ExternalBlocksInterleaveWithOwnedOnes) {
+  // AppendExternal stages a caller-owned buffer by reference; the flush must
+  // stitch owned and external extents into one contiguous on-disk run and
+  // the summary CRC must cover the external bytes too.
+  builder_->StartAt(7, 0);
+  const std::vector<std::byte> ext_a = Block(0xC1);
+  const std::vector<std::byte> ext_b = Block(0xC2);
+  auto a = builder_->Append(BlockKind::kData, 2, 1, 0, Block(0xB1));
+  auto b = builder_->AppendExternal(BlockKind::kData, 2, 1, 1, ext_a);
+  auto c = builder_->Append(BlockKind::kData, 2, 1, 2, Block(0xB2));
+  auto d = builder_->AppendExternal(BlockKind::kData, 2, 1, 3, ext_b);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_EQ(*b, *a + sb_.SectorsPerBlock());
+  EXPECT_EQ(*d, *c + sb_.SectorsPerBlock());
+  ASSERT_TRUE(builder_->Flush(9, 0.25).ok());
+
+  std::vector<std::byte> summary(sb_.block_size);
+  ASSERT_TRUE(disk_.ReadSectors(sb_.SegmentBlockSector(7, 0), summary).ok());
+  std::vector<std::byte> content(4 * sb_.block_size);
+  ASSERT_TRUE(disk_.ReadSectors(sb_.SegmentBlockSector(7, 1), content).ok());
+  auto decoded = DecodeSummary(summary, content);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->entries.size(), 4u);
+  EXPECT_EQ(content[0 * sb_.block_size], std::byte{0xB1});
+  EXPECT_EQ(content[1 * sb_.block_size], std::byte{0xC1});
+  EXPECT_EQ(content[2 * sb_.block_size], std::byte{0xB2});
+  EXPECT_EQ(content[3 * sb_.block_size], std::byte{0xC2});
+}
+
+TEST_F(SegmentBuilderTest, ExternalBlockMustBeExactlyOneBlock) {
+  builder_->StartAt(8, 0);
+  std::vector<std::byte> runt(sb_.block_size - 1);
+  EXPECT_FALSE(builder_->AppendExternal(BlockKind::kData, 1, 1, 0, runt).ok());
+}
+
 TEST_F(SegmentBuilderTest, EmptyFlushIsANoOp) {
   builder_->StartAt(5, 10);
   const uint64_t writes_before = disk_.stats().write_ops;

@@ -112,6 +112,51 @@ TEST(Crc32Test, IncrementalMatchesOneShot) {
   EXPECT_EQ(Crc32Finalize(state), one_shot);
 }
 
+TEST(Crc32Test, Ieee8023KnownAnswers) {
+  // Standard check values for the reflected IEEE 802.3 polynomial.
+  auto crc_of = [](std::string_view s) {
+    return Crc32(std::as_bytes(std::span<const char>(s.data(), s.size())));
+  };
+  EXPECT_EQ(crc_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+  EXPECT_EQ(crc_of("message digest"), 0x20159D7Fu);
+  EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(Crc32(zeros), 0x190A55ADu);
+  const std::vector<std::byte> ones(32, std::byte{0xFF});
+  EXPECT_EQ(Crc32(ones), 0xFF6CAB0Bu);
+}
+
+TEST(Crc32Test, Slice8MatchesBytewiseUnderRandomStreaming) {
+  // Feed the same random buffer through the slice-by-8 kernel and the
+  // one-table reference, carved into different random chunkings. The
+  // slice-by-8 tail handling (head alignment, <8-byte remainders) only
+  // matters at chunk seams, so random seams are the interesting input.
+  Rng rng(0xC5C32u);
+  for (int round = 0; round < 50; ++round) {
+    const size_t size = rng.NextInRange(0, 4096);
+    std::vector<std::byte> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.NextBelow(256));
+    }
+    const uint32_t reference = Crc32Finalize(Crc32UpdateBytewise(Crc32Init(), data));
+    EXPECT_EQ(Crc32(data), reference);
+
+    uint32_t sliced = Crc32Init();
+    uint32_t bytewise = Crc32Init();
+    for (size_t pos = 0; pos < size;) {
+      const size_t chunk = std::min<size_t>(rng.NextInRange(1, 97), size - pos);
+      std::span<const std::byte> piece = std::span(data).subspan(pos, chunk);
+      sliced = Crc32Update(sliced, piece);
+      bytewise = Crc32UpdateBytewise(bytewise, piece);
+      pos += chunk;
+    }
+    EXPECT_EQ(sliced, bytewise) << "round " << round << " size " << size;
+    EXPECT_EQ(Crc32Finalize(sliced), reference);
+  }
+}
+
 TEST(Crc32Test, DetectsBitFlip) {
   std::vector<std::byte> data(64, std::byte{0xAB});
   uint32_t before = Crc32(data);

@@ -31,6 +31,7 @@
 
 #include "src/disk/memory_disk.h"
 #include "src/lfs/lfs_file_system.h"
+#include "src/obs/metrics.h"
 #include "src/lfs/lfs_segment.h"
 #include "src/util/crc32.h"
 #include "src/workload/benchmarks.h"
@@ -318,7 +319,7 @@ void PrintSection(std::ostream& os, const char* name, const BeforeAfter& r,
      << "  }" << (last ? "\n" : ",\n");
 }
 
-int RunBench(bool smoke, const std::string& out_path) {
+int RunBench(bool smoke, const std::string& out_path, const std::string& metrics_path) {
   std::cout << "=== Write-path host-time benchmarks (" << (smoke ? "smoke" : "full")
             << ") ===\n";
 
@@ -360,6 +361,13 @@ int RunBench(bool smoke, const std::string& out_path) {
       << "    \"blocks_examined_per_s\": " << cleaner.BlocksExaminedPerSecond() << "\n"
       << "  }\n"
       << "}\n";
+  if (!metrics_path.empty()) {
+    // The counters the measured runs just produced, next to their timing
+    // JSON — the "why" behind the wall-clock numbers.
+    std::ofstream metrics_file(metrics_path);
+    metrics_file << obs::Registry().ToJson();
+    std::cout << "metrics: " << metrics_path << "\n";
+  }
   std::cout << "report: " << out_path << "\n"
             << "Shape check: " << (sane ? "PASS" : "WARN")
             << " (zero-copy and slice8 must not be slower than the paths they replace)\n";
@@ -372,16 +380,19 @@ int RunBench(bool smoke, const std::string& out_path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_PR2.json";
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--out PATH]\n";
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--out PATH] [--metrics-out PATH]\n";
       return 2;
     }
   }
-  return logfs::RunBench(smoke, out_path);
+  return logfs::RunBench(smoke, out_path, metrics_path);
 }

@@ -12,4 +12,7 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_writepath >/dev/null
 
-./build/bench/bench_writepath "$@" --out BENCH_PR2.json
+# The metrics snapshot lands next to the timing JSON so a BENCH_*.json
+# trajectory carries the counters that explain it (flushes, fill levels,
+# cleaner work), not just the wall-clock numbers.
+./build/bench/bench_writepath "$@" --out BENCH_PR2.json --metrics-out BENCH_PR2.metrics.json

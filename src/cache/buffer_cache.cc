@@ -4,7 +4,31 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+
 namespace logfs {
+namespace {
+
+// Shadow the per-instance CacheStats into the process-wide registry so
+// snapshots correlate cache behaviour with segment-writer and cleaner
+// activity. One static lookup per process; increments are relaxed atomic
+// adds (no-ops when metrics are compiled out).
+struct CacheMetrics {
+  obs::Counter& hits = obs::Registry().GetCounter("logfs.cache.hits");
+  obs::Counter& misses = obs::Registry().GetCounter("logfs.cache.misses");
+  obs::Counter& evictions = obs::Registry().GetCounter("logfs.cache.evictions");
+  obs::Counter& pins = obs::Registry().GetCounter("logfs.cache.pins");
+  obs::Counter& writeback_batches = obs::Registry().GetCounter("logfs.cache.writeback_batches");
+  obs::Counter& blocks_written_back =
+      obs::Registry().GetCounter("logfs.cache.blocks_written_back");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics* metrics = new CacheMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 CacheRef::CacheRef(BufferCache* cache, CacheBlock* block) : cache_(cache), block_(block) {
   if (block_ != nullptr) {
@@ -47,7 +71,10 @@ BufferCache::BufferCache(size_t block_size, CachePolicy policy, const SimClock* 
 
 BufferCache::~BufferCache() = default;
 
-void BufferCache::Pin(CacheBlock* block) { ++block->pin_count_; }
+void BufferCache::Pin(CacheBlock* block) {
+  ++block->pin_count_;
+  Metrics().pins.Increment();
+}
 
 void BufferCache::Unpin(CacheBlock* block) {
   assert(block->pin_count_ > 0);
@@ -73,6 +100,7 @@ Status BufferCache::EnsureCapacity() {
       map_.erase(block.key());
       lru_.erase(fwd);
       ++stats_.evictions;
+      Metrics().evictions.Increment();
       return OkStatus();
     }
   }
@@ -91,6 +119,7 @@ Status BufferCache::EnsureCapacity() {
       map_.erase(block.key());
       lru_.erase(fwd);
       ++stats_.evictions;
+      Metrics().evictions.Increment();
       return OkStatus();
     }
   }
@@ -101,10 +130,12 @@ Result<CacheRef> BufferCache::Acquire(const BlockKey& key, const FetchFn& fetch)
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++stats_.hits;
+    Metrics().hits.Increment();
     TouchLru(key);
     return CacheRef(this, &map_.find(key)->second->block);
   }
   ++stats_.misses;
+  Metrics().misses.Increment();
   RETURN_IF_ERROR(EnsureCapacity());
   lru_.emplace_front();
   CacheBlock& block = lru_.front().block;
@@ -126,10 +157,12 @@ Result<CacheRef> BufferCache::Install(const BlockKey& key, std::span<const std::
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++stats_.hits;
+    Metrics().hits.Increment();
     TouchLru(key);
     return CacheRef(this, &map_.find(key)->second->block);
   }
   ++stats_.misses;
+  Metrics().misses.Increment();
   RETURN_IF_ERROR(EnsureCapacity());
   lru_.emplace_front();
   CacheBlock& block = lru_.front().block;
@@ -145,6 +178,7 @@ CacheRef BufferCache::AcquireIfPresent(const BlockKey& key) {
     return CacheRef();
   }
   ++stats_.hits;
+  Metrics().hits.Increment();
   TouchLru(key);
   return CacheRef(this, &map_.find(key)->second->block);
 }
@@ -208,6 +242,8 @@ Status BufferCache::WriteBackBlocks(std::vector<CacheBlock*> blocks) {
   }
   ++stats_.writeback_batches;
   stats_.blocks_written_back += blocks.size();
+  Metrics().writeback_batches.Increment();
+  Metrics().blocks_written_back.Increment(blocks.size());
   return OkStatus();
 }
 

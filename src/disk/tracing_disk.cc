@@ -12,6 +12,14 @@ std::string TraceRecord::ToString() const {
   return os.str();
 }
 
+void TracingDisk::set_trace_limit(size_t limit) {
+  trace_limit_ = limit;
+  while (trace_.size() > trace_limit_) {
+    trace_.pop_front();
+    ++dropped_records_;
+  }
+}
+
 void TracingDisk::Record(TraceRecord::Kind kind, uint64_t first, uint64_t count,
                          bool synchronous) {
   TraceRecord record;
@@ -21,7 +29,15 @@ void TracingDisk::Record(TraceRecord::Kind kind, uint64_t first, uint64_t count,
   record.synchronous = synchronous;
   record.sequential = have_last_ && first == last_end_;
   record.time_seconds = clock_ != nullptr ? clock_->Now() : 0.0;
-  trace_.push_back(record);
+  if (trace_limit_ == 0) {
+    ++dropped_records_;
+  } else {
+    if (trace_.size() >= trace_limit_) {
+      trace_.pop_front();
+      ++dropped_records_;
+    }
+    trace_.push_back(record);
+  }
   last_end_ = first + count;
   have_last_ = true;
 }

@@ -4,8 +4,8 @@
 #ifndef LOGFS_SRC_DISK_TRACING_DISK_H_
 #define LOGFS_SRC_DISK_TRACING_DISK_H_
 
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "src/disk/block_device.h"
 #include "src/sim/sim_clock.h"
@@ -43,20 +43,38 @@ class TracingDisk : public BlockDevice {
   const DiskStats& stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
 
-  const std::vector<TraceRecord>& trace() const { return trace_; }
-  void ClearTrace() { trace_.clear(); }
+  // The retained window of the trace: a bounded ring — once `trace_limit()`
+  // records are held, each new request drops the oldest (soak workloads
+  // otherwise grow the trace without bound). Sequentiality of new records
+  // is still judged against the true previous request, dropped or not.
+  const std::deque<TraceRecord>& trace() const { return trace_; }
+  void ClearTrace() {
+    trace_.clear();
+    dropped_records_ = 0;
+  }
 
-  // Summary counters over the current trace.
+  // Records evicted from the ring since the last ClearTrace().
+  uint64_t dropped_records() const { return dropped_records_; }
+  size_t trace_limit() const { return trace_limit_; }
+  void set_trace_limit(size_t limit);
+
+  // Summary counters over the retained window.
   uint64_t WriteRequestCount() const;
   uint64_t SyncWriteRequestCount() const;
   uint64_t NonSequentialWriteCount() const;
 
  private:
+  // Generous default: ~256k records (a few tens of MB) holds any test or
+  // figure-reproduction trace whole while bounding soak runs.
+  static constexpr size_t kDefaultTraceLimit = 262144;
+
   void Record(TraceRecord::Kind kind, uint64_t first, uint64_t count, bool synchronous);
 
   BlockDevice* inner_;
   const SimClock* clock_;
-  std::vector<TraceRecord> trace_;
+  std::deque<TraceRecord> trace_;
+  size_t trace_limit_ = kDefaultTraceLimit;
+  uint64_t dropped_records_ = 0;
   uint64_t last_end_ = 0;
   bool have_last_ = false;
 };

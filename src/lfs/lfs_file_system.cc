@@ -6,6 +6,8 @@
 
 #include "src/fsbase/dirent.h"
 #include "src/lfs/lfs_cleaner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/util/logging.h"
 
 namespace logfs {
@@ -143,6 +145,12 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   }
   RETURN_IF_ERROR(fs->LoadFromCheckpoint(*best));
   fs->next_ckpt_region_ = best_region == 0 ? 1 : 0;
+  if constexpr (obs::kMetricsEnabled) {
+    obs::Registry().GetCounter("logfs.recovery.mounts").Increment();
+    obs::Tracer().RecordInstant("recovery", "checkpoint_select", fs->Now(),
+                                {{"region", std::to_string(best_region)},
+                                 {"sequence", std::to_string(best->sequence)}});
+  }
 
   if (options.roll_forward) {
     RETURN_IF_ERROR(fs->RollForward());
@@ -511,7 +519,15 @@ Status LfsFileSystem::FlushPartial() {
   }
   // On failure the builder keeps its entries (and their extents), so the
   // pins stay too; everything unwinds together when the caller gives up.
-  RETURN_IF_ERROR(builder_.Flush(next_log_seq_++, Now()));
+  const double flush_start = Now();
+  RETURN_IF_ERROR(builder_.Flush(next_log_seq_++, flush_start));
+  if constexpr (obs::kMetricsEnabled) {
+    static constexpr double kLatencyBounds[] = {0.0001, 0.001, 0.01, 0.05, 0.1, 0.5};
+    static obs::Histogram& latency =
+        obs::Registry().GetHistogram("logfs.segwriter.flush_seconds", kLatencyBounds);
+    latency.Observe(Now() - flush_start);
+    obs::Tracer().RecordSpan("segwriter", "flush", flush_start, Now());
+  }
   staged_pins_.clear();
   return OkStatus();
 }
@@ -640,6 +656,12 @@ Status LfsFileSystem::FlushDirtyInodes() {
       imap_.SetLocation(ino, addr, static_cast<uint16_t>(k));
       SetInodeClean(&inodes_.at(ino));
     }
+    if constexpr (obs::kMetricsEnabled) {
+      static obs::Counter& blocks = obs::Registry().GetCounter("logfs.imap.inode_blocks_written");
+      static obs::Counter& flushed = obs::Registry().GetCounter("logfs.imap.inodes_flushed");
+      blocks.Increment();
+      flushed.Increment(count);
+    }
   }
   return OkStatus();
 }
@@ -655,6 +677,10 @@ Status LfsFileSystem::FlushPendingFrees() {
     RETURN_IF_ERROR(AppendToLogDeferred(BlockKind::kMetaLog, 0, 0, 0, &block).status());
     RETURN_IF_ERROR(EncodeMetaLogBlock(
         std::span<const FreeRecord>(pending_frees_).subspan(start, count), block));
+    if constexpr (obs::kMetricsEnabled) {
+      static obs::Counter& blocks = obs::Registry().GetCounter("logfs.lfs.meta_log_blocks");
+      blocks.Increment();
+    }
   }
   pending_frees_.clear();
   return OkStatus();
@@ -699,6 +725,10 @@ Status LfsFileSystem::Checkpoint() {
     AccountReplace(imap_block_addrs_[i], addr, BlockSize());
     imap_block_addrs_[i] = addr;
     imap_.ClearBlockDirty(i);
+    if constexpr (obs::kMetricsEnabled) {
+      static obs::Counter& rewrites = obs::Registry().GetCounter("logfs.imap.blocks_rewritten");
+      rewrites.Increment();
+    }
   }
 
   // Rewrite dirty segment-usage blocks. Their contents depend on the disk
@@ -762,6 +792,10 @@ Status LfsFileSystem::Checkpoint() {
     RETURN_IF_ERROR(usage_.EncodeBlock(i, buffer));
     usage_.ClearBlockDirty(i);
   }
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& rewrites = obs::Registry().GetCounter("logfs.usage.blocks_rewritten");
+    rewrites.Increment(deferred.size());
+  }
   RETURN_IF_ERROR(FlushPartial());
 
   CheckpointRecord ckpt;
@@ -781,6 +815,10 @@ Status LfsFileSystem::Checkpoint() {
   usage_.CommitPendingClean();
   last_checkpoint_time_ = Now();
   ++checkpoint_count_;
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& checkpoints = obs::Registry().GetCounter("logfs.lfs.checkpoints");
+    checkpoints.Increment();
+  }
   return OkStatus();
 }
 
@@ -788,6 +826,8 @@ Status LfsFileSystem::Checkpoint() {
 
 Status LfsFileSystem::RollForward() {
   const uint64_t checkpoint_next_seq = next_log_seq_;
+  const uint32_t rolled_before = rolled_forward_partials_;
+  obs::SpanTimer roll_span(clock_, "recovery", "roll_forward");
   struct Found {
     uint32_t segment;
     uint32_t offset;
@@ -851,6 +891,13 @@ Status LfsFileSystem::RollForward() {
     ++rolled_forward_partials_;
     found.erase(it);
   }
+  if constexpr (obs::kMetricsEnabled) {
+    const uint32_t applied = rolled_forward_partials_ - rolled_before;
+    obs::Registry().GetCounter("logfs.recovery.segments_scanned").Increment(sb_.num_segments);
+    obs::Registry().GetCounter("logfs.recovery.rolled_partials").Increment(applied);
+    roll_span.AddArg("segments_scanned", std::to_string(sb_.num_segments));
+    roll_span.AddArg("partials_applied", std::to_string(applied));
+  }
   if (!advanced) {
     return OkStatus();
   }
@@ -865,6 +912,10 @@ Status LfsFileSystem::RollForward() {
 Status LfsFileSystem::ApplyRolledPartial(const SegmentSummary& summary, uint32_t segment,
                                          uint32_t offset,
                                          std::span<const std::byte> content) {
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& replayed = obs::Registry().GetCounter("logfs.recovery.replayed_records");
+    replayed.Increment(summary.entries.size());
+  }
   for (size_t i = 0; i < summary.entries.size(); ++i) {
     const SummaryEntry& entry = summary.entries[i];
     const DiskAddr block_addr = sb_.SegmentBlockSector(segment, offset + 1 +

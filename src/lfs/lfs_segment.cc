@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/crc32.h"
 #include "src/util/serializer.h"
 
@@ -229,6 +230,22 @@ Status SegmentBuilder::Flush(uint64_t seq, double timestamp) {
   }
   const uint64_t sector = sb_.SegmentBlockSector(segment_, start_offset_);
   RETURN_IF_ERROR(device_->WriteSectorsV(sector, iov));
+  // Per-flush (never per-append) accounting: one partial, its block count,
+  // and the fill fraction of an entry-capacity'd summary. Handles are
+  // resolved once per process; the increments are relaxed atomic adds.
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& partials = obs::Registry().GetCounter("logfs.segwriter.partials_flushed");
+    static obs::Counter& blocks = obs::Registry().GetCounter("logfs.segwriter.blocks_written");
+    static obs::Counter& bytes = obs::Registry().GetCounter("logfs.segwriter.bytes_written");
+    static constexpr double kFillBounds[] = {0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+    static obs::Histogram& fill =
+        obs::Registry().GetHistogram("logfs.segwriter.partial_fill", kFillBounds);
+    partials.Increment();
+    blocks.Increment(entries_.size());
+    bytes.Increment((1 + entries_.size()) * sb_.block_size);
+    fill.Observe(static_cast<double>(entries_.size()) /
+                 static_cast<double>(SummaryCapacity(sb_.block_size)));
+  }
   start_offset_ += 1 + static_cast<uint32_t>(entries_.size());
   entries_.clear();
   extents_.clear();

@@ -1,0 +1,246 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace logfs::obs {
+namespace {
+
+// Exports must be byte-identical across runs and platforms for the same
+// counter values, so floats are printed with an explicit fixed format
+// instead of whatever the locale or default precision would do.
+void AppendDouble(std::ostringstream& out, double v) {
+  if (std::isnan(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.imbue(std::locale::classic());
+  tmp.precision(17);
+  tmp << v;
+  std::string s = tmp.str();
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos) {
+    s += ".0";
+  }
+  out << s;
+}
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  if constexpr (!kMetricsEnabled) {
+    (void)value;
+    return;
+  }
+  size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  // A value exactly on a bound lands in the bucket whose upper bound it is.
+  if (i > 0 && bounds_[i - 1] == value) --i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // No atomic double fetch_add pre-C++20 on all toolchains; CAS loop keeps
+  // the sum exact under the concurrency unit test.
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  if constexpr (!kMetricsEnabled) {
+    static Counter dummy;
+    return dummy;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  if constexpr (!kMetricsEnabled) {
+    static Gauge dummy;
+    return dummy;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> upper_bounds) {
+  if constexpr (!kMetricsEnabled) {
+    static Histogram dummy{std::vector<double>{}};
+    return dummy;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          upper_bounds.begin(), upper_bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.bounds = h->bounds();
+    hv.buckets.resize(hv.bounds.size() + 1);
+    for (size_t i = 0; i < hv.buckets.size(); ++i) hv.buckets[i] = h->BucketCount(i);
+    hv.count = h->Count();
+    hv.sum = h->Sum();
+    snap.histograms[name] = std::move(hv);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": " << v;
+  }
+  out << (snap.counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": ";
+    AppendDouble(out, v);
+  }
+  out << (snap.gauges.empty() ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hv] : snap.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonString(out, name);
+    out << ": {\"bounds\": [";
+    for (size_t i = 0; i < hv.bounds.size(); ++i) {
+      if (i) out << ", ";
+      AppendDouble(out, hv.bounds[i]);
+    }
+    out << "], \"buckets\": [";
+    for (size_t i = 0; i < hv.buckets.size(); ++i) {
+      if (i) out << ", ";
+      out << hv.buckets[i];
+    }
+    out << "], \"count\": " << hv.count << ", \"sum\": ";
+    AppendDouble(out, hv.sum);
+    out << "}";
+  }
+  out << (snap.histograms.empty() ? "}" : "\n  }");
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToText() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  for (const auto& [name, v] : snap.counters) {
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out << name << " ";
+    AppendDouble(out, v);
+    out << "\n";
+  }
+  for (const auto& [name, hv] : snap.histograms) {
+    out << name << " count=" << hv.count << " sum=";
+    AppendDouble(out, hv.sum);
+    out << " buckets=[";
+    for (size_t i = 0; i < hv.buckets.size(); ++i) {
+      if (i) out << ",";
+      out << hv.buckets[i];
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace logfs::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/lfs/lfs_file_system.h"
+#include "src/obs/tracer.h"
 
 namespace logfs {
 namespace {
@@ -25,6 +26,17 @@ std::string SmallFilePath(const SmallFileParams& params, int index) {
          std::to_string(index);
 }
 
+
+// Every completed benchmark phase becomes a workload-category span (sim
+// time), so a Chrome-trace export lines phases up against the cleaner and
+// segment-writer spans they caused.
+void RecordPhaseSpan(const Testbed& bed, const PhaseResult& phase) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::Tracer().RecordSpan("workload", phase.name, bed.Now() - phase.seconds, bed.Now(),
+                             {{"operations", std::to_string(phase.operations)},
+                              {"bytes", std::to_string(phase.bytes)}});
+  }
+}
 }  // namespace
 
 // --- Figure 3 -----------------------------------------------------------------
@@ -60,6 +72,7 @@ Result<std::vector<PhaseResult>> RunSmallFileBenchmark(Testbed& bed,
   phases.push_back(PhaseResult{"create", bed.Now() - t0,
                                static_cast<uint64_t>(params.num_files),
                                static_cast<uint64_t>(params.num_files) * params.file_size});
+  RecordPhaseSpan(bed, phases.back());
 
   // "The file cache was flushed" between phases.
   RETURN_IF_ERROR(bed.fs->DropCaches());
@@ -77,6 +90,7 @@ Result<std::vector<PhaseResult>> RunSmallFileBenchmark(Testbed& bed,
   phases.push_back(PhaseResult{"read", bed.Now() - t0,
                                static_cast<uint64_t>(params.num_files),
                                static_cast<uint64_t>(params.num_files) * params.file_size});
+  RecordPhaseSpan(bed, phases.back());
 
   // Phase 3: delete everything.
   t0 = bed.Now();
@@ -87,6 +101,7 @@ Result<std::vector<PhaseResult>> RunSmallFileBenchmark(Testbed& bed,
   phases.push_back(PhaseResult{"delete", bed.Now() - t0,
                                static_cast<uint64_t>(params.num_files),
                                static_cast<uint64_t>(params.num_files) * params.file_size});
+  RecordPhaseSpan(bed, phases.back());
   return phases;
 }
 
@@ -134,6 +149,7 @@ Result<std::vector<PhaseResult>> RunLargeFileBenchmark(Testbed& bed,
     }
     phases.push_back(
         PhaseResult{name, bed.Now() - t0, requests, requests * params.request_size});
+    RecordPhaseSpan(bed, phases.back());
     return OkStatus();
   };
 

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Proves zero-cost disablement of the observability layer: configures a
+# separate build tree with -DLOGFS_METRICS=OFF (src/obs compiles to no-ops,
+# the registry and tracer stay empty), builds everything, and runs the full
+# test suite there. obs_test's value-dependent cases skip themselves in this
+# configuration; everything else must pass identically — the metrics layer
+# may not change any simulated result.
+#
+# Usage: tools/check_metrics_off.sh [build-dir]   (default: build-nometrics)
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-nometrics}"
+
+cmake -B "$BUILD_DIR" -S . -DLOGFS_METRICS=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "LOGFS_METRICS=OFF: build + tests clean"

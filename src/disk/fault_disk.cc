@@ -2,12 +2,92 @@
 
 namespace logfs {
 
+bool FaultInjectingDisk::TouchesBadSector(const std::unordered_set<uint64_t>& bad, uint64_t first,
+                                          uint64_t sectors) const {
+  if (bad.empty()) {
+    return false;
+  }
+  for (uint64_t i = 0; i < sectors; ++i) {
+    if (bad.contains(first + i)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FaultInjectingDisk::CheckReadFaults(uint64_t first, uint64_t sectors) {
+  const uint64_t request_index = read_requests_seen_;
+  ++read_requests_seen_;
+  if (TouchesBadSector(bad_read_sectors_, first, sectors)) {
+    ++media_errors_injected_;
+    return MediaError("unreadable sector");
+  }
+  if (fail_read_requests_.erase(request_index) > 0) {
+    ++transient_read_errors_injected_;
+    return IoError("injected transient read error");
+  }
+  if (transient_read_p_ > 0.0 && rng_.NextBool(transient_read_p_)) {
+    ++transient_read_errors_injected_;
+    return IoError("injected transient read error");
+  }
+  return OkStatus();
+}
+
+Status FaultInjectingDisk::CheckWriteFaults(uint64_t first, uint64_t sectors) {
+  if (TouchesBadSector(bad_write_sectors_, first, sectors)) {
+    ++media_errors_injected_;
+    return MediaError("unwritable sector");
+  }
+  if (fail_write_requests_.erase(write_requests_seen_ - 1) > 0) {
+    ++transient_write_errors_injected_;
+    return IoError("injected transient write error");
+  }
+  if (transient_write_p_ > 0.0 && rng_.NextBool(transient_write_p_)) {
+    ++transient_write_errors_injected_;
+    return IoError("injected transient write error");
+  }
+  return OkStatus();
+}
+
+void FaultInjectingDisk::ApplyCorruption(uint64_t first, std::span<std::byte> out) {
+  if (corrupt_sectors_.empty()) {
+    return;
+  }
+  const uint64_t sectors = out.size() / kSectorSize;
+  for (uint64_t i = 0; i < sectors; ++i) {
+    auto it = corrupt_sectors_.find(first + i);
+    if (it == corrupt_sectors_.end()) {
+      continue;
+    }
+    const size_t pos = i * kSectorSize + it->second.byte_offset;
+    out[pos] ^= std::byte{it->second.xor_mask};
+    ++corruptions_applied_;
+  }
+}
+
+void FaultInjectingDisk::ApplyCorruptionV(uint64_t first,
+                                          std::span<const std::span<std::byte>> bufs) {
+  if (corrupt_sectors_.empty()) {
+    return;
+  }
+  // Walk the vector as one flat byte range; each buffer covers whole sectors
+  // of it in order.
+  uint64_t sector = first;
+  for (const auto& buf : bufs) {
+    ApplyCorruption(sector, buf);
+    sector += buf.size() / kSectorSize;
+  }
+}
+
 Status FaultInjectingDisk::ReadSectors(uint64_t first, std::span<std::byte> out,
                                        IoOptions options) {
   if (crashed_) {
     return CrashedError("device is powered off");
   }
-  return inner_->ReadSectors(first, out, options);
+  RETURN_IF_ERROR(CheckReadFaults(first, out.size() / kSectorSize));
+  RETURN_IF_ERROR(inner_->ReadSectors(first, out, options));
+  ApplyCorruption(first, out);
+  return OkStatus();
 }
 
 Status FaultInjectingDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
@@ -17,6 +97,9 @@ Status FaultInjectingDisk::WriteSectors(uint64_t first, std::span<const std::byt
   }
   ++write_requests_seen_;
   const uint64_t sectors = data.size() / kSectorSize;
+  // Media faults fire before the armed-crash budget: a rejected request
+  // transfers nothing, so it cannot be the one interrupted by the crash.
+  RETURN_IF_ERROR(CheckWriteFaults(first, sectors));
   if (armed_) {
     if (writes_until_crash_ == 0) {
       // This is the write that gets interrupted: a prefix may reach disk.
@@ -53,7 +136,10 @@ Status FaultInjectingDisk::ReadSectorsV(uint64_t first, std::span<const std::spa
   if (crashed_) {
     return CrashedError("device is powered off");
   }
-  return inner_->ReadSectorsV(first, bufs, options);
+  RETURN_IF_ERROR(CheckReadFaults(first, IoVecBytes(bufs) / kSectorSize));
+  RETURN_IF_ERROR(inner_->ReadSectorsV(first, bufs, options));
+  ApplyCorruptionV(first, bufs);
+  return OkStatus();
 }
 
 Status FaultInjectingDisk::WriteSectorsV(uint64_t first,
@@ -64,6 +150,7 @@ Status FaultInjectingDisk::WriteSectorsV(uint64_t first,
   }
   ++write_requests_seen_;
   const uint64_t sectors = IoVecBytes(bufs) / kSectorSize;
+  RETURN_IF_ERROR(CheckWriteFaults(first, sectors));
   if (armed_) {
     if (writes_until_crash_ == 0) {
       const uint64_t keep = torn_sectors_ < sectors ? torn_sectors_ : sectors;

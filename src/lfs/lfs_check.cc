@@ -1,16 +1,32 @@
 #include "src/lfs/lfs_check.h"
 
+#include <algorithm>
 #include <deque>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "src/util/crc32.h"
 
 namespace logfs {
 
 std::string LfsCheckReport::Summary() const {
   std::ostringstream os;
   os << (ok() ? "CLEAN" : "CORRUPT") << ": " << files << " files, " << directories
-     << " directories, " << total_bytes << " bytes";
+     << " directories, " << total_bytes << " bytes, " << blocks_checksum_verified
+     << " blocks checksum-verified";
+  if (checksum_failures > 0) {
+    os << ", " << checksum_failures << " checksum failures";
+  }
+  if (quarantined_segments > 0) {
+    os << ", " << quarantined_segments << " quarantined segments";
+  }
+  if (read_only) {
+    os << " [read-only]";
+  }
+  for (const auto& [seg, failures] : segment_checksum_failures) {
+    os << "\n  segment " << seg << ": " << failures << " checksum failures";
+  }
   for (const std::string& problem : problems) {
     os << "\n  problem: " << problem;
   }
@@ -24,8 +40,14 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
       report.problems.push_back(std::move(message));
     }
   };
-  // Quiesce: every structure must be on disk (or exactly tracked).
-  RETURN_IF_ERROR(fs_->Sync());
+  // Quiesce: every structure must be on disk (or exactly tracked). A mount
+  // demoted to read-only cannot sync, but it also cannot dirty anything
+  // further, so the check proceeds on whatever is durable.
+  Status quiesce = fs_->Sync();
+  report.read_only = fs_->read_only();
+  if (!quiesce.ok() && !report.read_only) {
+    return quiesce;
+  }
 
   const LfsSuperblock& sb = fs_->sb_;
   const InodeMap& imap = fs_->imap_;
@@ -237,6 +259,57 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
           }
         }
       }
+    }
+  }
+
+  // --- 5. media verification ---
+  // Compare every live block whose write-time CRC the mount knows against
+  // the bytes on the medium, bypassing the buffer cache. Failures in a
+  // quarantined segment are expected (the damage is already tracked and the
+  // segment side-lined), so only failures in ordinary segments are
+  // inconsistencies; both are counted per segment.
+  report.quarantined_segments = fs_->usage_.CountState(SegState::kQuarantined);
+  std::unordered_set<uint64_t> verify_addrs(seen);
+  for (InodeNum ino = kRootIno; ino <= imap.max_inodes(); ++ino) {
+    const ImapEntry& entry = imap.Get(ino);
+    if (entry.allocated && entry.block_addr != kNoAddr) {
+      verify_addrs.insert(entry.block_addr);
+    }
+  }
+  for (DiskAddr addr : fs_->imap_block_addrs_) {
+    if (addr != kNoAddr) {
+      verify_addrs.insert(addr);
+    }
+  }
+  for (DiskAddr addr : fs_->usage_block_addrs_) {
+    if (addr != kNoAddr) {
+      verify_addrs.insert(addr);
+    }
+  }
+  std::unordered_map<uint32_t, uint64_t> seg_failures;
+  std::vector<std::byte> raw(sb.block_size);
+  for (uint64_t addr : verify_addrs) {
+    if (!addr_in_range(addr)) {
+      continue;  // Already complained about by the claim walk.
+    }
+    auto it = fs_->block_crcs_.find(addr);
+    if (it == fs_->block_crcs_.end()) {
+      continue;  // No write-time CRC known (e.g. damaged summary at mount).
+    }
+    if (!fs_->device_->ReadSectors(addr, raw).ok() || Crc32(raw) != it->second) {
+      ++seg_failures[sb.SegmentOfSector(addr)];
+      continue;
+    }
+    ++report.blocks_checksum_verified;
+  }
+  report.segment_checksum_failures.assign(seg_failures.begin(), seg_failures.end());
+  std::sort(report.segment_checksum_failures.begin(),
+            report.segment_checksum_failures.end());
+  for (const auto& [seg, failures] : report.segment_checksum_failures) {
+    report.checksum_failures += failures;
+    if (fs_->usage_.Get(seg).state != SegState::kQuarantined) {
+      complain("segment " + std::to_string(seg) + ": " + std::to_string(failures) +
+               " live blocks fail their write-time checksum");
     }
   }
   return report;

@@ -11,11 +11,17 @@
 //     pointers reference the same disk block;
 //   * the segment usage table matches an exact recount, clean segments hold
 //     no live data, and exactly one segment is active;
-//   * every file's content is readable end to end.
+//   * every file's content is readable end to end;
+//   * every live block whose write-time checksum is known still matches it
+//     on the medium (silent corruption shows up here even before a reader
+//     trips on it), with per-segment failure counts and the number of
+//     quarantined segments reported.
 #ifndef LOGFS_SRC_LFS_LFS_CHECK_H_
 #define LOGFS_SRC_LFS_LFS_CHECK_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/lfs/lfs_file_system.h"
@@ -28,6 +34,13 @@ struct LfsCheckReport {
   uint64_t files = 0;
   uint64_t directories = 0;
   uint64_t total_bytes = 0;
+  // Media verification: live blocks compared against their write-time CRCs.
+  uint64_t blocks_checksum_verified = 0;
+  uint64_t checksum_failures = 0;
+  // Per-segment failure counts (only segments with failures are listed).
+  std::vector<std::pair<uint32_t, uint64_t>> segment_checksum_failures;
+  uint32_t quarantined_segments = 0;
+  bool read_only = false;  // Mount was demoted before/while checking.
 
   bool ok() const { return problems.empty(); }
   std::string Summary() const;

@@ -6,6 +6,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
+#include "src/util/crc32.h"
 #include "src/util/logging.h"
 
 namespace logfs {
@@ -56,10 +57,34 @@ Result<uint32_t> LfsCleaner::CleanVictims(std::vector<uint32_t> victims) {
 
     std::vector<std::byte> image(sb.segment_size);
     for (uint32_t seg : victims) {
-      RETURN_IF_ERROR(
-          fs_->device_->ReadSectors(sb.SegmentBlockSector(seg, 0), image));
+      bool salvage = false;
+      Status read = fs_->device_->ReadSectors(sb.SegmentBlockSector(seg, 0), image);
+      if (!read.ok()) {
+        if (read.code() == ErrorCode::kCrashed) {
+          return read;
+        }
+        // Media trouble: retry block-by-block so one bad sector does not
+        // hide the rest of the segment, zero-filling whatever stays
+        // unreadable (a zeroed block fails its per-entry checksum unless
+        // its content really was zeros, in which case nothing was lost)
+        // and switching this victim to the tolerant salvage walk.
+        salvage = true;
+        const uint32_t bs = sb.block_size;
+        for (uint32_t b = 0; b < sb.BlocksPerSegment(); ++b) {
+          std::span<std::byte> slot =
+              std::span<std::byte>(image).subspan(static_cast<size_t>(b) * bs, bs);
+          Status block_read =
+              fs_->device_->ReadSectors(sb.SegmentBlockSector(seg, b), slot);
+          if (!block_read.ok()) {
+            if (block_read.code() == ErrorCode::kCrashed) {
+              return block_read;
+            }
+            std::memset(slot.data(), 0, slot.size());
+          }
+        }
+      }
       ++fs_->cleaner_stats_.segment_reads;
-      RETURN_IF_ERROR(GatherLive(seg, image));
+      RETURN_IF_ERROR(GatherLive(seg, image, salvage));
       // Staging live blocks must not exhaust the cache (large segments can
       // hold more live data than the cache does): compact mid-pass once
       // half the cache is dirty.
@@ -73,15 +98,18 @@ Result<uint32_t> LfsCleaner::CleanVictims(std::vector<uint32_t> victims) {
       fs_->usage_.SetState(seg, SegState::kCleanPending);
     }
     // The checkpoint rewrites any imap/usage blocks the cleaner displaced
-    // and commits the victims to kClean.
+    // and commits the victims to kClean. Victims it could NOT commit clean
+    // (live blocks lost to media damage, so relocation was incomplete)
+    // come back quarantined instead; those were not cleaned.
     RETURN_IF_ERROR(fs_->Checkpoint());
+    uint32_t cleaned = 0;
     for (uint32_t seg : victims) {
-      if (fs_->usage_.Get(seg).live_bytes != 0) {
-        return CorruptedError("cleaned segment still has live bytes");
+      if (fs_->usage_.Get(seg).state != SegState::kQuarantined) {
+        ++cleaned;
       }
     }
-    fs_->cleaner_stats_.segments_cleaned += victims.size();
-    return static_cast<uint32_t>(victims.size());
+    fs_->cleaner_stats_.segments_cleaned += cleaned;
+    return cleaned;
   }();
   fs_->in_cleaner_ = false;
   if constexpr (obs::kMetricsEnabled) {
@@ -115,7 +143,13 @@ Result<uint32_t> LfsCleaner::CleanVictims(std::vector<uint32_t> victims) {
   return result;
 }
 
-Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image) {
+Result<uint64_t> LfsCleaner::SalvageSegment(uint32_t seg, std::span<const std::byte> image) {
+  const uint64_t before = fs_->cleaner_stats_.live_blocks_copied;
+  RETURN_IF_ERROR(GatherLive(seg, image, /*salvage=*/true));
+  return fs_->cleaner_stats_.live_blocks_copied - before;
+}
+
+Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image, bool salvage) {
   const LfsSuperblock& sb = fs_->sb_;
   const uint32_t bs = sb.block_size;
   const uint32_t bps = sb.BlocksPerSegment();
@@ -124,13 +158,29 @@ Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image) {
     std::span<const std::byte> summary_block = image.subspan(offset * bs, bs);
     Result<SummaryPeek> peek = PeekSummary(summary_block, bs);
     if (!peek.ok() || offset + 1 + peek->nblocks > bps) {
-      break;  // End of the valid partial-segment chain.
+      if (!salvage) {
+        break;  // End of the valid partial-segment chain.
+      }
+      ++offset;  // Probe: the chain may resume past the damage.
+      continue;
     }
     std::span<const std::byte> content =
         image.subspan((offset + 1) * bs, static_cast<size_t>(peek->nblocks) * bs);
     Result<SegmentSummary> summary = DecodeSummary(summary_block, content);
+    bool per_block_verify = false;
     if (!summary.ok()) {
-      break;
+      if (!salvage) {
+        break;
+      }
+      // Torn or damaged partial: trust only the content blocks whose own
+      // checksum matches their summary entry. Blocks that fail stay put —
+      // the checkpoint's residue accounting quarantines the segment.
+      summary = DecodeSummaryUnchecked(summary_block);
+      if (!summary.ok()) {
+        ++offset;
+        continue;
+      }
+      per_block_verify = true;
     }
     for (size_t i = 0; i < summary->entries.size(); ++i) {
       const SummaryEntry& entry = summary->entries[i];
@@ -139,6 +189,9 @@ Status LfsCleaner::GatherLive(uint32_t seg, std::span<const std::byte> image) {
       ++fs_->cleaner_stats_.blocks_examined;
       if (fs_->cpu_ != nullptr) {
         fs_->ChargeCpu(fs_->cpu_->costs().per_block_instructions);
+      }
+      if (per_block_verify && Crc32(block) != entry.block_crc) {
+        continue;  // Unsalvageable: the block no longer matches its summary.
       }
       switch (entry.kind) {
         case BlockKind::kData: {

@@ -37,10 +37,21 @@ class LfsCleaner {
   // skipped). Same commit protocol.
   Result<uint32_t> CleanVictims(std::vector<uint32_t> victims);
 
+  // Best-effort rescue of a damaged segment (normally one the scrubber just
+  // quarantined): walks `image` tolerantly — probing past unparseable
+  // summary blocks, falling back to per-entry block checksums where a
+  // partial segment's full CRC fails — and stages every live block that
+  // still verifies, exactly like a cleaning pass would. Returns how many
+  // blocks were staged; the caller flushes them to new homes.
+  Result<uint64_t> SalvageSegment(uint32_t seg, std::span<const std::byte> image);
+
  private:
   // Phase one for one victim: identify live blocks and stage them in the
-  // cache / in-core inode table.
-  Status GatherLive(uint32_t seg, std::span<const std::byte> image);
+  // cache / in-core inode table. With `salvage` set the walk tolerates
+  // damage (see SalvageSegment); without it, the walk stops at the first
+  // unparseable or CRC-failing partial segment, matching the write path's
+  // notion of where the valid chain ends.
+  Status GatherLive(uint32_t seg, std::span<const std::byte> image, bool salvage);
 
   LfsFileSystem* fs_;
 };

@@ -8,6 +8,7 @@
 #include "src/lfs/lfs_cleaner.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
+#include "src/util/crc32.h"
 #include "src/util/logging.h"
 
 namespace logfs {
@@ -122,6 +123,10 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   ASSIGN_OR_RETURN(LfsSuperblock sb, DecodeLfsSuperblock(first));
   auto fs = std::unique_ptr<LfsFileSystem>(new LfsFileSystem(device, clock, cpu, sb, options));
 
+  // Seed the block-checksum index from the segment summaries before any
+  // block is read back, so even the checkpoint's imap/usage reads verify.
+  RETURN_IF_ERROR(fs->LoadBlockCrcIndex());
+
   // Read both checkpoint regions; the valid one with the highest sequence
   // number wins (Section 4.4.1).
   const size_t region_bytes = static_cast<size_t>(sb.checkpoint_region_blocks) * sb.block_size;
@@ -195,7 +200,75 @@ Status LfsFileSystem::LoadFromCheckpoint(const CheckpointRecord& ckpt) {
 // --- Raw device helpers ---------------------------------------------------------
 
 Status LfsFileSystem::ReadBlockAt(DiskAddr addr, std::span<std::byte> out) {
-  return device_->ReadSectors(addr, out.subspan(0, BlockSize()));
+  RETURN_IF_ERROR(device_->ReadSectors(addr, out.subspan(0, BlockSize())));
+  return VerifyBlockChecksum(addr, out.subspan(0, BlockSize()));
+}
+
+Status LfsFileSystem::VerifyBlockChecksum(DiskAddr addr, std::span<const std::byte> block) {
+  const auto it = block_crcs_.find(addr);
+  if (it == block_crcs_.end() || Crc32(block) == it->second) {
+    return OkStatus();
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& failures = obs::Registry().GetCounter("logfs.lfs.checksum_failures");
+    failures.Increment();
+  }
+  QuarantineSegment(SegmentOfAddr(addr));
+  return CorruptedError("block checksum mismatch (silent corruption)");
+}
+
+Status LfsFileSystem::CheckWritable() const {
+  if (read_only_) {
+    return ReadOnlyError("mount demoted to read-only after checkpoint write failure");
+  }
+  return OkStatus();
+}
+
+void LfsFileSystem::QuarantineSegment(uint32_t seg) {
+  const SegState state = usage_.Get(seg).state;
+  // The active segment belongs to the builder; its summaries are not stable
+  // yet, so a verification miss there is reported to the caller but the
+  // segment stays writable.
+  if (state == SegState::kQuarantined || state == SegState::kActive) {
+    return;
+  }
+  usage_.SetState(seg, SegState::kQuarantined);
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& quarantined =
+        obs::Registry().GetCounter("logfs.lfs.segments_quarantined");
+    quarantined.Increment();
+    obs::Tracer().RecordInstant("lfs", "quarantine", Now(),
+                                {{"segment", std::to_string(seg)}});
+  }
+}
+
+Status LfsFileSystem::LoadBlockCrcIndex() {
+  const uint32_t bps = sb_.BlocksPerSegment();
+  std::vector<std::byte> summary_block(BlockSize());
+  for (uint32_t seg = 0; seg < sb_.num_segments; ++seg) {
+    uint32_t offset = 0;
+    while (offset + 1 < bps) {
+      if (!device_->ReadSectors(sb_.SegmentBlockSector(seg, offset), summary_block).ok()) {
+        break;  // Unreadable summary: the scrubber/cleaner handles damage.
+      }
+      Result<SummaryPeek> peek = PeekSummary(summary_block, BlockSize());
+      if (!peek.ok() || offset + 1 + peek->nblocks > bps) {
+        break;
+      }
+      // Header CRC already vouches for the entry table; the content CRCs
+      // are exactly what this index exists to check later.
+      Result<SegmentSummary> summary = DecodeSummaryUnchecked(summary_block);
+      if (!summary.ok()) {
+        break;
+      }
+      for (size_t i = 0; i < summary->entries.size(); ++i) {
+        block_crcs_[sb_.SegmentBlockSector(seg, offset + 1 + static_cast<uint32_t>(i))] =
+            summary->entries[i].block_crc;
+      }
+      offset += 1 + peek->nblocks;
+    }
+  }
+  return OkStatus();
 }
 
 void LfsFileSystem::ChargeCpu(uint64_t instructions) {
@@ -444,6 +517,13 @@ Result<CacheRef> LfsFileSystem::ReadBlockRun(InodeNum ino, const Inode& inode, u
     bufs.push_back(ref->mutable_data());
   }
   Status read = device_->ReadSectorsV(addr, bufs);
+  if (read.ok()) {
+    // Verify the whole run: bufs[0] is the target at `addr`, bufs[k] the
+    // k-th read-ahead block right after it on disk.
+    for (uint32_t k = 0; k < run && read.ok(); ++k) {
+      read = VerifyBlockChecksum(addr + static_cast<uint64_t>(k) * spb, bufs[k]);
+    }
+  }
   if (!read.ok()) {
     // Drop the half-filled blocks so a later retry re-reads the device.
     main.Release();
@@ -521,6 +601,10 @@ Status LfsFileSystem::FlushPartial() {
   // pins stay too; everything unwinds together when the caller gives up.
   const double flush_start = Now();
   RETURN_IF_ERROR(builder_.Flush(next_log_seq_++, flush_start));
+  // Fold the write-time checksums into the read-verification index.
+  for (const SegmentBuilder::FlushedBlock& fb : builder_.last_flush()) {
+    block_crcs_[fb.addr] = fb.crc;
+  }
   if constexpr (obs::kMetricsEnabled) {
     static constexpr double kLatencyBounds[] = {0.0001, 0.001, 0.01, 0.05, 0.1, 0.5};
     static obs::Histogram& latency =
@@ -702,15 +786,53 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   std::vector<std::byte> region(static_cast<size_t>(sb_.checkpoint_region_blocks) *
                                 BlockSize());
   RETURN_IF_ERROR(EncodeCheckpoint(ckpt, region));
-  const uint64_t sector =
-      (1ull + static_cast<uint64_t>(next_ckpt_region_) * sb_.checkpoint_region_blocks) *
-      sb_.SectorsPerBlock();
-  RETURN_IF_ERROR(device_->WriteSectors(sector, region, IoOptions{.synchronous = true}));
-  next_ckpt_region_ ^= 1;
-  return OkStatus();
+  auto region_sector = [&](uint32_t r) {
+    return (1ull + static_cast<uint64_t>(r) * sb_.checkpoint_region_blocks) *
+           sb_.SectorsPerBlock();
+  };
+  Status first = device_->WriteSectors(region_sector(next_ckpt_region_), region,
+                                       IoOptions{.synchronous = true});
+  if (first.ok()) {
+    next_ckpt_region_ ^= 1;
+    return OkStatus();
+  }
+  if (first.code() == ErrorCode::kCrashed) {
+    return first;  // Power-off, not media damage: recovery handles it.
+  }
+  // The chosen region is suspect; fall back to the alternate so the
+  // checkpoint still lands somewhere durable. The failed region stays next
+  // in the rotation: if it recovers the alternation resumes, and if it is
+  // persistently bad every checkpoint retries it and keeps landing here.
+  const uint32_t failed = next_ckpt_region_;
+  Status second = device_->WriteSectors(region_sector(failed ^ 1), region,
+                                        IoOptions{.synchronous = true});
+  if (second.ok()) {
+    next_ckpt_region_ = failed;
+    if constexpr (obs::kMetricsEnabled) {
+      static obs::Counter& failovers =
+          obs::Registry().GetCounter("logfs.lfs.ckpt_region_failovers");
+      failovers.Increment();
+    }
+    return OkStatus();
+  }
+  if (second.code() == ErrorCode::kCrashed) {
+    return second;
+  }
+  // Neither region can hold a checkpoint: further writes could never be
+  // made durable, so demote the mount instead of silently losing them.
+  read_only_ = true;
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& demotions =
+        obs::Registry().GetCounter("logfs.lfs.readonly_demotions");
+    demotions.Increment();
+    obs::Tracer().RecordInstant("lfs", "readonly_demotion", Now(), {});
+  }
+  return MediaError("checkpoint write failed on both regions; mount is now read-only: " +
+                    first.message());
 }
 
 Status LfsFileSystem::Checkpoint() {
+  RETURN_IF_ERROR(CheckWritable());
   RETURN_IF_ERROR(FlushEverything());
 
   // Rewrite dirty inode-map blocks into the log, encoding each straight
@@ -811,8 +933,21 @@ Status LfsFileSystem::Checkpoint() {
   RETURN_IF_ERROR(WriteCheckpointRegion(ckpt));
 
   // Segments emptied by the cleaner become allocatable only now that the
-  // checkpoint has recorded the new homes of their blocks.
-  usage_.CommitPendingClean();
+  // checkpoint has recorded the new homes of their blocks. Pending segments
+  // the cleaner could NOT fully relocate (live blocks lost to media damage)
+  // come back quarantined instead of clean.
+  const std::vector<uint32_t> quarantined = usage_.CommitPendingClean();
+  if constexpr (obs::kMetricsEnabled) {
+    if (!quarantined.empty()) {
+      static obs::Counter& counter =
+          obs::Registry().GetCounter("logfs.lfs.segments_quarantined");
+      counter.Increment(quarantined.size());
+      for (uint32_t seg : quarantined) {
+        obs::Tracer().RecordInstant("lfs", "quarantine", Now(),
+                                    {{"segment", std::to_string(seg)}});
+      }
+    }
+  }
   last_checkpoint_time_ = Now();
   ++checkpoint_count_;
   if constexpr (obs::kMetricsEnabled) {
@@ -975,6 +1110,9 @@ Status LfsFileSystem::RebuildUsageFromScratch(uint32_t active_segment,
   ASSIGN_OR_RETURN(std::vector<uint64_t> live, ComputeExactUsage());
   for (uint32_t seg = 0; seg < sb_.num_segments; ++seg) {
     usage_.SetLive(seg, static_cast<uint32_t>(live[seg]));
+    if (usage_.Get(seg).state == SegState::kQuarantined) {
+      continue;  // Media damage survives recovery; never reclassify it.
+    }
     if (seg == active_segment) {
       usage_.SetState(seg, SegState::kActive);
     } else if (live[seg] > 0) {
@@ -1040,6 +1178,197 @@ Result<std::vector<uint64_t>> LfsFileSystem::ComputeExactUsage() {
     }
   }
   return live;
+}
+
+// --- Media scrubbing --------------------------------------------------------------
+
+Result<bool> LfsFileSystem::IsBlockLive(const SummaryEntry& entry, DiskAddr addr) {
+  switch (entry.kind) {
+    case BlockKind::kData: {
+      if (!imap_.IsValid(entry.ino)) {
+        return false;
+      }
+      const ImapEntry& map_entry = imap_.Get(entry.ino);
+      if (!map_entry.allocated || map_entry.version != entry.version) {
+        return false;
+      }
+      ASSIGN_OR_RETURN(CachedInode * ci, GetInode(entry.ino));
+      const Inode inode = ci->inode;
+      ASSIGN_OR_RETURN(DiskAddr current,
+                       GetDataBlockAddr(entry.ino, inode, static_cast<uint64_t>(entry.offset)));
+      return current == addr;
+    }
+    case BlockKind::kIndirect: {
+      if (!imap_.IsValid(entry.ino)) {
+        return false;
+      }
+      const ImapEntry& map_entry = imap_.Get(entry.ino);
+      if (!map_entry.allocated || map_entry.version != entry.version) {
+        return false;
+      }
+      ASSIGN_OR_RETURN(DiskAddr current,
+                       GetIndirectAddr(entry.ino, static_cast<uint64_t>(entry.offset)));
+      return current == addr;
+    }
+    case BlockKind::kInodeBlock: {
+      // The summary cannot say which slots are current, and the (possibly
+      // damaged) content is not trustworthy — consult the map's reverse
+      // direction instead: any allocated inode homed in this block keeps it
+      // live.
+      for (InodeNum ino = kRootIno; ino <= imap_.max_inodes(); ++ino) {
+        const ImapEntry& map_entry = imap_.Get(ino);
+        if (map_entry.allocated && map_entry.block_addr == addr) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case BlockKind::kImap: {
+      const uint32_t index = static_cast<uint32_t>(entry.offset);
+      return index < imap_block_addrs_.size() && imap_block_addrs_[index] == addr;
+    }
+    case BlockKind::kSegUsage: {
+      const uint32_t index = static_cast<uint32_t>(entry.offset);
+      return index < usage_block_addrs_.size() && usage_block_addrs_[index] == addr;
+    }
+    case BlockKind::kMetaLog:
+      return false;  // Dead once checkpointed past.
+  }
+  return false;
+}
+
+Result<LfsFileSystem::ScrubReport> LfsFileSystem::Scrub(uint32_t max_segments) {
+  ScrubReport report;
+  if (max_segments == 0 || sb_.num_segments == 0) {
+    return report;
+  }
+  const uint32_t bps = sb_.BlocksPerSegment();
+  const uint32_t bs = BlockSize();
+  std::vector<std::byte> image(sb_.segment_size);
+  std::vector<bool> readable(bps, true);
+  for (uint32_t step = 0; step < sb_.num_segments && report.segments_scanned < max_segments;
+       ++step) {
+    const uint32_t seg = next_scrub_segment_;
+    next_scrub_segment_ = (next_scrub_segment_ + 1) % sb_.num_segments;
+    // Only settled segments with on-disk state worth checking: clean ones
+    // hold nothing, the active one is still being written, pending ones are
+    // about to be reclaimed, quarantined ones are already known bad.
+    if (usage_.Get(seg).state != SegState::kDirty) {
+      continue;
+    }
+    ++report.segments_scanned;
+    std::fill(readable.begin(), readable.end(), true);
+    Status read = device_->ReadSectors(sb_.SegmentBlockSector(seg, 0), image);
+    if (!read.ok()) {
+      if (read.code() == ErrorCode::kCrashed) {
+        return read;
+      }
+      // Per-block fallback: find out which blocks are actually lost.
+      // Unreadable ones are zero-filled so every checksum over them fails.
+      for (uint32_t b = 0; b < bps; ++b) {
+        std::span<std::byte> slot = std::span<std::byte>(image).subspan(
+            static_cast<size_t>(b) * bs, bs);
+        Status block_read = device_->ReadSectors(sb_.SegmentBlockSector(seg, b), slot);
+        if (!block_read.ok()) {
+          if (block_read.code() == ErrorCode::kCrashed) {
+            return block_read;
+          }
+          readable[b] = false;
+          ++report.media_errors;
+          std::memset(slot.data(), 0, slot.size());
+        }
+      }
+    }
+    bool quarantine = false;
+    uint32_t offset = 0;
+    while (offset + 1 < bps) {
+      const std::span<const std::byte> summary_block =
+          std::span<const std::byte>(image).subspan(static_cast<size_t>(offset) * bs, bs);
+      Result<SummaryPeek> peek =
+          readable[offset] ? PeekSummary(summary_block, bs)
+                           : Result<SummaryPeek>(MediaError("unreadable summary block"));
+      if (!peek.ok() || offset + 1 + peek->nblocks > bps) {
+        // Not a (valid) summary. An unreadable block we cannot attribute to
+        // any partial is treated as live damage whenever the segment holds
+        // live data at all — conservative, but quarantine never loses data.
+        if (!readable[offset] && usage_.Get(seg).live_bytes > 0) {
+          quarantine = true;
+        }
+        ++offset;  // Probe: the chain may resume past damage.
+        continue;
+      }
+      const std::span<const std::byte> content = std::span<const std::byte>(image).subspan(
+          static_cast<size_t>(offset + 1) * bs, static_cast<size_t>(peek->nblocks) * bs);
+      bool content_readable = true;
+      for (uint32_t b = offset + 1; b < offset + 1 + peek->nblocks; ++b) {
+        content_readable = content_readable && readable[b];
+      }
+      if (content_readable && DecodeSummary(summary_block, content).ok()) {
+        ++report.partials_verified;
+        report.blocks_verified += peek->nblocks;
+        offset += 1 + peek->nblocks;
+        continue;
+      }
+      // Damaged partial: fall back to per-entry checksums so the damage is
+      // localized to specific blocks and only *live* losses quarantine.
+      Result<SegmentSummary> summary = DecodeSummaryUnchecked(summary_block);
+      if (!summary.ok()) {
+        ++offset;
+        continue;
+      }
+      for (size_t i = 0; i < summary->entries.size(); ++i) {
+        const SummaryEntry& entry = summary->entries[i];
+        const DiskAddr addr =
+            sb_.SegmentBlockSector(seg, offset + 1 + static_cast<uint32_t>(i));
+        const std::span<const std::byte> block = content.subspan(i * bs, bs);
+        const bool block_ok =
+            readable[offset + 1 + i] && Crc32(block) == entry.block_crc;
+        if (block_ok) {
+          ++report.blocks_verified;
+          continue;
+        }
+        if (readable[offset + 1 + i]) {
+          ++report.checksum_failures;
+        }
+        Result<bool> live = IsBlockLive(entry, addr);
+        if (!live.ok() || *live) {  // Unknown liveness counts as live.
+          quarantine = true;
+        }
+      }
+      offset += 1 + peek->nblocks;
+    }
+    if (quarantine) {
+      QuarantineSegment(seg);
+      ++report.segments_quarantined;
+      // Salvage what still verifies so readers stop depending on the
+      // damaged medium, then relocate it through the normal write-back.
+      // A read-only mount cannot write new homes, so it only reports.
+      if (!read_only_) {
+        LfsCleaner cleaner(this);
+        ASSIGN_OR_RETURN(uint64_t staged, cleaner.SalvageSegment(seg, image));
+        report.blocks_salvaged += staged;
+        if (staged > 0) {
+          RETURN_IF_ERROR(FlushEverything());
+        }
+      }
+    }
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    static obs::Counter& scanned = obs::Registry().GetCounter("logfs.scrub.segments_scanned");
+    static obs::Counter& verified = obs::Registry().GetCounter("logfs.scrub.blocks_verified");
+    static obs::Counter& failures = obs::Registry().GetCounter("logfs.scrub.checksum_failures");
+    static obs::Counter& media = obs::Registry().GetCounter("logfs.scrub.media_errors");
+    static obs::Counter& quarantined =
+        obs::Registry().GetCounter("logfs.scrub.segments_quarantined");
+    static obs::Counter& salvaged = obs::Registry().GetCounter("logfs.scrub.blocks_salvaged");
+    scanned.Increment(report.segments_scanned);
+    verified.Increment(report.blocks_verified);
+    failures.Increment(report.checksum_failures);
+    media.Increment(report.media_errors);
+    quarantined.Increment(report.segments_quarantined);
+    salvaged.Increment(report.blocks_salvaged);
+  }
+  return report;
 }
 
 }  // namespace logfs

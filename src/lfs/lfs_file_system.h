@@ -68,6 +68,10 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
     // explorer's self-test (tests/crashsim_test.cc) can prove the Oracle
     // detects a real recovery bug. Must stay false everywhere else.
     bool unsafe_skip_rollforward_crc = false;
+    // Background scrubbing: verify up to this many segments per Tick(),
+    // round-robin, so latent media errors surface before a reader or the
+    // cleaner trips on them. 0 disables.
+    uint32_t scrub_segments_per_tick = 0;
   };
 
   // Writes a fresh file system: superblock, two checkpoint regions, and a
@@ -114,12 +118,38 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // re-clean the segments the cleaner itself just filled.
   Result<uint32_t> CleanTheseSegments(const std::vector<uint32_t>& segments);
 
+  // Proactive media verification: reads up to `max_segments` dirty segments
+  // (round-robin across calls) and checks every partial segment's CRC,
+  // falling back to per-block checksums where the full CRC fails. A segment
+  // with unreadable or corrupt *live* blocks is quarantined and its
+  // still-verifiable live blocks are salvaged through the cleaner's staging
+  // path. Driven from Tick() via Options::scrub_segments_per_tick and from
+  // the `lfs_inspect scrub` verb.
+  struct ScrubReport {
+    uint64_t segments_scanned = 0;
+    uint64_t partials_verified = 0;
+    uint64_t blocks_verified = 0;
+    uint64_t checksum_failures = 0;
+    uint64_t media_errors = 0;
+    uint64_t segments_quarantined = 0;
+    uint64_t blocks_salvaged = 0;
+  };
+  Result<ScrubReport> Scrub(uint32_t max_segments);
+
+  // True once a persistent checkpoint-write failure demoted the mount to
+  // read-only: every mutating operation returns kReadOnly, reads still
+  // work. The demotion is sticky for the life of the mount.
+  bool read_only() const { return read_only_; }
+
   // Introspection for benchmarks, tests, the cleaner and the checker.
   const LfsSuperblock& superblock() const { return sb_; }
   const InodeMap& imap() const { return imap_; }
   const SegmentUsageTable& usage() const { return usage_; }
   const CacheStats& cache_stats() const { return cache_.stats(); }
   uint32_t CleanSegmentCount() const { return usage_.CountState(SegState::kClean); }
+  uint32_t QuarantinedSegmentCount() const {
+    return usage_.CountState(SegState::kQuarantined);
+  }
   uint64_t TotalLiveBytes() const { return usage_.TotalLiveBytes(); }
   // Capacity available to user data (excludes reserved segments and
   // per-partial summary overhead estimates).
@@ -162,7 +192,30 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   uint64_t EntriesPerBlock() const { return sb_.block_size / sizeof(DiskAddr); }
 
   // --- raw device access ---
+  // Reads one block and, when its write-time checksum is known (from the
+  // segment writer or the mount-time summary scan), verifies it: silent
+  // corruption surfaces as kCorrupted and quarantines the segment instead
+  // of handing wrong bytes to the caller.
   Status ReadBlockAt(DiskAddr addr, std::span<std::byte> out);
+
+  // --- media-fault handling ---
+  // kOk when the index has no checksum for `addr` or the block matches;
+  // otherwise quarantines the segment and returns kCorrupted.
+  Status VerifyBlockChecksum(DiskAddr addr, std::span<const std::byte> block);
+  // Guard for every mutating entry point once read_only_ is set.
+  Status CheckWritable() const;
+  // Marks the segment holding `addr`/`seg` quarantined (no-op for the
+  // active segment and already-quarantined segments). State change and
+  // metrics only — salvage runs from the scrubber/cleaner, never from
+  // inside a read path.
+  void QuarantineSegment(uint32_t seg);
+  // Mount-time rebuild of the block-checksum index: walks every segment's
+  // partial-segment chain reading only summary blocks. Best-effort (a
+  // damaged segment just contributes fewer checksums).
+  Status LoadBlockCrcIndex();
+  // Liveness predicate mirroring the cleaner's two-step check, used by the
+  // scrubber to decide whether a damaged block actually loses data.
+  Result<bool> IsBlockLive(const SummaryEntry& entry, DiskAddr addr);
 
   // --- in-core inodes ---
   Result<CachedInode*> GetInode(InodeNum ino);
@@ -289,6 +342,14 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // written; such blocks decode as all-free / all-clean).
   std::vector<DiskAddr> imap_block_addrs_;
   std::vector<DiskAddr> usage_block_addrs_;
+
+  // Write-time CRC of every block the log has written, keyed by address.
+  // Seeded at mount from the segment summaries, kept current by
+  // FlushPartial. Stale entries (dead blocks) are harmless: a reused
+  // address is overwritten here before it can be read back.
+  std::unordered_map<DiskAddr, uint32_t> block_crcs_;
+  bool read_only_ = false;
+  uint32_t next_scrub_segment_ = 0;  // Round-robin scrub cursor.
 
   uint64_t next_log_seq_ = 1;
   uint64_t checkpoint_seq_ = 0;

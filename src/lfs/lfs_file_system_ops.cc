@@ -309,6 +309,7 @@ Status LfsFileSystem::MaybePressureFlush() {
 // --- FileSystem interface -------------------------------------------------------------
 
 Result<InodeNum> LfsFileSystem::Create(InodeNum dir, std::string_view name, FileType type) {
+  RETURN_IF_ERROR(CheckWritable());
   if (type != FileType::kRegular && type != FileType::kDirectory &&
       type != FileType::kSymlink) {
     return InvalidArgumentError("unsupported file type");
@@ -364,6 +365,7 @@ Result<InodeNum> LfsFileSystem::Lookup(InodeNum dir, std::string_view name) {
 }
 
 Status LfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
+  RETURN_IF_ERROR(CheckWritable());
   if (cpu_ != nullptr) {
     ChargeCpu(cpu_->costs().remove_instructions);
   }
@@ -389,6 +391,7 @@ Status LfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
 }
 
 Status LfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
+  RETURN_IF_ERROR(CheckWritable());
   if (cpu_ != nullptr) {
     ChargeCpu(cpu_->costs().remove_instructions);
   }
@@ -417,6 +420,7 @@ Status LfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
 }
 
 Status LfsFileSystem::Link(InodeNum dir, std::string_view name, InodeNum target_ino) {
+  RETURN_IF_ERROR(CheckWritable());
   if (cpu_ != nullptr) {
     ChargeCpu(cpu_->costs().create_instructions);
   }
@@ -445,6 +449,7 @@ Status LfsFileSystem::Link(InodeNum dir, std::string_view name, InodeNum target_
 
 Status LfsFileSystem::Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
                              std::string_view to_name) {
+  RETURN_IF_ERROR(CheckWritable());
   if (cpu_ != nullptr) {
     ChargeCpu(cpu_->costs().create_instructions);
   }
@@ -547,6 +552,7 @@ Result<uint64_t> LfsFileSystem::Read(InodeNum ino, uint64_t offset, std::span<st
 
 Result<uint64_t> LfsFileSystem::Write(InodeNum ino, uint64_t offset,
                                       std::span<const std::byte> data) {
+  RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(CachedInode * ci_check, GetInode(ino));
   if (ci_check->inode.IsDirectory()) {
     return IsDirectoryError("write to a directory");
@@ -593,6 +599,7 @@ Result<uint64_t> LfsFileSystem::Write(InodeNum ino, uint64_t offset,
 }
 
 Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
+  RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(CachedInode * ci, GetInode(ino));
   if (ci->inode.IsDirectory()) {
     return IsDirectoryError("truncate of a directory");
@@ -673,6 +680,7 @@ Status LfsFileSystem::Fsync(InodeNum /*ino*/) {
   // be self-consistent: an inode may only reach the log after every block
   // it points to has a log address (a directory inode written ahead of its
   // dirty directory block would point into a hole).
+  RETURN_IF_ERROR(CheckWritable());
   return FlushEverything();
 }
 
@@ -706,6 +714,9 @@ void LfsFileSystem::PruneInodeCache() {
 }
 
 Status LfsFileSystem::Tick() {
+  if (read_only_) {
+    return OkStatus();  // All background work writes; a demoted mount idles.
+  }
   RETURN_IF_ERROR(cache_.MaybeWriteBackByAge());
   PruneInodeCache();
   if (Now() - last_checkpoint_time_ >= sb_.checkpoint_interval_seconds) {
@@ -713,6 +724,9 @@ Status LfsFileSystem::Tick() {
   }
   if (options_.auto_clean && CleanSegmentCount() < sb_.clean_start_segments) {
     RETURN_IF_ERROR(CleanNow(sb_.clean_stop_segments - CleanSegmentCount()).status());
+  }
+  if (options_.scrub_segments_per_tick > 0) {
+    RETURN_IF_ERROR(Scrub(options_.scrub_segments_per_tick).status());
   }
   return OkStatus();
 }

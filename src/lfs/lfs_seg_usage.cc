@@ -98,14 +98,24 @@ std::vector<uint32_t> SegmentUsageTable::PickVictims(uint32_t max_victims,
   return dirty;
 }
 
-void SegmentUsageTable::CommitPendingClean() {
+std::vector<uint32_t> SegmentUsageTable::CommitPendingClean() {
+  std::vector<uint32_t> quarantined;
   for (uint32_t seg = 0; seg < num_segments_; ++seg) {
-    if (entries_[seg].state == SegState::kCleanPending) {
-      entries_[seg].state = SegState::kClean;
-      entries_[seg].live_bytes = 0;
-      MarkDirty(seg);
+    if (entries_[seg].state != SegState::kCleanPending) {
+      continue;
     }
+    if (entries_[seg].live_bytes != 0) {
+      // Live bytes the cleaning pass could not relocate: keep them charged
+      // (the pointers to the lost blocks are still out there) and side-track
+      // the segment so it is never reallocated.
+      entries_[seg].state = SegState::kQuarantined;
+      quarantined.push_back(seg);
+    } else {
+      entries_[seg].state = SegState::kClean;
+    }
+    MarkDirty(seg);
   }
+  return quarantined;
 }
 
 Status SegmentUsageTable::EncodeBlock(uint32_t block_index, std::span<std::byte> out) const {
@@ -139,7 +149,7 @@ Status SegmentUsageTable::DecodeBlock(uint32_t block_index, std::span<const std:
     SegUsage usage;
     ASSIGN_OR_RETURN(usage.live_bytes, reader.ReadU32());
     ASSIGN_OR_RETURN(uint32_t state_raw, reader.ReadU32());
-    if (state_raw > static_cast<uint32_t>(SegState::kCleanPending)) {
+    if (state_raw > static_cast<uint32_t>(SegState::kQuarantined)) {
       return CorruptedError("bad segment state");
     }
     usage.state = static_cast<SegState>(state_raw);

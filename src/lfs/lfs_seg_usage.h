@@ -11,6 +11,12 @@
 // The kCleanPending holding state keeps a cleaned segment from being
 // rewritten before a checkpoint records the new homes of its blocks; until
 // then, crash recovery may still need the old copies.
+//
+// kQuarantined is a terminal side-track off that cycle: a segment whose
+// medium failed verification (checksum mismatch or persistent read error).
+// The writer never allocates it, the cleaner never picks it as a victim
+// (its salvage pass copies out whatever still verifies), and the state
+// persists across remounts — media damage does not heal on reboot.
 #ifndef LOGFS_SRC_LFS_LFS_SEG_USAGE_H_
 #define LOGFS_SRC_LFS_LFS_SEG_USAGE_H_
 
@@ -28,6 +34,7 @@ enum class SegState : uint8_t {
   kDirty = 1,
   kActive = 2,
   kCleanPending = 3,
+  kQuarantined = 4,
 };
 
 struct SegUsage {
@@ -68,7 +75,12 @@ class SegmentUsageTable {
   std::vector<uint32_t> PickVictims(uint32_t max_victims, uint32_t max_live_bytes,
                                     VictimPolicy policy = VictimPolicy::kGreedy) const;
   // Promotes every kCleanPending segment to kClean (checkpoint completion).
-  void CommitPendingClean();
+  // A pending segment that still reports live bytes was not fully relocated
+  // — the cleaner could not stage every live block (media damage) — and
+  // promoting it would hand the allocator a segment whose contents are
+  // still reachable. Such segments become kQuarantined instead; they are
+  // returned so the caller can record the demotion.
+  std::vector<uint32_t> CommitPendingClean();
 
   // --- block (de)serialization ---
   Status EncodeBlock(uint32_t block_index, std::span<std::byte> out) const;

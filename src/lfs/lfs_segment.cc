@@ -10,9 +10,28 @@
 namespace logfs {
 namespace {
 
-constexpr uint32_t kSummaryMagic = 0x53554D31;  // "SUM1"
-constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 4;  // magic, crc, seq, time, nblocks.
-constexpr size_t kEntrySize = 1 + 4 + 4 + 8;
+constexpr uint32_t kSummaryMagic = 0x53554D32;  // "SUM2"
+// magic, full crc, seq, time, nblocks, header crc.
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 4 + 4;
+// kind, ino, version, offset, block crc.
+constexpr size_t kEntrySize = 1 + 4 + 4 + 8 + 4;
+
+// Header-field byte offsets referenced by the CRC stamping/validation code.
+constexpr size_t kFullCrcOffset = 4;
+constexpr size_t kNblocksEnd = 28;     // End of the fields the header CRC covers.
+constexpr size_t kHeaderCrcOffset = 28;
+
+// CRC over the fixed header with both CRC fields zeroed, streamed so the
+// caller's block is never cloned.
+uint32_t HeaderCrc(std::span<const std::byte> block) {
+  static constexpr std::byte kZeroCrcField[4] = {};
+  uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, block.subspan(0, kFullCrcOffset));
+  crc = Crc32Update(crc, kZeroCrcField);
+  crc = Crc32Update(crc, block.subspan(kFullCrcOffset + 4, kNblocksEnd - kFullCrcOffset - 4));
+  crc = Crc32Update(crc, kZeroCrcField);
+  return Crc32Finalize(crc);
+}
 
 }  // namespace
 
@@ -30,12 +49,18 @@ Status EncodeSummaryV(const SegmentSummary& summary, std::span<std::byte> block,
   RETURN_IF_ERROR(writer.WriteU64(summary.seq));
   RETURN_IF_ERROR(writer.WriteF64(summary.timestamp));
   RETURN_IF_ERROR(writer.WriteU32(static_cast<uint32_t>(summary.entries.size())));
+  RETURN_IF_ERROR(writer.WriteU32(0));  // Header CRC patched below.
   for (const SummaryEntry& entry : summary.entries) {
     RETURN_IF_ERROR(writer.WriteU8(static_cast<uint8_t>(entry.kind)));
     RETURN_IF_ERROR(writer.WriteU32(entry.ino));
     RETURN_IF_ERROR(writer.WriteU32(entry.version));
     RETURN_IF_ERROR(writer.WriteI64(entry.offset));
+    RETURN_IF_ERROR(writer.WriteU32(entry.block_crc));
   }
+  // Header CRC first (over both CRC fields zeroed), so the full CRC below
+  // covers the stamped header-CRC bytes.
+  RETURN_IF_ERROR(writer.SeekTo(kHeaderCrcOffset));
+  RETURN_IF_ERROR(writer.WriteU32(HeaderCrc(block)));
   uint32_t crc = Crc32Init();
   crc = Crc32Update(crc, block);
   for (const auto& part : content_parts) {
@@ -63,6 +88,10 @@ Result<SummaryPeek> PeekSummary(std::span<const std::byte> block, uint32_t block
   ASSIGN_OR_RETURN(peek.seq, reader.ReadU64());
   RETURN_IF_ERROR(reader.Skip(8));
   ASSIGN_OR_RETURN(peek.nblocks, reader.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t stored_header_crc, reader.ReadU32());
+  if (stored_header_crc != HeaderCrc(block)) {
+    return CorruptedError("summary header CRC mismatch");
+  }
   if (peek.nblocks > SummaryCapacity(block_size)) {
     return CorruptedError("summary block count out of range");
   }
@@ -85,6 +114,7 @@ Result<SegmentSummary> DecodeSummaryFields(std::span<const std::byte> block,
   ASSIGN_OR_RETURN(summary.seq, reader.ReadU64());
   ASSIGN_OR_RETURN(summary.timestamp, reader.ReadF64());
   ASSIGN_OR_RETURN(uint32_t nblocks, reader.ReadU32());
+  RETURN_IF_ERROR(reader.Skip(4));  // Header CRC (validated by PeekSummary).
   if (nblocks > SummaryCapacity(static_cast<uint32_t>(block.size()))) {
     return CorruptedError("summary block count out of range");
   }
@@ -99,6 +129,7 @@ Result<SegmentSummary> DecodeSummaryFields(std::span<const std::byte> block,
     ASSIGN_OR_RETURN(entry.ino, reader.ReadU32());
     ASSIGN_OR_RETURN(entry.version, reader.ReadU32());
     ASSIGN_OR_RETURN(entry.offset, reader.ReadI64());
+    ASSIGN_OR_RETURN(entry.block_crc, reader.ReadU32());
   }
   *stored_crc_out = stored_crc;
   return summary;
@@ -208,6 +239,11 @@ Status SegmentBuilder::Flush(uint64_t seq, double timestamp) {
   if (entries_.empty()) {
     return OkStatus();
   }
+  // Stamp each entry with its content CRC now — deferred blocks (segment
+  // usage) are only final at flush time.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].block_crc = Crc32(extents_[i]);
+  }
   SegmentSummary summary;
   summary.seq = seq;
   summary.timestamp = timestamp;
@@ -245,6 +281,13 @@ Status SegmentBuilder::Flush(uint64_t seq, double timestamp) {
     bytes.Increment((1 + entries_.size()) * sb_.block_size);
     fill.Observe(static_cast<double>(entries_.size()) /
                  static_cast<double>(SummaryCapacity(sb_.block_size)));
+  }
+  last_flush_.clear();
+  last_flush_.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    last_flush_.push_back(FlushedBlock{
+        sb_.SegmentBlockSector(segment_, start_offset_ + 1 + static_cast<uint32_t>(i)),
+        entries_[i].block_crc});
   }
   start_offset_ += 1 + static_cast<uint32_t>(entries_.size());
   entries_.clear();

@@ -40,6 +40,11 @@ struct SummaryEntry {
   uint32_t ino = 0;      // Owning file for kData/kIndirect; 0 for metadata.
   uint32_t version = 0;  // Inode-map version of `ino` when written.
   int64_t offset = 0;    // Meaning depends on kind (see above).
+  // CRC32 of this entry's content block alone. The partial-segment CRC
+  // detects torn writes atomically; the per-block CRC localizes silent
+  // corruption to one block, so readers can verify a single ReadBlockAt and
+  // the cleaner/scrubber can salvage the intact blocks of a damaged partial.
+  uint32_t block_crc = 0;
 };
 
 struct SegmentSummary {
@@ -51,9 +56,12 @@ struct SegmentSummary {
 // Max content blocks a single partial segment can describe.
 size_t SummaryCapacity(uint32_t block_size);
 
-// Encodes `summary` into the summary block and stamps a CRC computed over
-// the block (CRC field zeroed) plus `content` (the concatenated content
-// blocks, in entry order).
+// Encodes `summary` into the summary block and stamps two CRCs: a header
+// CRC over the fixed header fields (so PeekSummary never trusts a garbage
+// header) and a full CRC computed over the block (full-CRC field zeroed)
+// plus `content` (the concatenated content blocks, in entry order).
+// Per-entry block_crc values are written as given — the caller (normally
+// SegmentBuilder::Flush) is responsible for computing them.
 Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
                      std::span<const std::byte> content);
 
@@ -64,8 +72,11 @@ Status EncodeSummary(const SegmentSummary& summary, std::span<std::byte> block,
 Status EncodeSummaryV(const SegmentSummary& summary, std::span<std::byte> block,
                       std::span<const std::span<const std::byte>> content_parts);
 
-// Header fields readable without the content (no CRC validation). Used by
-// roll-forward to size the content read and to skip stale partials.
+// Header fields readable without the content. The header carries its own
+// CRC, which Peek validates — so a "peek" cannot be fooled by random bytes
+// that happen to start with the magic — but the content CRCs are not
+// checked. Used by roll-forward to size the content read and to skip stale
+// partials.
 struct SummaryPeek {
   uint64_t seq = 0;
   uint32_t nblocks = 0;
@@ -125,8 +136,18 @@ class SegmentBuilder {
                                   std::span<const std::byte> data);
 
   // Writes the pending partial segment as one sequential transfer and
-  // advances past it. No-op when nothing is pending.
+  // advances past it. No-op when nothing is pending. Computes each entry's
+  // block_crc from its extent immediately before encoding.
   Status Flush(uint64_t seq, double timestamp);
+
+  // Address and content CRC of every content block the last successful
+  // Flush wrote, in log order. The file system folds these into its
+  // in-memory CRC index so reads can verify without re-decoding summaries.
+  struct FlushedBlock {
+    DiskAddr addr = 0;
+    uint32_t crc = 0;
+  };
+  const std::vector<FlushedBlock>& last_flush() const { return last_flush_; }
 
  private:
   BlockDevice* device_;
@@ -143,6 +164,7 @@ class SegmentBuilder {
   // spans AppendDeferred hands out point into it.
   std::vector<std::byte> buffer_;
   std::vector<std::byte> summary_block_;
+  std::vector<FlushedBlock> last_flush_;
   size_t capacity_;
 };
 

@@ -38,6 +38,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "NotSupported";
     case ErrorCode::kOutOfRange:
       return "OutOfRange";
+    case ErrorCode::kMediaError:
+      return "MediaError";
   }
   return "Unknown";
 }
@@ -78,5 +80,6 @@ Status BusyError(std::string_view m) { return Make(ErrorCode::kBusy, m); }
 Status CrashedError(std::string_view m) { return Make(ErrorCode::kCrashed, m); }
 Status NotSupportedError(std::string_view m) { return Make(ErrorCode::kNotSupported, m); }
 Status OutOfRangeError(std::string_view m) { return Make(ErrorCode::kOutOfRange, m); }
+Status MediaError(std::string_view m) { return Make(ErrorCode::kMediaError, m); }
 
 }  // namespace logfs

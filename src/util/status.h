@@ -29,6 +29,7 @@ enum class ErrorCode : int {
   kCrashed,          // Simulated crash: device refuses further I/O.
   kNotSupported,     // Operation not implemented by this file system.
   kOutOfRange,       // Offset or index beyond the valid range.
+  kMediaError,       // Persistent media failure: retrying cannot succeed.
 };
 
 // Human-readable name for an error code ("NotFound", "NoSpace", ...).
@@ -74,6 +75,7 @@ Status BusyError(std::string_view message);
 Status CrashedError(std::string_view message);
 Status NotSupportedError(std::string_view message);
 Status OutOfRangeError(std::string_view message);
+Status MediaError(std::string_view message);
 
 // Propagate a non-OK Status to the caller.
 #define RETURN_IF_ERROR(expr)                    \

@@ -2,6 +2,8 @@
 // stats, FaultInjectingDisk crash semantics, TracingDisk records.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "src/disk/fault_disk.h"
@@ -237,6 +239,157 @@ TEST(FaultDiskTest, CrashNowStopsEverything) {
   FaultInjectingDisk disk(&inner);
   disk.CrashNow();
   EXPECT_EQ(disk.Flush().code(), ErrorCode::kCrashed);
+}
+
+// --- media-fault modes: each read behavior pinned per the fault_disk.h
+// contract (crashed -> kCrashed; transient -> kIoError once, retry succeeds
+// with correct data; bad sector -> kMediaError every attempt; silent
+// corruption -> kOk with wrong bytes).
+
+TEST(FaultDiskTest, BadSectorsFailPersistentlyWithMediaError) {
+  SimClock clock;
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  auto data = Pattern(4 * kSectorSize, 3);
+  ASSERT_TRUE(disk.WriteSectors(0, data).ok());
+  disk.MarkBadSectors(2, 1);
+  std::vector<std::byte> out(4 * kSectorSize);
+  // Every attempt fails — retrying a persistent fault cannot help.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_EQ(disk.ReadSectors(0, out).code(), ErrorCode::kMediaError);
+  }
+  EXPECT_EQ(disk.WriteSectors(2, Pattern(kSectorSize, 4)).code(), ErrorCode::kMediaError);
+  EXPECT_EQ(disk.media_errors_injected(), 4u);
+  // Requests not touching the bad sector are unaffected.
+  out.resize(2 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(0, out).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+  // The damage survives a reboot but can be explicitly cleared.
+  disk.Reset();
+  out.resize(4 * kSectorSize);
+  EXPECT_EQ(disk.ReadSectors(0, out).code(), ErrorCode::kMediaError);
+  disk.ClearBadSectors();
+  EXPECT_TRUE(disk.ReadSectors(0, out).ok());
+}
+
+TEST(FaultDiskTest, BadSectorModeSeparatesReadsFromWrites) {
+  SimClock clock;
+  MemoryDisk inner(64, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.MarkBadSectors(0, 1, FaultInjectingDisk::BadSectorMode::kWrite);
+  std::vector<std::byte> out(kSectorSize);
+  EXPECT_TRUE(disk.ReadSectors(0, out).ok());
+  EXPECT_EQ(disk.WriteSectors(0, Pattern(kSectorSize, 1)).code(), ErrorCode::kMediaError);
+  disk.ClearBadSectors();
+  disk.MarkBadSectors(1, 1, FaultInjectingDisk::BadSectorMode::kRead);
+  EXPECT_TRUE(disk.WriteSectors(1, Pattern(kSectorSize, 2)).ok());
+  EXPECT_EQ(disk.ReadSectors(1, out).code(), ErrorCode::kMediaError);
+}
+
+TEST(FaultDiskTest, OneShotTransientReadFailsOnceThenRetrySucceeds) {
+  SimClock clock;
+  MemoryDisk inner(64, &clock);
+  FaultInjectingDisk disk(&inner);
+  auto data = Pattern(kSectorSize, 8);
+  ASSERT_TRUE(disk.WriteSectors(5, data).ok());
+  std::vector<std::byte> out(kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(5, out).ok());  // Read request #0.
+  disk.FailNthRead(disk.read_requests_seen());  // Fail the next read.
+  EXPECT_EQ(disk.ReadSectors(5, out).code(), ErrorCode::kIoError);
+  // The retry of the exact same request succeeds with correct data.
+  ASSERT_TRUE(disk.ReadSectors(5, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(disk.transient_read_errors_injected(), 1u);
+}
+
+TEST(FaultDiskTest, OneShotTransientWriteFailsOnceWithoutTransferring) {
+  SimClock clock;
+  MemoryDisk inner(64, &clock);
+  FaultInjectingDisk disk(&inner);
+  auto data = Pattern(kSectorSize, 9);
+  disk.FailNthWrite(disk.write_requests_seen());
+  EXPECT_EQ(disk.WriteSectors(7, data).code(), ErrorCode::kIoError);
+  // The failed request transferred nothing...
+  std::vector<std::byte> out(kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(7, out).ok());
+  for (std::byte b : out) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+  // ...but still counted as a request, and the retry lands.
+  EXPECT_EQ(disk.write_requests_seen(), 1u);
+  ASSERT_TRUE(disk.WriteSectors(7, data).ok());
+  ASSERT_TRUE(disk.ReadSectors(7, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(disk.transient_write_errors_injected(), 1u);
+}
+
+TEST(FaultDiskTest, SeededTransientRatesAreDeterministic) {
+  SimClock clock;
+  auto run = [&clock](uint64_t seed) {
+    MemoryDisk inner(1024, &clock);
+    FaultInjectingDisk disk(&inner);
+    disk.SetTransientErrorRates(seed, 0.3, 0.0);
+    std::vector<std::byte> out(kSectorSize);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(disk.ReadSectors(0, out).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(42), run(42));         // Same seed, same fault schedule.
+  EXPECT_NE(run(42), run(43));         // Different seed, different schedule.
+  MemoryDisk inner(1024, &clock);
+  FaultInjectingDisk disk(&inner);
+  disk.SetTransientErrorRates(7, 0.5, 0.0);
+  std::vector<std::byte> out(kSectorSize);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    failures += disk.ReadSectors(0, out).ok() ? 0 : 1;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 200);
+  EXPECT_EQ(static_cast<uint64_t>(failures), disk.transient_read_errors_injected());
+}
+
+TEST(FaultDiskTest, SilentCorruptionReturnsOkWithWrongBytes) {
+  SimClock clock;
+  MemoryDisk inner(64, &clock);
+  FaultInjectingDisk disk(&inner);
+  auto data = Pattern(2 * kSectorSize, 5);
+  ASSERT_TRUE(disk.WriteSectors(4, data).ok());
+  disk.CorruptSector(5, /*byte_offset=*/17, /*xor_mask=*/0x40);
+  std::vector<std::byte> out(2 * kSectorSize);
+  ASSERT_TRUE(disk.ReadSectors(4, out).ok());  // Reports success...
+  auto expected = data;
+  expected[kSectorSize + 17] ^= std::byte{0x40};  // ...with flipped bytes.
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(disk.corruptions_applied(), 1u);
+  // The inner medium is untouched: clearing the fault restores the truth.
+  disk.ClearCorruption();
+  ASSERT_TRUE(disk.ReadSectors(4, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(FaultDiskTest, VectoredReadsSeeTheSameFaults) {
+  SimClock clock;
+  MemoryDisk inner(64, &clock);
+  FaultInjectingDisk disk(&inner);
+  auto data = Pattern(2 * kSectorSize, 6);
+  ASSERT_TRUE(disk.WriteSectors(0, data).ok());
+  std::vector<std::byte> a(kSectorSize);
+  std::vector<std::byte> b(kSectorSize);
+  std::vector<std::span<std::byte>> bufs = {a, b};
+  // Corruption lands in whichever buffer holds the affected sector.
+  disk.CorruptSector(1, 3, 0xFF);
+  ASSERT_TRUE(disk.ReadSectorsV(0, bufs).ok());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), data.begin()));
+  EXPECT_EQ(b[3], data[kSectorSize + 3] ^ std::byte{0xFF});
+  // Bad sectors fail the whole vectored request atomically.
+  disk.MarkBadSectors(1, 1);
+  EXPECT_EQ(disk.ReadSectorsV(0, bufs).code(), ErrorCode::kMediaError);
+  // Crashed beats everything.
+  disk.CrashNow();
+  EXPECT_EQ(disk.ReadSectorsV(0, bufs).code(), ErrorCode::kCrashed);
 }
 
 TEST(TracingDiskTest, RecordsRequests) {

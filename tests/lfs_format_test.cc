@@ -272,11 +272,28 @@ TEST(SegUsageTest, VictimSelectionIsGreedy) {
 TEST(SegUsageTest, PendingCleanCommit) {
   SegmentUsageTable usage(4, kBs);
   usage.SetState(1, SegState::kCleanPending);
-  usage.SetLive(1, 123);  // Hint may be stale; commit zeroes it.
+  usage.SetLive(1, 0);  // Fully relocated by the cleaner.
   EXPECT_EQ(usage.PickVictims(4, 1 << 20).size(), 0u);  // Pending not a victim.
-  usage.CommitPendingClean();
+  EXPECT_TRUE(usage.CommitPendingClean().empty());
   EXPECT_EQ(usage.Get(1).state, SegState::kClean);
   EXPECT_EQ(usage.Get(1).live_bytes, 0u);
+}
+
+TEST(SegUsageTest, PendingCleanWithResidueIsQuarantined) {
+  // A pending segment still holding live bytes at commit time means the
+  // cleaner could not relocate everything (media damage): it must never
+  // return to the allocatable pool, and its live bytes stay charged.
+  SegmentUsageTable usage(4, kBs);
+  usage.SetState(1, SegState::kCleanPending);
+  usage.SetLive(1, 123);
+  const std::vector<uint32_t> quarantined = usage.CommitPendingClean();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], 1u);
+  EXPECT_EQ(usage.Get(1).state, SegState::kQuarantined);
+  EXPECT_EQ(usage.Get(1).live_bytes, 123u);
+  EXPECT_TRUE(usage.PickClean().status().code() == ErrorCode::kNotFound ||
+              usage.PickClean().value() != 1u);  // Never allocatable.
+  EXPECT_TRUE(usage.PickVictims(4, 1 << 20).empty());  // Never a victim.
 }
 
 TEST(SegUsageTest, SerializationRoundTripMapsStates) {

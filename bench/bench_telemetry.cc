@@ -1,0 +1,261 @@
+// Flight-recorder bench (PR 5): drives a phased workload — create burst,
+// overwrite churn, delete + clean, read-back — with the telemetry sampler
+// running on a fine cadence, and emits BENCH_PR5.json carrying one telemetry
+// snapshot per phase: the ring's absolute counter values, current gauges,
+// and the per-op latency-attribution counters the phase produced.
+//
+// Also measures the recorder's own cost, since a flight recorder that slows
+// the plane is a bad trade: host nanoseconds per SampleNow() and per
+// SerializeRing() at the configured capacity, reported in the JSON.
+//
+// With LOGFS_METRICS=OFF everything still runs (the sampler is a no-op);
+// the report then carries empty snapshots and "metrics_enabled": false,
+// which is exactly what tools/check_metrics_off.sh wants to see build.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/disk/memory_disk.h"
+#include "src/fsbase/path.h"
+#include "src/lfs/lfs_blackbox.h"
+#include "src/lfs/lfs_file_system.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+namespace {
+
+double HostNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseSnapshot {
+  std::string name;
+  double sim_seconds = 0.0;
+  size_t ring_samples = 0;
+  uint64_t total_samples = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+// One telemetry snapshot: the ring's view of the world at the phase
+// boundary (absolute counter values reconstructed from base + deltas, so
+// this also exercises the delta decoding every report consumer relies on).
+PhaseSnapshot Snapshot(const std::string& name, LfsFileSystem& fs, double now) {
+  PhaseSnapshot snap;
+  snap.name = name;
+  snap.sim_seconds = now;
+  obs::TelemetrySampler& sampler = fs.telemetry();
+  sampler.SampleNow(now);
+  const obs::TelemetryRing ring = sampler.Ring();
+  snap.ring_samples = ring.samples.size();
+  snap.total_samples = sampler.total_samples();
+  if (ring.samples.empty()) {
+    return snap;
+  }
+  const size_t last = ring.samples.size() - 1;
+  for (size_t c = 0; c < ring.counter_names.size(); ++c) {
+    const uint64_t value = ring.CounterAt(last, c);
+    if (value > 0) {
+      snap.counters.emplace_back(ring.counter_names[c], value);
+    }
+  }
+  const obs::TelemetrySample& sample = ring.samples[last];
+  for (size_t g = 0; g < ring.gauge_names.size(); ++g) {
+    if (g < sample.gauges.size() && !std::isnan(sample.gauges[g])) {
+      snap.gauges.emplace_back(ring.gauge_names[g], sample.gauges[g]);
+    }
+  }
+  return snap;
+}
+
+void PrintSnapshot(std::ostream& os, const PhaseSnapshot& snap, bool last) {
+  os << "    {\n"
+     << "      \"phase\": \"" << snap.name << "\",\n"
+     << "      \"sim_seconds\": " << snap.sim_seconds << ",\n"
+     << "      \"ring_samples\": " << snap.ring_samples << ",\n"
+     << "      \"total_samples\": " << snap.total_samples << ",\n"
+     << "      \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "        \"" << snap.counters[i].first
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "},\n" : "\n      },\n") << "      \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "        \"" << snap.gauges[i].first << "\": ";
+    if (std::isfinite(snap.gauges[i].second)) {
+      os << snap.gauges[i].second;
+    } else {
+      os << "null";
+    }
+  }
+  os << (snap.gauges.empty() ? "}\n" : "\n      }\n") << "    }" << (last ? "\n" : ",\n");
+}
+
+int RunBench(bool smoke, const std::string& out_path) {
+  std::cout << "=== Flight-recorder telemetry bench (" << (smoke ? "smoke" : "full")
+            << ") ===\n";
+
+  const int files = smoke ? 60 : 400;
+  SimClock clock;
+  MemoryDisk disk(131072, &clock);  // 64 MB volume.
+  LfsParams params;
+  params.max_inodes = 2048;
+  if (!LfsFileSystem::Format(&disk, params).ok()) {
+    std::cerr << "format failed\n";
+    return 1;
+  }
+  LfsFileSystem::Options options;
+  options.telemetry_interval_seconds = 0.01;  // Fine cadence: many samples.
+  options.telemetry_capacity = 128;
+  auto mounted = LfsFileSystem::Mount(&disk, &clock, nullptr, options);
+  if (!mounted.ok()) {
+    std::cerr << "mount failed: " << mounted.status().ToString() << "\n";
+    return 1;
+  }
+  LfsFileSystem& fs = **mounted;
+  PathFs paths(&fs);
+  std::vector<PhaseSnapshot> snapshots;
+  std::vector<std::byte> payload(8192, std::byte{0x61});
+  std::vector<std::byte> churn(8192, std::byte{0x62});
+
+  // Phase 1: create burst. Tick between ops so cadence samples land.
+  if (!paths.MkdirAll("/bench").ok()) {
+    return 1;
+  }
+  for (int i = 0; i < files; ++i) {
+    if (!paths.WriteFile("/bench/f" + std::to_string(i), payload).ok()) {
+      std::cerr << "create failed at " << i << "\n";
+      return 1;
+    }
+    (void)fs.Tick();
+  }
+  if (!fs.Sync().ok()) {
+    return 1;
+  }
+  snapshots.push_back(Snapshot("create", fs, clock.Now()));
+
+  // Phase 2: overwrite churn over half the files.
+  for (int i = 0; i < files; i += 2) {
+    if (!paths.WriteFile("/bench/f" + std::to_string(i), churn).ok()) {
+      return 1;
+    }
+    (void)fs.Tick();
+  }
+  if (!fs.Sync().ok()) {
+    return 1;
+  }
+  snapshots.push_back(Snapshot("overwrite", fs, clock.Now()));
+
+  // Phase 3: delete every other file and clean.
+  for (int i = 1; i < files; i += 2) {
+    (void)paths.Unlink("/bench/f" + std::to_string(i));
+    (void)fs.Tick();
+  }
+  if (!fs.Sync().ok()) {
+    return 1;
+  }
+  auto cleaned = fs.CleanNow(8);
+  if (!cleaned.ok()) {
+    std::cerr << "clean failed: " << cleaned.status().ToString() << "\n";
+    return 1;
+  }
+  snapshots.push_back(Snapshot("clean", fs, clock.Now()));
+
+  // Phase 4: read-back of the survivors.
+  uint64_t read_bytes = 0;
+  for (int i = 0; i < files; i += 2) {
+    auto bytes = paths.ReadFile("/bench/f" + std::to_string(i));
+    if (!bytes.ok()) {
+      std::cerr << "read failed: " << bytes.status().ToString() << "\n";
+      return 1;
+    }
+    read_bytes += bytes->size();
+    (void)fs.Tick();
+  }
+  snapshots.push_back(Snapshot("readback", fs, clock.Now()));
+
+  // Recorder self-cost on the host. Timed over the live, fully-populated
+  // sampler so the numbers reflect the configured capacity.
+  const int reps = smoke ? 200 : 2000;
+  double t0 = HostNow();
+  for (int i = 0; i < reps; ++i) {
+    fs.telemetry().SampleNow(clock.Now());
+  }
+  const double sample_ns = (HostNow() - t0) / reps * 1e9;
+  t0 = HostNow();
+  size_t blob_bytes = 0;
+  for (int i = 0; i < reps; ++i) {
+    blob_bytes = fs.telemetry().SerializeRing(64 * 1024).size();
+  }
+  const double encode_ns = (HostNow() - t0) / reps * 1e9;
+
+  // Checkpoint once more, then prove the black box round-trips from the raw
+  // image (the forensic path `lfs_inspect blackbox` uses).
+  if (!fs.Sync().ok()) {
+    return 1;
+  }
+  bool blackbox_ok = true;
+  if (obs::kMetricsEnabled) {
+    auto recovered = RecoverBlackBoxFromImage(disk.MutableRawImage());
+    blackbox_ok = recovered.ok() && !recovered->ring.samples.empty();
+  }
+
+  std::cout << "phases: ";
+  for (const PhaseSnapshot& snap : snapshots) {
+    std::cout << snap.name << "(" << snap.ring_samples << " samples) ";
+  }
+  std::cout << "\nsampler: " << sample_ns << " ns/sample, " << encode_ns
+            << " ns/encode (" << blob_bytes << " B blob)\n"
+            << "black box round-trip: " << (blackbox_ok ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"telemetry\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"metrics_enabled\": " << (obs::kMetricsEnabled ? "true" : "false") << ",\n"
+      << "  \"files\": " << files << ",\n"
+      << "  \"read_bytes\": " << read_bytes << ",\n"
+      << "  \"sampler_ns_per_sample\": " << sample_ns << ",\n"
+      << "  \"sampler_ns_per_encode\": " << encode_ns << ",\n"
+      << "  \"encoded_blob_bytes\": " << blob_bytes << ",\n"
+      << "  \"blackbox_roundtrip\": " << (blackbox_ok ? "true" : "false") << ",\n"
+      << "  \"phases\": [\n";
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    PrintSnapshot(out, snapshots[i], i + 1 == snapshots.size());
+  }
+  out << "  ]\n}\n";
+  std::cout << "report: " << out_path << "\n";
+  return blackbox_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_PR5.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return logfs::RunBench(smoke, out_path);
+}

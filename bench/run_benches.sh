@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerates the wall-clock perf report (BENCH_PR2.json at the repo root)
+# Regenerates the wall-clock perf reports (BENCH_PR*.json at the repo root)
 # from a fresh optimized build. The simulated-time benches are separate
 # binaries (bench_small_file, bench_cleaning, ...) and are bit-reproducible,
 # so they need no runner; this script exists for the host-time numbers,
@@ -10,9 +10,14 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_writepath >/dev/null
+cmake --build build -j --target bench_writepath --target bench_telemetry >/dev/null
 
 # The metrics snapshot lands next to the timing JSON so a BENCH_*.json
 # trajectory carries the counters that explain it (flushes, fill levels,
 # cleaner work), not just the wall-clock numbers.
 ./build/bench/bench_writepath "$@" --out BENCH_PR2.json --metrics-out BENCH_PR2.metrics.json
+
+# The flight-recorder bench: a phased workload with one telemetry snapshot
+# per phase, plus the sampler's own host-time cost and a black-box
+# round-trip check against the raw volume image.
+./build/bench/bench_telemetry "$@" --out BENCH_PR5.json

@@ -12,16 +12,25 @@
 //      ./build/examples/lfs_inspect metrics    registry snapshot + write cost
 //      ./build/examples/lfs_inspect trace      Chrome trace_event JSON
 //      ./build/examples/lfs_inspect scrub      corrupt a live block, scrub it
+//      ./build/examples/lfs_inspect top        live counter rates from telemetry
+//      ./build/examples/lfs_inspect heatmap    segment utilization x age grid
+//      ./build/examples/lfs_inspect blackbox   recover the telemetry ring from
+//                                              the raw image, mount not needed
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "src/disk/memory_disk.h"
 #include "src/fsbase/path.h"
+#include "src/lfs/lfs_blackbox.h"
 #include "src/lfs/lfs_file_system.h"
 #include "src/lfs/lfs_segment.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
 #include "src/obs/tracer.h"
 #include "src/sim/sim_clock.h"
 #include "src/workload/report.h"
@@ -206,6 +215,70 @@ int DumpMetrics() {
   return 0;
 }
 
+// `top`: the flight recorder's live view. Takes one final sample, then
+// renders the busiest counters — absolute value plus the rate over the last
+// sampling interval — and the current gauges, all read back out of the
+// delta-compressed telemetry ring rather than the registry directly.
+int DumpTop(LfsFileSystem& fs, double now) {
+  if (!obs::kMetricsEnabled) {
+    std::cerr << "metrics are compiled out (built with LOGFS_METRICS=OFF)\n";
+    return 1;
+  }
+  obs::TelemetrySampler& sampler = fs.telemetry();
+  sampler.SampleNow(now);
+  const obs::TelemetryRing ring = sampler.Ring();
+  if (ring.samples.empty()) {
+    std::cerr << "telemetry ring is empty\n";
+    return 1;
+  }
+  const size_t last = ring.samples.size() - 1;
+  const double t0 = ring.samples.size() > 1 ? ring.samples.front().t : ring.base_time;
+  std::cout << "telemetry: " << ring.samples.size() << " retained samples ("
+            << sampler.total_samples() << " total), t=[" << std::fixed
+            << std::setprecision(3) << t0 << "s, " << ring.samples[last].t << "s]\n\n";
+
+  struct Row {
+    std::string name;
+    uint64_t value;
+    double rate;
+  };
+  std::vector<Row> rows;
+  for (size_t c = 0; c < ring.counter_names.size(); ++c) {
+    const uint64_t value = ring.CounterAt(last, c);
+    if (value > 0) {
+      rows.push_back({ring.counter_names[c], value, ring.RateAt(last, c)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.rate != b.rate ? a.rate > b.rate : a.value > b.value;
+  });
+  TablePrinter table({"counter", "value", "rate/s (last interval)"});
+  const size_t shown = std::min<size_t>(rows.size(), 20);
+  for (size_t i = 0; i < shown; ++i) {
+    std::ostringstream rate;
+    rate << std::fixed << std::setprecision(1) << rows[i].rate;
+    table.AddRow({rows[i].name, std::to_string(rows[i].value), rate.str()});
+  }
+  table.Print(std::cout);
+  if (rows.size() > shown) {
+    std::cout << "(" << rows.size() - shown << " more nonzero counters)\n";
+  }
+
+  const obs::TelemetrySample& final_sample = ring.samples[last];
+  bool any_gauge = false;
+  for (size_t g = 0; g < ring.gauge_names.size(); ++g) {
+    if (g < final_sample.gauges.size() && !std::isnan(final_sample.gauges[g])) {
+      if (!any_gauge) {
+        std::cout << "\ngauges:\n";
+        any_gauge = true;
+      }
+      std::cout << "  " << ring.gauge_names[g] << " = " << std::setprecision(4)
+                << final_sample.gauges[g] << "\n";
+    }
+  }
+  return 0;
+}
+
 // Demonstrates the media-fault machinery end to end: finds a live data
 // block by decoding raw summaries (newest log copy whose inode-map version
 // is current), flips one byte of it on the raw medium, and runs a full
@@ -282,6 +355,129 @@ int RunScrub(MemoryDisk& disk, LfsFileSystem& fs, const LfsSuperblock& sb) {
   return report->segments_quarantined > 0 ? 0 : 1;
 }
 
+// `heatmap`: the cleaner's cost-benefit picture. Buckets every dirty segment
+// by utilization decile (columns) and write age (rows, newest first, age
+// measured in log sequence numbers via SegUsage::last_write_seq). Greedy
+// picks the leftmost column; the paper's cost-benefit policy would prefer
+// the bottom-left corner (cold AND empty).
+int DumpHeatmap(const LfsFileSystem& fs) {
+  const LfsSuperblock& sb = fs.superblock();
+  struct SegInfo {
+    double u = 0.0;
+    uint64_t seq = 0;
+  };
+  std::vector<SegInfo> dirty;
+  uint64_t min_seq = UINT64_MAX, max_seq = 0;
+  for (uint32_t seg = 0; seg < sb.num_segments; ++seg) {
+    const SegUsage& entry = fs.usage().Get(seg);
+    if (entry.state != SegState::kDirty && entry.state != SegState::kCleanPending) {
+      continue;
+    }
+    SegInfo info;
+    info.u = static_cast<double>(entry.live_bytes) / static_cast<double>(sb.segment_size);
+    info.seq = entry.last_write_seq;
+    min_seq = std::min(min_seq, info.seq);
+    max_seq = std::max(max_seq, info.seq);
+    dirty.push_back(info);
+  }
+  if (dirty.empty()) {
+    std::cout << "no dirty segments — nothing to map\n";
+    return 0;
+  }
+
+  constexpr int kAgeRows = 5;
+  int counts[kAgeRows][10] = {};
+  for (const SegInfo& info : dirty) {
+    const double age_frac =
+        max_seq == min_seq
+            ? 0.0
+            : static_cast<double>(max_seq - info.seq) / static_cast<double>(max_seq - min_seq);
+    const int row = std::min(kAgeRows - 1, static_cast<int>(age_frac * kAgeRows));
+    const int col = std::min(9, static_cast<int>(info.u * 10.0));
+    ++counts[row][col];
+  }
+
+  std::cout << "segment heatmap: " << dirty.size()
+            << " dirty segments, rows = write age (log seq " << max_seq << " down to "
+            << min_seq << "), cols = utilization decile\n\n";
+  std::cout << "            u: 0    1    2    3    4    5    6    7    8    9\n";
+  const char* labels[kAgeRows] = {"newest ", "       ", "       ", "       ", "oldest "};
+  for (int row = 0; row < kAgeRows; ++row) {
+    std::cout << "  " << labels[row] << "    ";
+    for (int col = 0; col < 10; ++col) {
+      if (counts[row][col] == 0) {
+        std::cout << "   . ";
+      } else {
+        std::cout << std::setw(4) << counts[row][col] << " ";
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n(greedy cleans the leftmost column; cost-benefit would favour"
+               " the lower-left corner)\n";
+  return 0;
+}
+
+// `blackbox`: crash forensics. Reads the telemetry ring back out of the raw
+// image bytes alone — no mount, no checkpoint decode required — exactly what
+// a postmortem of a corrupted volume would do, then replays the recovered
+// samples for the busiest counters.
+int DumpBlackBox(MemoryDisk& disk) {
+  if (!obs::kMetricsEnabled) {
+    std::cerr << "metrics are compiled out (built with LOGFS_METRICS=OFF); "
+                 "no black box is embedded\n";
+    return 1;
+  }
+  auto recovered = RecoverBlackBoxFromImage(disk.MutableRawImage());
+  if (!recovered.ok()) {
+    std::cerr << "black box unrecoverable: " << recovered.status().ToString() << "\n";
+    return 1;
+  }
+  const obs::TelemetryRing& ring = recovered->ring;
+  std::cout << "black box recovered from checkpoint region "
+            << (recovered->region == 0 ? "A" : "B") << ": ring seq=" << ring.seq << ", "
+            << ring.samples.size() << " samples, " << ring.counter_names.size()
+            << " counters, " << ring.gauge_names.size() << " gauges, "
+            << ring.hist_names.size() << " histograms\n\n";
+  if (ring.samples.empty()) {
+    std::cout << "(ring is empty — volume crashed before its first sample)\n";
+    return 0;
+  }
+
+  // Replay the ring for the counters with the largest final values.
+  const size_t last = ring.samples.size() - 1;
+  std::vector<size_t> order(ring.counter_names.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ring.CounterAt(last, a) > ring.CounterAt(last, b);
+  });
+  const size_t ncols = std::min<size_t>(order.size(), 4);
+  std::vector<std::string> header = {"sample", "t (s)"};
+  for (size_t i = 0; i < ncols; ++i) {
+    header.push_back(ring.counter_names[order[i]]);
+  }
+  TablePrinter table(header);
+  const size_t first_shown = ring.samples.size() > 12 ? ring.samples.size() - 12 : 0;
+  if (first_shown > 0) {
+    std::vector<std::string> ellipsis(header.size(), "");
+    ellipsis[0] = "...";
+    table.AddRow(ellipsis);
+  }
+  for (size_t s = first_shown; s < ring.samples.size(); ++s) {
+    std::ostringstream t;
+    t << std::fixed << std::setprecision(3) << ring.samples[s].t;
+    std::vector<std::string> row = {std::to_string(s), t.str()};
+    for (size_t i = 0; i < ncols; ++i) {
+      row.push_back(std::to_string(ring.CounterAt(s, order[i])));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 int Run(const char* verb) {
   // Build a demonstration volume with history: files, deletions, cleaning.
   SimClock clock;
@@ -320,8 +516,21 @@ int Run(const char* verb) {
       std::cout << "=== lfs_inspect scrub: inject silent corruption, then scrub ===\n\n";
       return RunScrub(disk, **fs, (*fs)->superblock());
     }
+    if (verb != nullptr && std::strcmp(verb, "top") == 0) {
+      std::cout << "=== lfs_inspect top: live counter rates from the telemetry ring ===\n\n";
+      return DumpTop(**fs, clock.Now());
+    }
+    if (verb != nullptr && std::strcmp(verb, "heatmap") == 0) {
+      std::cout << "=== lfs_inspect heatmap: cleaner's view of the segment pool ===\n\n";
+      return DumpHeatmap(**fs);
+    }
+    if (verb != nullptr && std::strcmp(verb, "blackbox") == 0) {
+      std::cout << "=== lfs_inspect blackbox: telemetry forensics from raw bytes ===\n\n";
+      return DumpBlackBox(disk);
+    }
     if (verb != nullptr) {
-      std::cerr << "unknown verb '" << verb << "' (try: metrics, trace, scrub)\n";
+      std::cerr << "unknown verb '" << verb
+                << "' (try: metrics, trace, scrub, top, heatmap, blackbox)\n";
       return 2;
     }
 

@@ -5,7 +5,9 @@
 
 #include "src/disk/memory_disk.h"
 #include "src/fsbase/path.h"
+#include "src/lfs/lfs_blackbox.h"
 #include "src/lfs/lfs_check.h"
+#include "src/obs/metrics.h"
 
 namespace logfs {
 
@@ -159,6 +161,21 @@ OracleVerdict Oracle::CheckImage(std::span<const std::byte> image, size_t crash_
                                  const LfsFileSystem::Options& base_options,
                                  bool verify_data) const {
   OracleVerdict verdict;
+
+  // The flight recorder's crash contract: every enumerated crash image must
+  // yield a CRC-valid black-box telemetry ring from at least one checkpoint
+  // region, independent of whether the checkpoints themselves survived.
+  // Checked on the raw image, before mount, so a failed mount still reports
+  // the forensic regression. Builds with LOGFS_METRICS=OFF never embed a
+  // ring, so there is nothing to assert.
+  if constexpr (obs::kMetricsEnabled) {
+    auto blackbox = RecoverBlackBoxFromImage(image);
+    if (!blackbox.ok()) {
+      verdict.violations.push_back("black box unrecoverable: " +
+                                   blackbox.status().ToString());
+    }
+  }
+
   MemoryDisk scratch(sector_count_, /*clock=*/nullptr);
   std::memcpy(scratch.MutableRawImage().data(), image.data(), image.size());
 

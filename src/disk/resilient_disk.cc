@@ -11,6 +11,7 @@ struct ResilientMetrics {
   obs::Counter* recovered = nullptr;
   obs::Counter* exhausted = nullptr;
   obs::Counter* media_errors = nullptr;
+  obs::Counter* backoff_us = nullptr;
 };
 
 ResilientMetrics& Metrics() {
@@ -21,6 +22,10 @@ ResilientMetrics& Metrics() {
       init.recovered = &obs::Registry().GetCounter("logfs.resilient.recovered");
       init.exhausted = &obs::Registry().GetCounter("logfs.resilient.exhausted");
       init.media_errors = &obs::Registry().GetCounter("logfs.resilient.media_errors");
+      // Cumulative sim-time spent sleeping between retries, in microseconds.
+      // LfsFileSystem's per-op attribution diffs this around each operation
+      // to split retry backoff out of the disk component.
+      init.backoff_us = &obs::Registry().GetCounter("logfs.resilient.backoff_us");
     }
     return init;
   }();
@@ -67,11 +72,13 @@ Status ResilientDisk::RunWithRetries(Attempt&& attempt) {
     if (clock_ != nullptr) {
       clock_->Advance(backoff);
     }
-    backoff *= policy_.backoff_multiplier;
+    backoff_seconds_ += backoff;
     ++retries_;
     if constexpr (obs::kMetricsEnabled) {
       Metrics().retries->Increment();
+      Metrics().backoff_us->Increment(static_cast<uint64_t>(backoff * 1e6));
     }
+    backoff *= policy_.backoff_multiplier;
   }
 }
 

@@ -16,7 +16,9 @@
 // Metrics: logfs.resilient.retries (re-issued requests), .recovered
 // (requests that failed at least once and then succeeded), .exhausted
 // (requests reclassified after the budget ran out), .media_errors
-// (kMediaError results passed or reclassified upward).
+// (kMediaError results passed or reclassified upward), .backoff_us
+// (cumulative simulated backoff sleep — the per-op latency attribution in
+// LfsFileSystem diffs it to isolate the retry-backoff component).
 #ifndef LOGFS_SRC_DISK_RESILIENT_DISK_H_
 #define LOGFS_SRC_DISK_RESILIENT_DISK_H_
 
@@ -61,6 +63,9 @@ class ResilientDisk : public BlockDevice {
   uint64_t recovered() const { return recovered_; }
   uint64_t exhausted() const { return exhausted_; }
   uint64_t media_errors() const { return media_errors_; }
+  // Total simulated seconds this decorator spent backing off between
+  // retries (counted even when no clock is attached).
+  double backoff_seconds() const { return backoff_seconds_; }
 
  private:
   // Runs `attempt` under the retry policy. `attempt` must be re-issuable
@@ -77,6 +82,7 @@ class ResilientDisk : public BlockDevice {
   uint64_t recovered_ = 0;
   uint64_t exhausted_ = 0;
   uint64_t media_errors_ = 0;
+  double backoff_seconds_ = 0.0;
 };
 
 }  // namespace logfs

@@ -13,6 +13,7 @@ std::string TraceRecord::ToString() const {
 }
 
 void TracingDisk::set_trace_limit(size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
   trace_limit_ = limit;
   while (trace_.size() > trace_limit_) {
     trace_.pop_front();
@@ -27,8 +28,9 @@ void TracingDisk::Record(TraceRecord::Kind kind, uint64_t first, uint64_t count,
   record.first_sector = first;
   record.sector_count = count;
   record.synchronous = synchronous;
-  record.sequential = have_last_ && first == last_end_;
   record.time_seconds = clock_ != nullptr ? clock_->Now() : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequential = have_last_ && first == last_end_;
   if (trace_limit_ == 0) {
     ++dropped_records_;
   } else {
@@ -73,6 +75,7 @@ Status TracingDisk::WriteSectorsV(uint64_t first,
 Status TracingDisk::Flush() { return inner_->Flush(); }
 
 uint64_t TracingDisk::WriteRequestCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& r : trace_) {
     if (r.kind == TraceRecord::Kind::kWrite) {
@@ -83,6 +86,7 @@ uint64_t TracingDisk::WriteRequestCount() const {
 }
 
 uint64_t TracingDisk::SyncWriteRequestCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& r : trace_) {
     if (r.kind == TraceRecord::Kind::kWrite && r.synchronous) {
@@ -93,6 +97,7 @@ uint64_t TracingDisk::SyncWriteRequestCount() const {
 }
 
 uint64_t TracingDisk::NonSequentialWriteCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& r : trace_) {
     if (r.kind == TraceRecord::Kind::kWrite && !r.sequential) {

@@ -5,6 +5,7 @@
 #define LOGFS_SRC_DISK_TRACING_DISK_H_
 
 #include <deque>
+#include <mutex>
 #include <string>
 
 #include "src/disk/block_device.h"
@@ -47,15 +48,31 @@ class TracingDisk : public BlockDevice {
   // records are held, each new request drops the oldest (soak workloads
   // otherwise grow the trace without bound). Sequentiality of new records
   // is still judged against the true previous request, dropped or not.
+  //
+  // Ring bookkeeping is mutex-guarded, so requests may arrive from several
+  // threads; this accessor hands out a reference to the live deque and is
+  // only safe once concurrent requests have quiesced (e.g. after joining
+  // worker threads in a test). Use TraceSnapshot() while I/O is in flight.
   const std::deque<TraceRecord>& trace() const { return trace_; }
+  std::deque<TraceRecord> TraceSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_;
+  }
   void ClearTrace() {
+    std::lock_guard<std::mutex> lock(mu_);
     trace_.clear();
     dropped_records_ = 0;
   }
 
   // Records evicted from the ring since the last ClearTrace().
-  uint64_t dropped_records() const { return dropped_records_; }
-  size_t trace_limit() const { return trace_limit_; }
+  uint64_t dropped_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_records_;
+  }
+  size_t trace_limit() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_limit_;
+  }
   void set_trace_limit(size_t limit);
 
   // Summary counters over the retained window.
@@ -72,6 +89,9 @@ class TracingDisk : public BlockDevice {
 
   BlockDevice* inner_;
   const SimClock* clock_;
+  // Guards the ring and its bookkeeping so decorated devices can be shared
+  // across threads; dropped_records_ stays monotone under concurrent appends.
+  mutable std::mutex mu_;
   std::deque<TraceRecord> trace_;
   size_t trace_limit_ = kDefaultTraceLimit;
   uint64_t dropped_records_ = 0;

@@ -1,0 +1,118 @@
+#include "src/lfs/lfs_blackbox.h"
+
+#include <cstring>
+
+#include "src/lfs/lfs_format.h"
+#include "src/util/crc32.h"
+#include "src/util/serializer.h"
+
+namespace logfs {
+
+size_t BlackBoxCapacity(size_t region_bytes, size_t checkpoint_payload_bytes) {
+  if (region_bytes < checkpoint_payload_bytes + kBlackBoxFooterBytes) return 0;
+  return region_bytes - checkpoint_payload_bytes - kBlackBoxFooterBytes;
+}
+
+Status EmbedBlackBox(std::span<std::byte> region, size_t checkpoint_payload_bytes,
+                     std::span<const std::byte> blob) {
+  if (blob.size() > BlackBoxCapacity(region.size(), checkpoint_payload_bytes)) {
+    return NoSpaceError("black box blob does not fit the checkpoint region slack");
+  }
+  const size_t blob_start = region.size() - kBlackBoxFooterBytes - blob.size();
+  std::memcpy(region.data() + blob_start, blob.data(), blob.size());
+  BufferWriter w(region.subspan(region.size() - kBlackBoxFooterBytes));
+  RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(blob.size())));
+  RETURN_IF_ERROR(w.WriteU32(Crc32(blob)));
+  RETURN_IF_ERROR(w.WriteU32(kBlackBoxVersion));
+  RETURN_IF_ERROR(w.WriteU32(kBlackBoxMagic));
+  return OkStatus();
+}
+
+Result<std::vector<std::byte>> ExtractBlackBox(std::span<const std::byte> region) {
+  if (region.size() < kBlackBoxFooterBytes) {
+    return CorruptedError("region too small for a black-box footer");
+  }
+  BufferReader r(region.subspan(region.size() - kBlackBoxFooterBytes));
+  ASSIGN_OR_RETURN(uint32_t blob_len, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t blob_crc, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kBlackBoxMagic) {
+    return CorruptedError("no black-box trailer (bad magic)");
+  }
+  if (version != kBlackBoxVersion) {
+    return CorruptedError("black-box trailer: unsupported version");
+  }
+  if (blob_len > region.size() - kBlackBoxFooterBytes) {
+    return CorruptedError("black-box trailer: blob length exceeds region");
+  }
+  std::span<const std::byte> blob =
+      region.subspan(region.size() - kBlackBoxFooterBytes - blob_len, blob_len);
+  if (Crc32(blob) != blob_crc) {
+    return CorruptedError("black-box trailer: blob CRC mismatch");
+  }
+  return std::vector<std::byte>(blob.begin(), blob.end());
+}
+
+namespace {
+
+Result<RecoveredBlackBox> RecoverFromRegions(
+    const std::vector<std::byte>& region_a, const std::vector<std::byte>& region_b) {
+  Result<RecoveredBlackBox> best = CorruptedError("no valid black box in either region");
+  const std::vector<std::byte>* regions[2] = {&region_a, &region_b};
+  for (int r = 0; r < 2; ++r) {
+    Result<std::vector<std::byte>> blob = ExtractBlackBox(*regions[r]);
+    if (!blob.ok()) continue;
+    Result<obs::TelemetryRing> ring = obs::TelemetryRing::Decode(*blob);
+    if (!ring.ok()) continue;
+    if (!best.ok() || ring->seq > best->ring.seq) {
+      RecoveredBlackBox rec;
+      rec.region = r;
+      rec.ring = std::move(ring).value();
+      best = std::move(rec);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<RecoveredBlackBox> RecoverBlackBox(BlockDevice* device) {
+  std::vector<std::byte> first(4096);
+  RETURN_IF_ERROR(device->ReadSectors(0, first));
+  ASSIGN_OR_RETURN(LfsSuperblock sb, DecodeLfsSuperblock(first));
+  const size_t region_bytes =
+      static_cast<size_t>(sb.checkpoint_region_blocks) * sb.block_size;
+  std::vector<std::byte> regions[2];
+  for (int r = 0; r < 2; ++r) {
+    regions[r].assign(region_bytes, std::byte{0});
+    const uint64_t sector =
+        (1ull + static_cast<uint64_t>(r) * sb.checkpoint_region_blocks) *
+        sb.SectorsPerBlock();
+    // A region that cannot be read simply contributes no candidate.
+    (void)device->ReadSectors(sector, regions[r]);
+  }
+  return RecoverFromRegions(regions[0], regions[1]);
+}
+
+Result<RecoveredBlackBox> RecoverBlackBoxFromImage(std::span<const std::byte> image) {
+  if (image.size() < 4096) {
+    return CorruptedError("image too small for a superblock");
+  }
+  ASSIGN_OR_RETURN(LfsSuperblock sb, DecodeLfsSuperblock(image.subspan(0, 4096)));
+  const size_t region_bytes =
+      static_cast<size_t>(sb.checkpoint_region_blocks) * sb.block_size;
+  std::vector<std::byte> regions[2];
+  for (int r = 0; r < 2; ++r) {
+    const size_t offset =
+        (1ull + static_cast<uint64_t>(r) * sb.checkpoint_region_blocks) * sb.block_size;
+    if (offset + region_bytes > image.size()) {
+      return CorruptedError("image too small for the checkpoint regions");
+    }
+    regions[r].assign(image.begin() + static_cast<ptrdiff_t>(offset),
+                      image.begin() + static_cast<ptrdiff_t>(offset + region_bytes));
+  }
+  return RecoverFromRegions(regions[0], regions[1]);
+}
+
+}  // namespace logfs

@@ -1,0 +1,71 @@
+// The black box: crash-surviving telemetry stowed in the checkpoint regions.
+//
+// DecodeCheckpoint CRC-covers only the payload prefix of a checkpoint
+// region and ignores everything after it, and WriteCheckpointRegion already
+// writes the *whole* region buffer in one request — so the tail slack
+// between the checkpoint payload and the region end is free persistence: a
+// telemetry ring embedded there costs zero extra I/O and cannot perturb
+// DiskStats in either metrics configuration.
+//
+// Trailer layout, anchored at the region END so any slack size works:
+//
+//   [ checkpoint payload | zero fill | ring blob | footer (16 bytes) ]
+//                                                  u32 blob_len
+//                                                  u32 blob_crc
+//                                                  u32 version
+//                                                  u32 magic "LFBB"
+//
+// Survivability argument (what the crashsim sweep asserts): the two
+// checkpoint regions alternate and at most one region write is ever
+// in-flight, so while a torn write can destroy that region's trailer, the
+// other region always holds a complete earlier write — and every complete
+// region write since Format carries a trailer (Format seeds region A with
+// an empty ring). Recovery therefore decodes both regions and takes the
+// valid ring with the highest sequence number, independent of whether the
+// checkpoint payloads themselves decode.
+#ifndef LOGFS_SRC_LFS_LFS_BLACKBOX_H_
+#define LOGFS_SRC_LFS_LFS_BLACKBOX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/obs/sampler.h"
+#include "src/util/result.h"
+
+namespace logfs {
+
+inline constexpr uint32_t kBlackBoxMagic = 0x4C464242;  // "LFBB"
+inline constexpr uint32_t kBlackBoxVersion = 1;
+inline constexpr size_t kBlackBoxFooterBytes = 16;
+
+// Bytes available for a ring blob in a region whose checkpoint payload is
+// `checkpoint_payload_bytes` long (0 if even the footer does not fit).
+size_t BlackBoxCapacity(size_t region_bytes, size_t checkpoint_payload_bytes);
+
+// Writes `blob` + footer at the end of `region`. The caller must have sized
+// the blob to BlackBoxCapacity (TelemetryRing::Encode does); a blob that
+// would collide with the checkpoint payload is rejected with kNoSpace.
+Status EmbedBlackBox(std::span<std::byte> region, size_t checkpoint_payload_bytes,
+                     std::span<const std::byte> blob);
+
+// Locates and validates the trailer; returns the raw ring blob.
+Result<std::vector<std::byte>> ExtractBlackBox(std::span<const std::byte> region);
+
+struct RecoveredBlackBox {
+  int region = -1;  // Checkpoint region (0 = A, 1 = B) that held the winner.
+  obs::TelemetryRing ring;
+};
+
+// Reads the superblock and both checkpoint regions from `device` and
+// returns the freshest valid telemetry ring (highest ring seq wins). Works
+// on crashed or corrupted images: only the trailer itself must validate.
+Result<RecoveredBlackBox> RecoverBlackBox(BlockDevice* device);
+
+// Same, from a raw in-memory image (sector 0 = superblock).
+Result<RecoveredBlackBox> RecoverBlackBoxFromImage(std::span<const std::byte> image);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_BLACKBOX_H_

@@ -10,16 +10,6 @@
 #include "src/util/logging.h"
 
 namespace logfs {
-namespace {
-
-// Paper write cost at observed utilization u: each segment of new data
-// costs one segment write, u/(1-u) segments of live-copy writes, and
-// 1/(1-u) segments of cleaner reads — 1 + u/(1-u) + 1/(1-u) = 2/(1-u).
-// Published as the explicit three-term sum so a test hand-computing the
-// formula from the same raw counters matches bit-for-bit.
-double PaperWriteCost(double u) { return 1.0 + u / (1.0 - u) + 1.0 / (1.0 - u); }
-
-}  // namespace
 
 Result<uint32_t> LfsCleaner::CleanSegments(uint32_t max_victims) {
   if (fs_->in_cleaner_ || max_victims == 0) {
@@ -135,9 +125,9 @@ Result<uint32_t> LfsCleaner::CleanVictims(std::vector<uint32_t> victims) {
       const double u = static_cast<double>(copied.Value()) /
                        static_cast<double>(examined.Value());
       obs::Registry().GetGauge("logfs.cleaner.utilization").Set(u);
-      if (u < 1.0) {
-        obs::Registry().GetGauge("logfs.cleaner.write_cost").Set(PaperWriteCost(u));
-      }
+      // PaperWriteCost clamps u -> 1, so the gauge stays finite (and fresh)
+      // even when every examined block turned out to be live.
+      obs::Registry().GetGauge("logfs.cleaner.write_cost").Set(PaperWriteCost(u));
     }
   }
   return result;

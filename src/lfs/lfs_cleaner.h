@@ -24,6 +24,23 @@
 
 namespace logfs {
 
+// Paper write cost at observed utilization u: each segment of new data
+// costs one segment write, u/(1-u) segments of live-copy writes, and
+// 1/(1-u) segments of cleaner reads — 1 + u/(1-u) + 1/(1-u) = 2/(1-u).
+// Published as the explicit three-term sum so a test hand-computing the
+// formula from the same raw counters matches bit-for-bit.
+//
+// u is clamped below 1: the raw formula diverges as u -> 1 (every examined
+// block alive, nothing reclaimable) and would poison the gauge — and any
+// JSON export — with inf/NaN. Below the cap the clamp is exact identity.
+inline constexpr double kWriteCostUtilizationCap = 1.0 - 1e-9;
+
+inline double PaperWriteCost(double u) {
+  if (!(u > 0.0)) return 2.0;  // u <= 0 or NaN: empty segments cost 2/(1-0).
+  if (u > kWriteCostUtilizationCap) u = kWriteCostUtilizationCap;
+  return 1.0 + u / (1.0 - u) + 1.0 / (1.0 - u);
+}
+
 class LfsCleaner {
  public:
   explicit LfsCleaner(LfsFileSystem* fs) : fs_(fs) {}

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 
 #include "src/fsbase/dirent.h"
+#include "src/lfs/lfs_blackbox.h"
 #include "src/lfs/lfs_cleaner.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
@@ -52,6 +54,18 @@ Status LfsFileSystem::Format(BlockDevice* device, const LfsParams& params) {
   std::vector<std::byte> region(static_cast<size_t>(sb.checkpoint_region_blocks) *
                                 sb.block_size);
   RETURN_IF_ERROR(EncodeCheckpoint(ckpt, region));
+  if constexpr (obs::kMetricsEnabled) {
+    // Seed region A with an empty black-box trailer so that from the very
+    // first post-format write stream, at least one region always holds a
+    // complete, CRC-valid telemetry ring (the crashsim sweep relies on it).
+    obs::TelemetrySampler empty;
+    const size_t payload = CheckpointPayloadBytes(ckpt);
+    std::vector<std::byte> blob =
+        empty.SerializeRing(BlackBoxCapacity(region.size(), payload));
+    if (!blob.empty()) {
+      (void)EmbedBlackBox(region, payload, blob);
+    }
+  }
   RETURN_IF_ERROR(
       device->WriteSectors((1ull) * sb.SectorsPerBlock(), region, IoOptions{.synchronous = true}));
   // Region B gets sequence 0 content? No — leave it invalid (zeroed) so the
@@ -100,7 +114,10 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, SimClock* clock, CpuModel* cpu
       cache_(sb.block_size, options.cache_policy, clock),
       imap_(sb.max_inodes, sb.block_size),
       usage_(sb.num_segments, sb.block_size),
-      builder_(device, sb) {
+      builder_(device, sb),
+      sampler_(obs::TelemetrySampler::Options{
+          .interval_seconds = options.telemetry_interval_seconds,
+          .capacity = options.telemetry_capacity}) {
   cache_.set_writeback_handler(this);
   imap_block_addrs_.assign(imap_.block_count(), kNoAddr);
   usage_block_addrs_.assign(usage_.block_count(), kNoAddr);
@@ -133,6 +150,7 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
   std::vector<std::byte> region(region_bytes);
   Result<CheckpointRecord> best = CorruptedError("no valid checkpoint region");
   int best_region = -1;
+  uint64_t max_ring_seq = 0;
   for (int r = 0; r < 2; ++r) {
     const uint64_t sector =
         (1ull + static_cast<uint64_t>(r) * sb.checkpoint_region_blocks) * sb.SectorsPerBlock();
@@ -143,6 +161,23 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
     if (candidate.ok() && (!best.ok() || candidate->sequence > best->sequence)) {
       best = std::move(candidate);
       best_region = r;
+    }
+    if constexpr (obs::kMetricsEnabled) {
+      // Continue the flight recorder's numbering across remounts, else the
+      // fresh sampler would restart at seq 1 and lose the "highest seq
+      // wins" race against rings written before this mount.
+      Result<std::vector<std::byte>> blob = ExtractBlackBox(region);
+      if (blob.ok()) {
+        Result<obs::TelemetryRing> ring = obs::TelemetryRing::Decode(*blob);
+        if (ring.ok()) {
+          max_ring_seq = std::max(max_ring_seq, ring->seq);
+        }
+      }
+    }
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    if (max_ring_seq > 0) {
+      fs->sampler_.SeedSequence(max_ring_seq + 1);
     }
   }
   if (!best.ok()) {
@@ -200,7 +235,10 @@ Status LfsFileSystem::LoadFromCheckpoint(const CheckpointRecord& ckpt) {
 // --- Raw device helpers ---------------------------------------------------------
 
 Status LfsFileSystem::ReadBlockAt(DiskAddr addr, std::span<std::byte> out) {
-  RETURN_IF_ERROR(device_->ReadSectors(addr, out.subspan(0, BlockSize())));
+  const double t0 = Now();
+  Status read = device_->ReadSectors(addr, out.subspan(0, BlockSize()));
+  AddOpDiskSeconds(Now() - t0);
+  RETURN_IF_ERROR(read);
   return VerifyBlockChecksum(addr, out.subspan(0, BlockSize()));
 }
 
@@ -215,6 +253,105 @@ Status LfsFileSystem::VerifyBlockChecksum(DiskAddr addr, std::span<const std::by
   }
   QuarantineSegment(SegmentOfAddr(addr));
   return CorruptedError("block checksum mismatch (silent corruption)");
+}
+
+// --- Per-op latency attribution -------------------------------------------------
+
+namespace {
+
+uint64_t BackoffMicros() {
+  if constexpr (!obs::kMetricsEnabled) {
+    return 0;
+  }
+  // Maintained by ResilientDisk; reading it through the registry keeps the
+  // attribution correct however the device decorators are stacked.
+  static obs::Counter& backoff =
+      obs::Registry().GetCounter("logfs.resilient.backoff_us");
+  return backoff.Value();
+}
+
+uint64_t Micros(double seconds) {
+  return static_cast<uint64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+LfsFileSystem::OpScope::OpScope(LfsFileSystem* fs, const char* name) : fs_(fs) {
+  if constexpr (!obs::kMetricsEnabled) {
+    (void)name;
+    return;
+  }
+  if (fs_->op_depth_++ > 0) {
+    return;  // Internal reentry: attribute to the outermost op.
+  }
+  active_ = true;
+  fs_->op_attr_ = OpAttr{};
+  fs_->op_attr_.name = name;
+  fs_->op_attr_.start = fs_->Now();
+  fs_->op_attr_.retry_us_start = BackoffMicros();
+  fs_->op_attr_.cache_hits_start = fs_->cache_.stats().hits;
+  fs_->op_attr_.cache_misses_start = fs_->cache_.stats().misses;
+}
+
+LfsFileSystem::OpScope::~OpScope() {
+  if constexpr (!obs::kMetricsEnabled) {
+    return;
+  }
+  --fs_->op_depth_;
+  if (!active_) {
+    return;
+  }
+  OpAttr& a = fs_->op_attr_;
+  const double end = fs_->Now();
+  const double total = std::max(0.0, end - a.start);
+  // Retry backoff elapses inside a device call, so it arrives folded into
+  // the disk component; peel it back out into its own bucket.
+  const double retry =
+      static_cast<double>(BackoffMicros() - a.retry_us_start) / 1e6;
+  const double disk = std::max(0.0, a.disk_seconds - retry);
+  const double cleaner = a.cleaner_seconds;
+  const double cache = std::max(0.0, total - disk - cleaner - retry);
+  const uint64_t hits = fs_->cache_.stats().hits - a.cache_hits_start;
+  const uint64_t misses = fs_->cache_.stats().misses - a.cache_misses_start;
+
+  const std::string prefix = std::string("logfs.op.") + a.name;
+  static constexpr double kOpLatencyBounds[] = {0.0001, 0.001, 0.01, 0.05,
+                                                0.1,    0.5,   1.0};
+  obs::Registry().GetHistogram(prefix + ".seconds", kOpLatencyBounds).Observe(total);
+  obs::Registry().GetCounter(prefix + ".count").Increment();
+  obs::Registry().GetCounter(prefix + ".disk_us").Increment(Micros(disk));
+  obs::Registry().GetCounter(prefix + ".cleaner_us").Increment(Micros(cleaner));
+  obs::Registry().GetCounter(prefix + ".retry_us").Increment(Micros(retry));
+  obs::Registry().GetCounter(prefix + ".cache_us").Increment(Micros(cache));
+  obs::Tracer().RecordSpan("op", a.name, a.start, end,
+                           {{"disk_us", std::to_string(Micros(disk))},
+                            {"cleaner_us", std::to_string(Micros(cleaner))},
+                            {"retry_us", std::to_string(Micros(retry))},
+                            {"cache_us", std::to_string(Micros(cache))},
+                            {"cache_hits", std::to_string(hits)},
+                            {"cache_misses", std::to_string(misses)}});
+}
+
+void LfsFileSystem::AddOpDiskSeconds(double seconds) {
+  if constexpr (!obs::kMetricsEnabled) {
+    (void)seconds;
+    return;
+  }
+  // Device time inside the cleaner belongs to the cleaner-interference
+  // bucket, which is measured as one clock delta around the whole pass.
+  if (op_depth_ > 0 && !in_cleaner_ && seconds > 0.0) {
+    op_attr_.disk_seconds += seconds;
+  }
+}
+
+void LfsFileSystem::AddOpCleanerSeconds(double seconds) {
+  if constexpr (!obs::kMetricsEnabled) {
+    (void)seconds;
+    return;
+  }
+  if (op_depth_ > 0 && seconds > 0.0) {
+    op_attr_.cleaner_seconds += seconds;
+  }
 }
 
 Status LfsFileSystem::CheckWritable() const {
@@ -516,7 +653,9 @@ Result<CacheRef> LfsFileSystem::ReadBlockRun(InodeNum ino, const Inode& inode, u
   for (CacheRef& ref : ahead) {
     bufs.push_back(ref->mutable_data());
   }
+  const double read_start = Now();
   Status read = device_->ReadSectorsV(addr, bufs);
+  AddOpDiskSeconds(Now() - read_start);
   if (read.ok()) {
     // Verify the whole run: bufs[0] is the target at `addr`, bufs[k] the
     // k-th read-ahead block right after it on disk.
@@ -600,7 +739,9 @@ Status LfsFileSystem::FlushPartial() {
   // On failure the builder keeps its entries (and their extents), so the
   // pins stay too; everything unwinds together when the caller gives up.
   const double flush_start = Now();
-  RETURN_IF_ERROR(builder_.Flush(next_log_seq_++, flush_start));
+  Status flushed = builder_.Flush(next_log_seq_++, flush_start);
+  AddOpDiskSeconds(Now() - flush_start);
+  RETURN_IF_ERROR(flushed);
   // Fold the write-time checksums into the read-verification index.
   for (const SegmentBuilder::FlushedBlock& fb : builder_.last_flush()) {
     block_crcs_[fb.addr] = fb.crc;
@@ -786,12 +927,24 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   std::vector<std::byte> region(static_cast<size_t>(sb_.checkpoint_region_blocks) *
                                 BlockSize());
   RETURN_IF_ERROR(EncodeCheckpoint(ckpt, region));
+  if constexpr (obs::kMetricsEnabled) {
+    // Stow the flight recorder in the region's tail slack: the region is
+    // written as one request either way, so the black box costs no I/O.
+    const size_t payload = CheckpointPayloadBytes(ckpt);
+    std::vector<std::byte> blob =
+        sampler_.SerializeRing(BlackBoxCapacity(region.size(), payload));
+    if (!blob.empty()) {
+      (void)EmbedBlackBox(region, payload, blob);
+    }
+  }
   auto region_sector = [&](uint32_t r) {
     return (1ull + static_cast<uint64_t>(r) * sb_.checkpoint_region_blocks) *
            sb_.SectorsPerBlock();
   };
+  const double ckpt_io_start = Now();
   Status first = device_->WriteSectors(region_sector(next_ckpt_region_), region,
                                        IoOptions{.synchronous = true});
+  AddOpDiskSeconds(Now() - ckpt_io_start);
   if (first.ok()) {
     next_ckpt_region_ ^= 1;
     return OkStatus();
@@ -804,8 +957,10 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   // in the rotation: if it recovers the alternation resumes, and if it is
   // persistently bad every checkpoint retries it and keeps landing here.
   const uint32_t failed = next_ckpt_region_;
+  const double failover_start = Now();
   Status second = device_->WriteSectors(region_sector(failed ^ 1), region,
                                         IoOptions{.synchronous = true});
+  AddOpDiskSeconds(Now() - failover_start);
   if (second.ok()) {
     next_ckpt_region_ = failed;
     if constexpr (obs::kMetricsEnabled) {
@@ -820,6 +975,11 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   }
   // Neither region can hold a checkpoint: further writes could never be
   // made durable, so demote the mount instead of silently losing them.
+  // Last forensic gesture first: try to land just the black-box trailer
+  // sectors (a much smaller target than the full region) so the telemetry
+  // leading up to the failure survives if any tail sector still accepts
+  // writes.
+  PersistBlackBoxNow();
   read_only_ = true;
   if constexpr (obs::kMetricsEnabled) {
     static obs::Counter& demotions =
@@ -829,6 +989,44 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   }
   return MediaError("checkpoint write failed on both regions; mount is now read-only: " +
                     first.message());
+}
+
+void LfsFileSystem::PersistBlackBoxNow() {
+  if constexpr (!obs::kMetricsEnabled) {
+    return;
+  }
+  const size_t region_bytes =
+      static_cast<size_t>(sb_.checkpoint_region_blocks) * BlockSize();
+  std::vector<std::byte> region(region_bytes);
+  for (uint32_t r = 0; r < 2; ++r) {
+    const uint64_t sector =
+        (1ull + static_cast<uint64_t>(r) * sb_.checkpoint_region_blocks) *
+        sb_.SectorsPerBlock();
+    if (!device_->ReadSectors(sector, region).ok()) {
+      continue;
+    }
+    // Preserve a decodable checkpoint payload; if the region holds garbage
+    // anyway, the whole slack (minus the footer) is fair game.
+    size_t payload = 0;
+    Result<CheckpointRecord> ckpt = DecodeCheckpoint(region);
+    if (ckpt.ok()) {
+      payload = CheckpointPayloadBytes(*ckpt);
+    }
+    std::vector<std::byte> blob =
+        sampler_.SerializeRing(BlackBoxCapacity(region_bytes, payload));
+    if (blob.empty() || !EmbedBlackBox(region, payload, blob).ok()) {
+      continue;
+    }
+    // Rewrite only the sectors the trailer touches; stale bytes ahead of
+    // the blob are ignored by ExtractBlackBox (the footer is end-anchored).
+    const size_t trailer_bytes = blob.size() + kBlackBoxFooterBytes;
+    const size_t start_byte =
+        (region_bytes - trailer_bytes) / kSectorSize * kSectorSize;
+    (void)device_->WriteSectors(
+        sector + start_byte / kSectorSize,
+        std::span<const std::byte>(region).subspan(start_byte),
+        IoOptions{.synchronous = true});
+  }
 }
 
 Status LfsFileSystem::Checkpoint() {
@@ -919,6 +1117,10 @@ Status LfsFileSystem::Checkpoint() {
     rewrites.Increment(deferred.size());
   }
   RETURN_IF_ERROR(FlushPartial());
+
+  // One guaranteed sample per checkpoint, taken after the flushes so the
+  // black box records the counters exactly as of the state it rides with.
+  sampler_.SampleNow(Now());
 
   CheckpointRecord ckpt;
   ckpt.sequence = ++checkpoint_seq_;

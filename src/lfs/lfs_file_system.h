@@ -34,6 +34,7 @@
 #include "src/lfs/lfs_inode_map.h"
 #include "src/lfs/lfs_seg_usage.h"
 #include "src/lfs/lfs_segment.h"
+#include "src/obs/sampler.h"
 #include "src/sim/cpu_model.h"
 #include "src/sim/sim_clock.h"
 
@@ -72,6 +73,13 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
     // round-robin, so latent media errors surface before a reader or the
     // cleaner trips on them. 0 disables.
     uint32_t scrub_segments_per_tick = 0;
+    // Flight-recorder cadence: the telemetry sampler takes one sample per
+    // interval (driven from Tick) plus one at every checkpoint, retaining
+    // the newest `telemetry_capacity` samples. Each checkpoint embeds the
+    // encoded ring in the checkpoint-region tail slack as the on-disk black
+    // box (src/lfs/lfs_blackbox.h). No-op with LOGFS_METRICS=OFF.
+    double telemetry_interval_seconds = 1.0;
+    size_t telemetry_capacity = 256;
   };
 
   // Writes a fresh file system: superblock, two checkpoint regions, and a
@@ -140,6 +148,16 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // read-only: every mutating operation returns kReadOnly, reads still
   // work. The demotion is sticky for the life of the mount.
   bool read_only() const { return read_only_; }
+
+  // The flight recorder: periodic MetricsRegistry samples whose encoded
+  // ring becomes the on-disk black box at every checkpoint.
+  obs::TelemetrySampler& telemetry() { return sampler_; }
+
+  // Best-effort crash-path persistence: rewrites only the black-box trailer
+  // sectors of both checkpoint regions with the freshest ring, leaving the
+  // checkpoint payloads untouched. Never reports failure — it runs on paths
+  // (read-only demotion) where the main write already failed.
+  void PersistBlackBoxNow();
 
   // Introspection for benchmarks, tests, the cleaner and the checker.
   const LfsSuperblock& superblock() const { return sb_; }
@@ -309,6 +327,38 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // Releases data blocks at index >= first_index (truncate/delete helper).
   Status ReleaseBlocksFrom(InodeNum ino, uint64_t first_index);
 
+  // --- per-op latency attribution ---
+  // RAII scope wrapped around each top-level public operation (Read, Write,
+  // Sync, Fsync, Create). Only the outermost scope is live — internal
+  // reentry (Sync from the destructor, Checkpoint from the cleaner) attaches
+  // to it. On destruction the op's wall time is decomposed into disk-I/O,
+  // cleaner-interference and retry-backoff seconds; the remainder is the
+  // cache/CPU component. Published as logfs.op.<name>.* and as an "op" span.
+  class OpScope {
+   public:
+    OpScope(LfsFileSystem* fs, const char* name);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    LfsFileSystem* fs_;
+    bool active_ = false;
+  };
+  struct OpAttr {
+    const char* name = nullptr;
+    double start = 0.0;
+    double disk_seconds = 0.0;     // Device time outside the cleaner.
+    double cleaner_seconds = 0.0;  // CleanNow invoked to make room.
+    uint64_t retry_us_start = 0;   // logfs.resilient.backoff_us at op start.
+    uint64_t cache_hits_start = 0;
+    uint64_t cache_misses_start = 0;
+  };
+  // Charge device time to the active op (no-op when none; cleaner time is
+  // charged separately, so device I/O inside the cleaner is skipped here).
+  void AddOpDiskSeconds(double seconds);
+  void AddOpCleanerSeconds(double seconds);
+
   Status InitializeRoot();
   Status MaybePressureFlush();
   // Drops clean in-core inodes beyond the configured cap. Only called from
@@ -360,6 +410,11 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   uint64_t rolled_forward_partials_ = 0;
   bool in_cleaner_ = false;  // Cleaning may dip into reserved segments.
   CleanerStats cleaner_stats_;
+
+  // Flight recorder state (see Options::telemetry_interval_seconds).
+  obs::TelemetrySampler sampler_;
+  int op_depth_ = 0;
+  OpAttr op_attr_;
 };
 
 }  // namespace logfs

@@ -281,7 +281,12 @@ Status LfsFileSystem::EnsureSpaceForWrite(uint64_t incoming_bytes) {
       return OkStatus();
     }
     // Cleaning may reclaim fragmented segments; stop when it cannot.
-    ASSIGN_OR_RETURN(uint32_t cleaned, CleanNow(4));
+    // The whole pass is cleaner interference from the caller's point of
+    // view — the foreground op is stalled behind garbage collection.
+    const double clean_start = Now();
+    Result<uint32_t> clean_result = CleanNow(4);
+    AddOpCleanerSeconds(Now() - clean_start);
+    ASSIGN_OR_RETURN(uint32_t cleaned, std::move(clean_result));
     if (cleaned == 0) {
       return NoSpaceError("log full: cleaning cannot reclaim enough segments");
     }
@@ -309,6 +314,7 @@ Status LfsFileSystem::MaybePressureFlush() {
 // --- FileSystem interface -------------------------------------------------------------
 
 Result<InodeNum> LfsFileSystem::Create(InodeNum dir, std::string_view name, FileType type) {
+  OpScope op(this, "create");
   RETURN_IF_ERROR(CheckWritable());
   if (type != FileType::kRegular && type != FileType::kDirectory &&
       type != FileType::kSymlink) {
@@ -521,6 +527,7 @@ Status LfsFileSystem::Rename(InodeNum from_dir, std::string_view from_name, Inod
 }
 
 Result<uint64_t> LfsFileSystem::Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) {
+  OpScope op(this, "read");
   ASSIGN_OR_RETURN(CachedInode * ci, GetInode(ino));
   if (ci->inode.IsDirectory()) {
     return IsDirectoryError("read of a directory");
@@ -552,6 +559,7 @@ Result<uint64_t> LfsFileSystem::Read(InodeNum ino, uint64_t offset, std::span<st
 
 Result<uint64_t> LfsFileSystem::Write(InodeNum ino, uint64_t offset,
                                       std::span<const std::byte> data) {
+  OpScope op(this, "write");
   RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(CachedInode * ci_check, GetInode(ino));
   if (ci_check->inode.IsDirectory()) {
@@ -669,10 +677,12 @@ Result<std::vector<DirEntry>> LfsFileSystem::ReadDir(InodeNum dir) {
 Status LfsFileSystem::Sync() {
   // sync(2) in LFS: flush everything and checkpoint, so a crash right after
   // Sync loses nothing.
+  OpScope op(this, "sync");
   return Checkpoint();
 }
 
 Status LfsFileSystem::Fsync(InodeNum /*ino*/) {
+  OpScope op(this, "fsync");
   // fsync in LFS needs no checkpoint: flushing the dirty set into a partial
   // segment is durable, because roll-forward recovery re-registers the
   // inodes from the segment summaries (Section 4.4). The whole dirty set is
@@ -714,6 +724,9 @@ void LfsFileSystem::PruneInodeCache() {
 }
 
 Status LfsFileSystem::Tick() {
+  // The flight recorder samples even on a demoted mount: the ring keeps
+  // recording in memory and PersistBlackBoxNow may still land it.
+  sampler_.MaybeSample(Now());
   if (read_only_) {
     return OkStatus();  // All background work writes; a demoted mount idles.
   }

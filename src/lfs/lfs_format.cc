@@ -106,6 +106,12 @@ Status EncodeCheckpoint(const CheckpointRecord& ckpt, std::span<std::byte> regio
   return OkStatus();
 }
 
+size_t CheckpointPayloadBytes(const CheckpointRecord& ckpt) {
+  // Fixed header fields (through the two table counts) plus one u64 per
+  // table entry; must match EncodeCheckpoint's write sequence exactly.
+  return 60 + 8 * (ckpt.imap_block_addrs.size() + ckpt.usage_block_addrs.size());
+}
+
 Result<CheckpointRecord> DecodeCheckpoint(std::span<const std::byte> region) {
   BufferReader reader(region);
   ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());

@@ -105,6 +105,12 @@ struct CheckpointRecord {
 Status EncodeCheckpoint(const CheckpointRecord& ckpt, std::span<std::byte> region);
 Result<CheckpointRecord> DecodeCheckpoint(std::span<const std::byte> region);
 
+// Exact byte length of the encoded checkpoint payload (the CRC-covered
+// prefix of the region). Bytes past this offset are ignored by
+// DecodeCheckpoint, which is the slack the black-box trailer rides in
+// (src/lfs/lfs_blackbox.h).
+size_t CheckpointPayloadBytes(const CheckpointRecord& ckpt);
+
 // Computes the derived geometry for a device of `sector_count` sectors;
 // fails if the device cannot hold at least a handful of segments.
 Result<LfsSuperblock> ComputeLfsGeometry(const LfsParams& params, uint64_t sector_count);

@@ -11,7 +11,10 @@ namespace {
 // counter values, so floats are printed with an explicit fixed format
 // instead of whatever the locale or default precision would do.
 void AppendDouble(std::ostringstream& out, double v) {
-  if (std::isnan(v)) {
+  // JSON has no NaN/Infinity literals; any non-finite value would corrupt the
+  // whole export, so both map to null (producers are expected to clamp —
+  // see PaperWriteCost — this is the last line of defense).
+  if (!std::isfinite(v)) {
     out << "null";
     return;
   }
@@ -20,8 +23,7 @@ void AppendDouble(std::ostringstream& out, double v) {
   tmp.precision(17);
   tmp << v;
   std::string s = tmp.str();
-  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
-      s.find("inf") == std::string::npos) {
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
     s += ".0";
   }
   out << s;
@@ -49,6 +51,32 @@ void AppendJsonString(std::ostringstream& out, std::string_view s) {
 }
 
 }  // namespace
+
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& hv, double q) {
+  if (hv.count == 0 || hv.buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in (0, count]; rank 0 degenerates to the first occupied bucket's
+  // lower edge via the max() below.
+  const double rank = std::max(q * static_cast<double>(hv.count), 1e-12);
+  double cum = 0.0;
+  for (size_t i = 0; i < hv.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(hv.buckets[i]);
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == hv.bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return hv.bounds.empty() ? 0.0 : hv.bounds.back();
+    }
+    const double upper = hv.bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : hv.bounds[i - 1];
+    if (in_bucket <= 0.0) return upper;
+    const double frac = (rank - cum) / in_bucket;
+    return lower + frac * (upper - lower);
+  }
+  return hv.bounds.empty() ? 0.0 : hv.bounds.back();
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
@@ -211,6 +239,12 @@ std::string MetricsRegistry::ToJson() const {
     }
     out << "], \"count\": " << hv.count << ", \"sum\": ";
     AppendDouble(out, hv.sum);
+    out << ", \"p50\": ";
+    AppendDouble(out, HistogramQuantile(hv, 0.50));
+    out << ", \"p90\": ";
+    AppendDouble(out, HistogramQuantile(hv, 0.90));
+    out << ", \"p99\": ";
+    AppendDouble(out, HistogramQuantile(hv, 0.99));
     out << "}";
   }
   out << (snap.histograms.empty() ? "}" : "\n  }");
@@ -239,6 +273,11 @@ std::string MetricsRegistry::ToText() const {
       out << hv.buckets[i];
     }
     out << "]\n";
+    for (auto [suffix, q] : {std::pair{".p50", 0.50}, {".p90", 0.90}, {".p99", 0.99}}) {
+      out << name << suffix << " ";
+      AppendDouble(out, HistogramQuantile(hv, q));
+      out << "\n";
+    }
   }
   return out.str();
 }

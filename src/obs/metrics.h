@@ -112,6 +112,14 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramValue> histograms;
 };
 
+// Quantile estimate from a fixed-bucket histogram snapshot: finds the bucket
+// containing rank q*count and interpolates linearly between its bounds (the
+// paper's distributions are smooth enough inside a bucket for that to be the
+// honest choice). The unbounded overflow bucket cannot be interpolated, so a
+// rank landing there clamps to the last finite bound. Returns 0 when empty.
+// `q` is clamped to [0, 1].
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& hv, double q);
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();

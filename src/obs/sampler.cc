@@ -1,0 +1,368 @@
+#include "src/obs/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/crc32.h"
+#include "src/util/serializer.h"
+
+namespace logfs::obs {
+namespace {
+
+constexpr uint32_t kTelemetryRingMagic = 0x4C465452;  // "LFTR"
+constexpr uint32_t kTelemetryRingVersion = 1;
+// Offset of the CRC field in the encoded blob (magic, version, then crc).
+constexpr size_t kCrcOffset = 8;
+// Decode-side sanity caps so a corrupted length field cannot demand an
+// absurd allocation before the CRC check has had a chance to run.
+constexpr uint32_t kMaxNames = 65536;
+constexpr uint32_t kMaxSamples = 1u << 20;
+
+// LEB128: counter deltas between adjacent samples are usually tiny, so
+// varints are where the "delta-compressed" in the ring's contract comes from.
+Status WriteVarint(BufferWriter& w, uint64_t v) {
+  while (v >= 0x80) {
+    RETURN_IF_ERROR(w.WriteU8(static_cast<uint8_t>(v) | 0x80));
+    v >>= 7;
+  }
+  return w.WriteU8(static_cast<uint8_t>(v));
+}
+
+Result<uint64_t> ReadVarint(BufferReader& r) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    ASSIGN_OR_RETURN(uint8_t byte, r.ReadU8());
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return CorruptedError("telemetry ring: varint overruns 64 bits");
+}
+
+// Worst-case encoded size, used to size the scratch buffer.
+size_t EncodedSizeBound(const TelemetryRing& ring, size_t first_sample) {
+  size_t names = 0;
+  for (const auto& n : ring.counter_names) names += n.size() + 2;
+  for (const auto& n : ring.gauge_names) names += n.size() + 2;
+  for (const auto& n : ring.hist_names) names += n.size() + 2;
+  const size_t per_sample = 8 + 10 * ring.counter_names.size() +
+                            8 * ring.gauge_names.size() + 42 * ring.hist_names.size();
+  const size_t n_samples = ring.samples.size() - first_sample;
+  return 48 + names + 10 * ring.counter_names.size() + per_sample * n_samples;
+}
+
+// Encodes `ring` with samples[first..) against the given folded base.
+// Returns an empty vector only on (impossible-by-construction) overflow.
+std::vector<std::byte> EncodeFrom(const TelemetryRing& ring, uint64_t seq,
+                                  std::span<const uint64_t> base, double base_time,
+                                  size_t first_sample) {
+  std::vector<std::byte> buf(EncodedSizeBound(ring, first_sample));
+  BufferWriter w{std::span<std::byte>(buf)};
+  auto encode = [&]() -> Status {
+    RETURN_IF_ERROR(w.WriteU32(kTelemetryRingMagic));
+    RETURN_IF_ERROR(w.WriteU32(kTelemetryRingVersion));
+    RETURN_IF_ERROR(w.WriteU32(0));  // CRC placeholder, patched below.
+    RETURN_IF_ERROR(w.WriteU64(seq));
+    RETURN_IF_ERROR(w.WriteF64(base_time));
+    RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(ring.counter_names.size())));
+    RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(ring.gauge_names.size())));
+    RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(ring.hist_names.size())));
+    for (const auto& n : ring.counter_names) RETURN_IF_ERROR(w.WriteString(n));
+    for (const auto& n : ring.gauge_names) RETURN_IF_ERROR(w.WriteString(n));
+    for (const auto& n : ring.hist_names) RETURN_IF_ERROR(w.WriteString(n));
+    for (size_t j = 0; j < ring.counter_names.size(); ++j) {
+      RETURN_IF_ERROR(WriteVarint(w, j < base.size() ? base[j] : 0));
+    }
+    RETURN_IF_ERROR(
+        w.WriteU32(static_cast<uint32_t>(ring.samples.size() - first_sample)));
+    for (size_t i = first_sample; i < ring.samples.size(); ++i) {
+      const TelemetrySample& s = ring.samples[i];
+      RETURN_IF_ERROR(w.WriteF64(s.t));
+      for (size_t j = 0; j < ring.counter_names.size(); ++j) {
+        RETURN_IF_ERROR(
+            WriteVarint(w, j < s.counter_deltas.size() ? s.counter_deltas[j] : 0));
+      }
+      for (size_t j = 0; j < ring.gauge_names.size(); ++j) {
+        RETURN_IF_ERROR(w.WriteF64(
+            j < s.gauges.size() ? s.gauges[j] : std::numeric_limits<double>::quiet_NaN()));
+      }
+      for (size_t j = 0; j < ring.hist_names.size(); ++j) {
+        TelemetrySample::HistState h = j < s.hists.size() ? s.hists[j]
+                                                          : TelemetrySample::HistState{};
+        RETURN_IF_ERROR(WriteVarint(w, h.count));
+        RETURN_IF_ERROR(w.WriteF64(h.sum));
+        RETURN_IF_ERROR(w.WriteF64(h.p50));
+        RETURN_IF_ERROR(w.WriteF64(h.p90));
+        RETURN_IF_ERROR(w.WriteF64(h.p99));
+      }
+    }
+    return OkStatus();
+  };
+  if (!encode().ok()) return {};
+  buf.resize(w.offset());
+  const uint32_t crc = Crc32(std::span<const std::byte>(buf));
+  BufferWriter patch{std::span<std::byte>(buf)};
+  (void)patch.SeekTo(kCrcOffset);
+  (void)patch.WriteU32(crc);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t TelemetryRing::CounterAt(size_t sample, size_t counter) const {
+  uint64_t v = counter < base_counters.size() ? base_counters[counter] : 0;
+  for (size_t i = 0; i <= sample && i < samples.size(); ++i) {
+    if (counter < samples[i].counter_deltas.size()) {
+      v += samples[i].counter_deltas[counter];
+    }
+  }
+  return v;
+}
+
+double TelemetryRing::RateAt(size_t sample, size_t counter) const {
+  if (sample >= samples.size()) return 0.0;
+  const double prev_t = sample == 0 ? base_time : samples[sample - 1].t;
+  const double dt = samples[sample].t - prev_t;
+  if (!(dt > 0.0)) return 0.0;
+  const auto& deltas = samples[sample].counter_deltas;
+  const uint64_t d = counter < deltas.size() ? deltas[counter] : 0;
+  return static_cast<double>(d) / dt;
+}
+
+std::vector<std::byte> TelemetryRing::Encode(size_t max_bytes) const {
+  std::vector<uint64_t> base = base_counters;
+  base.resize(counter_names.size(), 0);
+  double base_t = base_time;
+  for (size_t first = 0; first <= samples.size(); ++first) {
+    if (first > 0) {
+      const TelemetrySample& evicted = samples[first - 1];
+      for (size_t j = 0; j < evicted.counter_deltas.size(); ++j) {
+        base[j] += evicted.counter_deltas[j];
+      }
+      base_t = evicted.t;
+    }
+    std::vector<std::byte> blob = EncodeFrom(*this, seq, base, base_t, first);
+    if (!blob.empty() && blob.size() <= max_bytes) return blob;
+  }
+  // Even a sample-free ring with the name tables is too big (tiny checkpoint
+  // slack): fall back to a bare header — still a valid, CRC-sealed ring.
+  TelemetryRing bare;
+  bare.seq = seq;
+  bare.base_time = base_t;
+  std::vector<std::byte> blob = EncodeFrom(bare, seq, {}, base_t, 0);
+  if (!blob.empty() && blob.size() <= max_bytes) return blob;
+  return {};
+}
+
+Result<TelemetryRing> TelemetryRing::Decode(std::span<const std::byte> blob) {
+  BufferReader r(blob);
+  ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kTelemetryRingMagic) {
+    return CorruptedError("telemetry ring: bad magic");
+  }
+  ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kTelemetryRingVersion) {
+    return CorruptedError("telemetry ring: unsupported version");
+  }
+  ASSIGN_OR_RETURN(uint32_t stored_crc, r.ReadU32());
+  std::vector<std::byte> scratch(blob.begin(), blob.end());
+  BufferWriter zero{std::span<std::byte>(scratch)};
+  (void)zero.SeekTo(kCrcOffset);
+  (void)zero.WriteU32(0);
+  if (Crc32(std::span<const std::byte>(scratch)) != stored_crc) {
+    return CorruptedError("telemetry ring: CRC mismatch");
+  }
+
+  TelemetryRing ring;
+  ASSIGN_OR_RETURN(ring.seq, r.ReadU64());
+  ASSIGN_OR_RETURN(ring.base_time, r.ReadF64());
+  ASSIGN_OR_RETURN(uint32_t n_counters, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t n_gauges, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t n_hists, r.ReadU32());
+  if (n_counters > kMaxNames || n_gauges > kMaxNames || n_hists > kMaxNames) {
+    return CorruptedError("telemetry ring: name table too large");
+  }
+  ring.counter_names.reserve(n_counters);
+  for (uint32_t j = 0; j < n_counters; ++j) {
+    ASSIGN_OR_RETURN(std::string n, r.ReadString());
+    ring.counter_names.push_back(std::move(n));
+  }
+  ring.gauge_names.reserve(n_gauges);
+  for (uint32_t j = 0; j < n_gauges; ++j) {
+    ASSIGN_OR_RETURN(std::string n, r.ReadString());
+    ring.gauge_names.push_back(std::move(n));
+  }
+  ring.hist_names.reserve(n_hists);
+  for (uint32_t j = 0; j < n_hists; ++j) {
+    ASSIGN_OR_RETURN(std::string n, r.ReadString());
+    ring.hist_names.push_back(std::move(n));
+  }
+  ring.base_counters.resize(n_counters);
+  for (uint32_t j = 0; j < n_counters; ++j) {
+    ASSIGN_OR_RETURN(ring.base_counters[j], ReadVarint(r));
+  }
+  ASSIGN_OR_RETURN(uint32_t n_samples, r.ReadU32());
+  if (n_samples > kMaxSamples) {
+    return CorruptedError("telemetry ring: sample count too large");
+  }
+  ring.samples.resize(n_samples);
+  for (uint32_t i = 0; i < n_samples; ++i) {
+    TelemetrySample& s = ring.samples[i];
+    ASSIGN_OR_RETURN(s.t, r.ReadF64());
+    s.counter_deltas.resize(n_counters);
+    for (uint32_t j = 0; j < n_counters; ++j) {
+      ASSIGN_OR_RETURN(s.counter_deltas[j], ReadVarint(r));
+    }
+    s.gauges.resize(n_gauges);
+    for (uint32_t j = 0; j < n_gauges; ++j) {
+      ASSIGN_OR_RETURN(s.gauges[j], r.ReadF64());
+    }
+    s.hists.resize(n_hists);
+    for (uint32_t j = 0; j < n_hists; ++j) {
+      ASSIGN_OR_RETURN(s.hists[j].count, ReadVarint(r));
+      ASSIGN_OR_RETURN(s.hists[j].sum, r.ReadF64());
+      ASSIGN_OR_RETURN(s.hists[j].p50, r.ReadF64());
+      ASSIGN_OR_RETURN(s.hists[j].p90, r.ReadF64());
+      ASSIGN_OR_RETURN(s.hists[j].p99, r.ReadF64());
+    }
+  }
+  return ring;
+}
+
+TelemetrySampler::TelemetrySampler(Options opts, MetricsRegistry* registry)
+    : opts_(opts),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::Global()),
+      timer_(opts.interval_seconds) {}
+
+bool TelemetrySampler::MaybeSample(double now) {
+  if constexpr (!kMetricsEnabled) {
+    (void)now;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!timer_.Due(now)) return false;
+  TakeSample(now);
+  return true;
+}
+
+void TelemetrySampler::SampleNow(double now) {
+  if constexpr (!kMetricsEnabled) {
+    (void)now;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TakeSample(now);
+}
+
+void TelemetrySampler::TakeSample(double now) {
+  MetricsSnapshot snap = registry_->Snapshot();
+
+  TelemetrySample s;
+  s.t = now;
+  for (const auto& [name, value] : snap.counters) {
+    auto it = counter_idx_.find(name);
+    if (it == counter_idx_.end()) {
+      it = counter_idx_.emplace(name, ring_.counter_names.size()).first;
+      ring_.counter_names.push_back(name);
+      last_counters_.push_back(0);
+    }
+    (void)value;
+  }
+  s.counter_deltas.resize(ring_.counter_names.size(), 0);
+  for (const auto& [name, value] : snap.counters) {
+    const size_t j = counter_idx_.find(name)->second;
+    // Counters are monotone in steady state; a ResetAll between phases shows
+    // up as value < last, which we record as a zero delta rather than an
+    // underflowed one.
+    s.counter_deltas[j] = value >= last_counters_[j] ? value - last_counters_[j] : 0;
+    last_counters_[j] = value;
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    if (gauge_idx_.find(name) == gauge_idx_.end()) {
+      gauge_idx_.emplace(name, ring_.gauge_names.size());
+      ring_.gauge_names.push_back(name);
+    }
+    (void)value;
+  }
+  s.gauges.resize(ring_.gauge_names.size(), std::numeric_limits<double>::quiet_NaN());
+  for (const auto& [name, value] : snap.gauges) {
+    s.gauges[gauge_idx_.find(name)->second] = value;
+  }
+
+  for (const auto& [name, hv] : snap.histograms) {
+    if (hist_idx_.find(name) == hist_idx_.end()) {
+      hist_idx_.emplace(name, ring_.hist_names.size());
+      ring_.hist_names.push_back(name);
+    }
+    (void)hv;
+  }
+  s.hists.resize(ring_.hist_names.size());
+  for (const auto& [name, hv] : snap.histograms) {
+    TelemetrySample::HistState& h = s.hists[hist_idx_.find(name)->second];
+    h.count = hv.count;
+    h.sum = hv.sum;
+    h.p50 = HistogramQuantile(hv, 0.50);
+    h.p90 = HistogramQuantile(hv, 0.90);
+    h.p99 = HistogramQuantile(hv, 0.99);
+  }
+
+  ring_.samples.push_back(std::move(s));
+  ++total_samples_;
+
+  while (ring_.samples.size() > opts_.capacity && !ring_.samples.empty()) {
+    const TelemetrySample& evicted = ring_.samples.front();
+    ring_.base_counters.resize(ring_.counter_names.size(), 0);
+    for (size_t j = 0; j < evicted.counter_deltas.size(); ++j) {
+      ring_.base_counters[j] += evicted.counter_deltas[j];
+    }
+    ring_.base_time = evicted.t;
+    ring_.samples.erase(ring_.samples.begin());
+  }
+}
+
+size_t TelemetrySampler::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.samples.size();
+}
+
+uint64_t TelemetrySampler::total_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_samples_;
+}
+
+TelemetryRing TelemetrySampler::Ring() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetryRing copy = ring_;
+  copy.seq = next_seq_;
+  return copy;
+}
+
+std::vector<std::byte> TelemetrySampler::SerializeRing(size_t max_bytes) const {
+  if constexpr (!kMetricsEnabled) {
+    (void)max_bytes;
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetryRing staged = ring_;
+  staged.seq = next_seq_++;
+  return staged.Encode(max_bytes);
+}
+
+void TelemetrySampler::SeedSequence(uint64_t next_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = std::max(next_seq_, next_seq);
+}
+
+void TelemetrySampler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_ = TelemetryRing{};
+  counter_idx_.clear();
+  gauge_idx_.clear();
+  hist_idx_.clear();
+  last_counters_.clear();
+  total_samples_ = 0;
+  timer_.Reset();
+}
+
+}  // namespace logfs::obs

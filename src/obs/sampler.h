@@ -1,0 +1,138 @@
+// Flight-recorder telemetry: periodic, sim-time-driven samples of the
+// MetricsRegistry kept in a bounded, delta-compressed ring.
+//
+// The paper's evaluation is all about *trends* — write cost as utilization
+// drifts, cleaner pressure during overwrite churn — which a point-in-time
+// snapshot cannot show. The sampler records one TelemetrySample per cadence
+// tick: counter *deltas* against the previous retained sample (counters are
+// monotone, so deltas are small and rates fall out as delta/dt), raw gauge
+// values, and per-histogram count/sum plus interpolated p50/p90/p99.
+//
+// When the ring is full the oldest sample is folded into the ring base
+// (base_counters += its deltas, base_time = its t), so absolute values and
+// rates stay exact for every retained sample no matter how much history has
+// been evicted.
+//
+// TelemetryRing is both the in-memory representation and the black-box wire
+// format: Encode() produces a CRC-sealed little-endian blob sized to fit a
+// byte budget by folding oldest samples first (and degrading to a bare
+// header if even the name tables don't fit), Decode() validates and restores
+// it. LfsFileSystem stows the encoded ring in the checkpoint-region tail on
+// every checkpoint (src/lfs/lfs_blackbox.h), which is what `lfs_inspect
+// blackbox` digs back out of a crashed image.
+//
+// With LOGFS_METRICS=OFF the sampler is a no-op: no samples are taken and
+// SerializeRing returns an empty blob, so nothing is embedded on disk.
+#ifndef LOGFS_SRC_OBS_SAMPLER_H_
+#define LOGFS_SRC_OBS_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/sim_clock.h"
+#include "src/util/result.h"
+
+namespace logfs::obs {
+
+// One cadence tick's worth of telemetry. Vectors are indexed by the ring's
+// name tables; a sample taken before an instrument existed simply has a
+// shorter vector (readers pad with zero / NaN).
+struct TelemetrySample {
+  double t = 0.0;
+  // Delta vs the previous retained sample (the oldest retained sample's
+  // deltas are vs TelemetryRing::base_counters).
+  std::vector<uint64_t> counter_deltas;
+  std::vector<double> gauges;  // NaN = gauge not yet registered at sample time
+  struct HistState {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  std::vector<HistState> hists;
+};
+
+// The delta-compressed ring: in-memory form and black-box wire format.
+struct TelemetryRing {
+  uint64_t seq = 0;        // bumped every Encode; freshest ring wins at recovery
+  double base_time = 0.0;  // time of the last evicted sample (rate base for [0])
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  std::vector<uint64_t> base_counters;  // absolute values just before samples[0]
+  std::vector<TelemetrySample> samples;
+
+  // Absolute counter value at sample i (base + prefix sum of deltas).
+  uint64_t CounterAt(size_t sample, size_t counter) const;
+  // delta / dt against the previous retained sample (0 when dt <= 0).
+  double RateAt(size_t sample, size_t counter) const;
+
+  // CRC-sealed little-endian blob at most `max_bytes` long. Oldest samples
+  // are folded into the base until the blob fits; if even a sample-free ring
+  // with name tables is too big, degrades to a bare nameless header; if that
+  // still does not fit, returns empty (caller skips embedding).
+  std::vector<std::byte> Encode(size_t max_bytes) const;
+  static Result<TelemetryRing> Decode(std::span<const std::byte> blob);
+};
+
+// Periodically snapshots a MetricsRegistry into a TelemetryRing. Thread-safe
+// (the registry already is; tools may poll while a workload runs), though the
+// simulation itself is single-threaded.
+class TelemetrySampler {
+ public:
+  struct Options {
+    double interval_seconds = 1.0;  // sim seconds between MaybeSample hits
+    size_t capacity = 256;          // retained samples before folding
+  };
+
+  // `registry` defaults to the process-wide MetricsRegistry::Global().
+  TelemetrySampler() : TelemetrySampler(Options{}, nullptr) {}
+  explicit TelemetrySampler(Options opts, MetricsRegistry* registry = nullptr);
+
+  // Samples iff the cadence deadline has arrived (the first call always
+  // fires). Returns whether a sample was taken. No-op when metrics are
+  // compiled out.
+  bool MaybeSample(double now);
+  // Unconditional sample (checkpoint paths want one regardless of cadence).
+  void SampleNow(double now);
+
+  size_t size() const;             // retained samples
+  uint64_t total_samples() const;  // including evicted ones
+  const Options& options() const { return opts_; }
+
+  // Copy of the current ring (seq stamped as it would be on the next Encode).
+  TelemetryRing Ring() const;
+  // Encode the current ring into at most `max_bytes`; bumps seq.
+  std::vector<std::byte> SerializeRing(size_t max_bytes) const;
+
+  // Continue a prior recorder's numbering: the next serialized ring gets a
+  // seq of at least `next_seq`. Never moves the sequence backwards — mount
+  // paths call this with (recovered ring seq + 1) so "highest seq wins"
+  // recovery keeps preferring the freshest write across remounts.
+  void SeedSequence(uint64_t next_seq);
+
+  void Reset();
+
+ private:
+  void TakeSample(double now);  // caller holds mu_
+
+  const Options opts_;
+  MetricsRegistry* const registry_;
+  mutable std::mutex mu_;
+  PeriodicTimer timer_;
+  TelemetryRing ring_;
+  std::map<std::string, size_t, std::less<>> counter_idx_;
+  std::map<std::string, size_t, std::less<>> gauge_idx_;
+  std::map<std::string, size_t, std::less<>> hist_idx_;
+  std::vector<uint64_t> last_counters_;  // absolute values at the last sample
+  uint64_t total_samples_ = 0;
+  mutable uint64_t next_seq_ = 1;
+};
+
+}  // namespace logfs::obs
+
+#endif  // LOGFS_SRC_OBS_SAMPLER_H_

@@ -36,6 +36,33 @@ class SimClock {
   double now_seconds_ = 0.0;
 };
 
+// Deterministic fixed-interval cadence: Due(now) reports whether the next
+// deadline has arrived and, if so, re-arms it at now + interval. The first
+// call is always due, and a large jump in `now` (idle period, AdvanceTo)
+// fires once rather than once per missed interval — periodic consumers like
+// the telemetry sampler want "at most one per interval", never a catch-up
+// burst that would distort rate computation.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(double interval_seconds) : interval_(interval_seconds) {}
+
+  bool Due(double now) {
+    if (armed_ && now < next_) return false;
+    armed_ = true;
+    next_ = now + interval_;
+    return true;
+  }
+
+  // Forget the deadline; the next Due() fires unconditionally.
+  void Reset() { armed_ = false; }
+  double interval() const { return interval_; }
+
+ private:
+  double interval_;
+  double next_ = 0.0;
+  bool armed_ = false;
+};
+
 }  // namespace logfs
 
 #endif  // LOGFS_SRC_SIM_SIM_CLOCK_H_

@@ -12,6 +12,9 @@
 #include "src/crashsim/oracle.h"
 #include "src/crashsim/recording_disk.h"
 #include "src/disk/memory_disk.h"
+#include "src/fsbase/path.h"
+#include "src/lfs/lfs_blackbox.h"
+#include "src/obs/metrics.h"
 #include "src/workload/trace.h"
 #include "tests/fs_fixture.h"
 
@@ -215,6 +218,74 @@ TEST(CrashExplorerTest, ReorderedEpochsSurvive) {
     }
   }
   EXPECT_EQ(report->failed_states, 0u) << failures;
+}
+
+// The flight recorder's acceptance sweep: from EVERY enumerated crash image
+// of a mixed workload — prefix cuts, torn multi-sector writes, crashes
+// mid-checkpoint — `lfs_inspect blackbox`'s recovery path must dig out a
+// CRC-valid telemetry ring. The argument it validates: the two checkpoint
+// regions alternate with at most one write in flight, Format seeds region A
+// with an empty ring, and every complete region write since carries a
+// trailer — so one region always holds a valid black box.
+TEST(CrashExplorerTest, BlackBoxRecoversFromEveryCrashImage) {
+  if (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "metrics compiled out: no black box is embedded";
+  }
+  SimClock clock;
+  MemoryDisk disk(49152, &clock);  // 24 MB, the explorer's rig geometry.
+  LfsParams params;
+  params.max_inodes = 2048;
+  params.clean_start_segments = 4;
+  params.clean_stop_segments = 6;
+  params.reserved_segments = 3;
+  ASSERT_TRUE(LfsFileSystem::Format(&disk, params).ok());
+  std::span<const std::byte> raw = disk.RawImage();
+  std::vector<std::byte> base(raw.begin(), raw.end());
+
+  RecordingDisk rec(&disk);
+  LfsFileSystem::Options options;
+  options.telemetry_interval_seconds = 0.001;  // Sample eagerly.
+  auto mounted = LfsFileSystem::Mount(&rec, &clock, /*cpu=*/nullptr, options);
+  ASSERT_TRUE(mounted.ok()) << mounted.status().ToString();
+  {
+    LfsFileSystem& fs = **mounted;
+    PathFs paths(&fs);
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(paths.WriteFile("/f" + std::to_string(i), TestBytes(8192, i)).ok());
+      ASSERT_TRUE(fs.Tick().ok());
+    }
+    ASSERT_TRUE(fs.Sync().ok());
+    for (int i = 0; i < 30; i += 2) {
+      ASSERT_TRUE(paths.WriteFile("/f" + std::to_string(i), TestBytes(4096, 100 + i)).ok());
+    }
+    ASSERT_TRUE(fs.Sync().ok());  // Mid-workload checkpoint churn.
+    for (int i = 1; i < 30; i += 2) {
+      ASSERT_TRUE(paths.Unlink("/f" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(fs.Sync().ok());  // Second checkpoint: both regions now hot.
+  }
+  ASSERT_GT(rec.write_count(), 0u);
+
+  CrashImageGenerator gen(base, &rec.writes());
+  CrashEnumerationBudget budget;
+  budget.max_boundaries = 100;
+  budget.torn_variants = {1, 4, 8, 12};
+  std::vector<CrashPlan> plans = gen.Enumerate(budget);
+  ASSERT_GT(plans.size(), 30u);  // A real sweep, not a couple of hand-picked points.
+
+  size_t with_samples = 0;
+  for (const CrashPlan& plan : plans) {
+    auto image = gen.Materialize(plan);
+    ASSERT_TRUE(image.ok()) << plan.Describe();
+    auto blackbox = RecoverBlackBoxFromImage(*image);
+    ASSERT_TRUE(blackbox.ok())
+        << plan.Describe() << ": " << blackbox.status().ToString();
+    with_samples += blackbox->ring.samples.empty() ? 0 : 1;
+  }
+  // Once the first post-mount checkpoint has fully landed, recovered rings
+  // carry real samples; only the earliest crash states may see the empty
+  // seed ring. The sweep must include plenty of the former.
+  EXPECT_GT(with_samples, plans.size() / 2);
 }
 
 // Self-test: if recovery is deliberately broken — roll-forward accepting a

@@ -5,6 +5,7 @@
 // paper formula hand-computed from the same raw counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "src/disk/fault_disk.h"
@@ -196,6 +197,105 @@ TEST(TracingDiskRingTest, ShrinkingLimitEvictsImmediately) {
   disk.set_trace_limit(3);
   EXPECT_EQ(disk.trace().size(), 3u);
   EXPECT_EQ(disk.dropped_records(), 5u);
+}
+
+TEST(TracingDiskRingTest, ExactLimitBoundaryDropsNothingThenOnePerRequest) {
+  MemoryDisk inner(1024, nullptr);
+  TracingDisk disk(&inner, nullptr);
+  disk.set_trace_limit(4);
+  std::vector<std::byte> sector(kSectorSize);
+  // Exactly at the limit: everything retained, nothing dropped.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(disk.WriteSectors(static_cast<uint64_t>(i) * 2, sector).ok());
+  }
+  EXPECT_EQ(disk.trace().size(), 4u);
+  EXPECT_EQ(disk.dropped_records(), 0u);
+  // One past the limit: exactly one eviction, window slides by one.
+  ASSERT_TRUE(disk.WriteSectors(8, sector).ok());
+  EXPECT_EQ(disk.trace().size(), 4u);
+  EXPECT_EQ(disk.dropped_records(), 1u);
+  EXPECT_EQ(disk.trace().front().first_sector, 2u);
+  // Re-asserting the same limit is a no-op — no spurious evictions.
+  disk.set_trace_limit(4);
+  EXPECT_EQ(disk.trace().size(), 4u);
+  EXPECT_EQ(disk.dropped_records(), 1u);
+  // Limit zero retains nothing and counts every request as dropped.
+  disk.set_trace_limit(0);
+  EXPECT_EQ(disk.trace().size(), 0u);
+  EXPECT_EQ(disk.dropped_records(), 5u);
+  ASSERT_TRUE(disk.WriteSectors(10, sector).ok());
+  EXPECT_EQ(disk.trace().size(), 0u);
+  EXPECT_EQ(disk.dropped_records(), 6u);
+}
+
+// A do-nothing device for the concurrency test: MemoryDisk's stats counters
+// are not atomic, so hammering one from several threads would be a data
+// race in the *inner* device and mask what the test is about — the
+// TracingDisk ring's own locking.
+class NullDisk : public BlockDevice {
+ public:
+  Status ReadSectors(uint64_t, std::span<std::byte>, IoOptions) override {
+    return OkStatus();
+  }
+  Status WriteSectors(uint64_t, std::span<const std::byte>, IoOptions) override {
+    return OkStatus();
+  }
+  Status Flush() override { return OkStatus(); }
+  uint64_t sector_count() const override { return 1u << 20; }
+  const DiskStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = DiskStats{}; }
+
+ private:
+  DiskStats stats_;
+};
+
+TEST(TracingDiskRingTest, DroppedRecordsMonotoneUnderConcurrentAppends) {
+  NullDisk inner;
+  TracingDisk disk(&inner, nullptr);
+  constexpr size_t kLimit = 64;
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 2000;
+  disk.set_trace_limit(kLimit);
+
+  // A reader polls dropped_records() while writers hammer the ring: every
+  // observed value must be >= the previous one (monotone under the lock,
+  // no torn or rolled-back reads).
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone{true};
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t now = disk.dropped_records();
+      if (now < last) {
+        monotone.store(false, std::memory_order_release);
+      }
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&disk, t] {
+      std::vector<std::byte> sector(kSectorSize);
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        EXPECT_TRUE(
+            disk.WriteSectors(static_cast<uint64_t>(t) * kWritesPerThread + i, sector)
+                .ok());
+      }
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_TRUE(monotone.load());
+  // Conservation after quiescence: retained + dropped == appended exactly.
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kWritesPerThread;
+  EXPECT_EQ(disk.trace().size(), kLimit);
+  EXPECT_EQ(disk.dropped_records(), total - kLimit);
+  EXPECT_EQ(disk.WriteRequestCount(), kLimit);
 }
 
 // --- Decorator inner_stats() (satellite) ----------------------------------------

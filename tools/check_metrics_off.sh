@@ -2,9 +2,9 @@
 # Proves zero-cost disablement of the observability layer: configures a
 # separate build tree with -DLOGFS_METRICS=OFF (src/obs compiles to no-ops,
 # the registry and tracer stay empty), builds everything, and runs the full
-# test suite there. obs_test's value-dependent cases skip themselves in this
-# configuration; everything else must pass identically — the metrics layer
-# may not change any simulated result.
+# test suite there. obs_test's and sampler_test's value-dependent cases skip
+# themselves in this configuration; everything else must pass identically —
+# the metrics layer may not change any simulated result.
 #
 # Usage: tools/check_metrics_off.sh [build-dir]   (default: build-nometrics)
 set -e
@@ -16,4 +16,14 @@ cmake -B "$BUILD_DIR" -S . -DLOGFS_METRICS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
-echo "LOGFS_METRICS=OFF: build + tests clean"
+# The flight-recorder additions must be total no-ops in this configuration:
+# run the sampler tests explicitly (their live-value cases self-skip, the
+# compiled-out behaviour cases assert the no-op contract), then prove the
+# telemetry bench still runs and reports metrics_enabled=false with no
+# black box embedded on disk.
+(cd "$BUILD_DIR" && ctest --output-on-failure -R 'sampler_test|obs_test')
+cmake --build "$BUILD_DIR" -j --target bench_telemetry >/dev/null
+"$BUILD_DIR"/bench/bench_telemetry --smoke --out "$BUILD_DIR"/BENCH_PR5.nometrics.json
+grep -q '"metrics_enabled": false' "$BUILD_DIR"/BENCH_PR5.nometrics.json
+
+echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op verified)"

@@ -1,0 +1,191 @@
+// Multi-client file-service bench (PR 6): scales a lease-based serve
+// cluster across client counts under the canonical shared-file workload —
+// Zipf(s=0.9) file popularity, 30% writes — and reports throughput
+// (completed ops per simulated second) and the client-observed latency
+// distribution (p50/p99/max) at each scale, plus the protocol counters that
+// explain the curve: lease grants and revokes, cache hit rate, retransmits
+// suppressed by the server's dedup cache.
+//
+// The sweep holds total work roughly constant (~ops_total ops spread over N
+// clients), so what changes point-to-point is contention: more clients
+// sharing the same Zipf-hot files means more write-lease recalls, and p99
+// shows the recall round-trips that throughput alone hides. Emits
+// BENCH_PR6.json.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/serve/cluster.h"
+#include "src/serve/driver.h"
+#include "src/workload/serve_load.h"
+
+namespace logfs {
+namespace {
+
+double HostNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t idx = std::min(sorted.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+struct Point {
+  size_t clients = 0;
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  double sim_seconds = 0.0;
+  double ops_per_sim_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t lease_grants = 0;
+  uint64_t lease_renewals = 0;
+  uint64_t revokes = 0;
+  uint64_t dup_suppressed = 0;
+  double host_seconds = 0.0;
+};
+
+int RunBench(bool smoke, const std::string& out_path) {
+  std::cout << "=== Serve cluster scaling bench (" << (smoke ? "smoke" : "full")
+            << "): Zipf(0.9) shared files ===\n";
+
+  const std::vector<size_t> sweep =
+      smoke ? std::vector<size_t>{4, 16} : std::vector<size_t>{8, 64, 256, 1000};
+  const uint64_t ops_total = smoke ? 160 : 4000;
+
+  std::vector<Point> points;
+  for (size_t n : sweep) {
+    const double host_start = HostNow();
+    serve::ServeClusterParams params;
+    params.clients = n;
+    params.client.cache_blocks = 32;
+
+    std::vector<double> samples;
+    params.client.latency_hook = [&samples](const char*, double seconds) {
+      samples.push_back(seconds);
+    };
+    auto cluster = serve::ServeCluster::Create(params);
+    if (!cluster.ok()) {
+      std::cerr << "cluster create failed: " << cluster.status().ToString() << "\n";
+      return 1;
+    }
+    serve::ServeCluster& c = **cluster;
+
+    ServeLoadParams lp;
+    lp.clients = n;
+    lp.files = 64;
+    lp.zipf_s = 0.9;
+    lp.ops_per_client = std::max<uint64_t>(4, ops_total / n);
+    lp.write_fraction = 0.3;
+    lp.file_size = 64 * 1024;
+    lp.mean_think_seconds = 0.05;
+    lp.seed = 17;
+
+    serve::DriveOptions drive;
+    // At 1000 clients the recall queues are long and every parked client
+    // retransmits on its RTO; that is contention, not livelock — give the
+    // big points the events they need.
+    drive.max_events = 400'000'000;
+    auto stats = serve::DriveSharedLoad(c, MakeSharedLoad(lp), drive);
+    if (!stats.ok()) {
+      std::cerr << "drive failed at " << n << " clients: "
+                << stats.status().ToString() << "\n";
+      return 1;
+    }
+
+    Point pt;
+    pt.clients = n;
+    pt.ops = stats->ops_completed;
+    pt.errors = stats->errors;
+    pt.sim_seconds = c.clock()->Now();
+    pt.ops_per_sim_sec =
+        pt.sim_seconds > 0 ? static_cast<double>(pt.ops) / pt.sim_seconds : 0.0;
+    std::sort(samples.begin(), samples.end());
+    pt.p50_ms = 1e3 * Percentile(samples, 0.50);
+    pt.p99_ms = 1e3 * Percentile(samples, 0.99);
+    pt.max_ms = samples.empty() ? 0.0 : 1e3 * samples.back();
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    for (size_t i = 0; i < c.num_clients(); ++i) {
+      const serve::Client::CacheStats cs = c.client(i)->cache_stats();
+      hits += cs.hits;
+      misses += cs.misses;
+    }
+    pt.cache_hit_rate =
+        hits + misses > 0 ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                          : 0.0;
+    pt.lease_grants = c.server()->leases().grants();
+    pt.lease_renewals = c.server()->leases().renewals();
+    pt.revokes = c.server()->revokes_sent();
+    pt.dup_suppressed = c.server()->duplicates_suppressed();
+    pt.host_seconds = HostNow() - host_start;
+    if (c.shadow().violation_count() != 0) {
+      std::cerr << "shadow violation at " << n << " clients: "
+                << c.shadow().violations()[0] << "\n";
+      return 1;
+    }
+    points.push_back(pt);
+    std::cout << "  clients=" << n << " ops=" << pt.ops << " errors=" << pt.errors
+              << " ops/sim_s=" << pt.ops_per_sim_sec << " p50=" << pt.p50_ms
+              << "ms p99=" << pt.p99_ms << "ms hit_rate=" << pt.cache_hit_rate
+              << " revokes=" << pt.revokes << " (" << pt.host_seconds << "s host)\n";
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"serve_scaling\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"workload\": {\"zipf_s\": 0.9, \"files\": 64, \"write_fraction\": 0.3,"
+      << " \"io_size\": 4096, \"mean_think_seconds\": 0.05},\n"
+      << "  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    out << "    {\"clients\": " << p.clients << ", \"ops\": " << p.ops
+        << ", \"errors\": " << p.errors << ", \"sim_seconds\": " << p.sim_seconds
+        << ", \"ops_per_sim_sec\": " << p.ops_per_sim_sec
+        << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+        << ", \"max_ms\": " << p.max_ms
+        << ", \"cache_hit_rate\": " << p.cache_hit_rate
+        << ", \"lease_grants\": " << p.lease_grants
+        << ", \"lease_renewals\": " << p.lease_renewals
+        << ", \"revokes\": " << p.revokes
+        << ", \"dup_suppressed\": " << p.dup_suppressed
+        << ", \"host_seconds\": " << p.host_seconds << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_PR6.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return logfs::RunBench(smoke, out_path);
+}

@@ -10,7 +10,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_writepath --target bench_telemetry >/dev/null
+cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve >/dev/null
 
 # The metrics snapshot lands next to the timing JSON so a BENCH_*.json
 # trajectory carries the counters that explain it (flushes, fill levels,
@@ -21,3 +21,7 @@ cmake --build build -j --target bench_writepath --target bench_telemetry >/dev/n
 # per phase, plus the sampler's own host-time cost and a black-box
 # round-trip check against the raw volume image.
 ./build/bench/bench_telemetry "$@" --out BENCH_PR5.json
+
+# The file-service scaling bench: ops/s and client-observed latency
+# percentiles vs client count under Zipf(0.9) shared files.
+./build/bench/bench_serve "$@" --out BENCH_PR6.json

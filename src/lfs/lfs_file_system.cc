@@ -1152,6 +1152,9 @@ Status LfsFileSystem::Checkpoint() {
   }
   last_checkpoint_time_ = Now();
   ++checkpoint_count_;
+  // Everything mutated before this point is now reachable from the
+  // checkpoint: the durable horizon catches up to the mutation counter.
+  synced_seq_ = mutation_seq_;
   if constexpr (obs::kMetricsEnabled) {
     static obs::Counter& checkpoints = obs::Registry().GetCounter("logfs.lfs.checkpoints");
     checkpoints.Increment();

@@ -115,6 +115,18 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // Forces a checkpoint now (Section 4.4.1).
   Status Checkpoint();
 
+  // --- group-commit seam ---
+  //
+  // Every successful mutating operation advances mutation_seq(); a
+  // successful full flush records the value it covered as synced_seq().
+  // SyncAsOf(seq) is the coalescing primitive the file service layers on: a
+  // durability request whose horizon an earlier flush already covered is a
+  // free no-op (counted as logfs.sync.coalesced), so N clients' commits
+  // racing into the server collapse into one segment flush plus N-1 nops.
+  uint64_t mutation_seq() const { return mutation_seq_; }
+  uint64_t synced_seq() const { return synced_seq_; }
+  Status SyncAsOf(uint64_t seq);
+
   // User-initiated cleaning (Section 4.3.4: "the user-level process
   // interface allows cleaning to be initiated at night..."). Cleans up to
   // `max_victims` segments; returns the number actually cleaned.
@@ -408,6 +420,11 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   InodeNum next_ino_hint_ = kRootIno;
   uint64_t checkpoint_count_ = 0;
   uint64_t rolled_forward_partials_ = 0;
+  // Group-commit seam (see the public accessors): mutation_seq_ counts
+  // successful mutating public ops; synced_seq_ is the horizon the last
+  // successful checkpoint made durable.
+  uint64_t mutation_seq_ = 0;
+  uint64_t synced_seq_ = 0;
   bool in_cleaner_ = false;  // Cleaning may dip into reserved segments.
   CleanerStats cleaner_stats_;
 

@@ -354,6 +354,7 @@ Result<InodeNum> LfsFileSystem::Create(InodeNum dir, std::string_view name, File
     SetInodeDirty(parent);
   }
   RETURN_IF_ERROR(DirInsert(dir, name, ino, type));
+  ++mutation_seq_;
   RETURN_IF_ERROR(MaybePressureFlush());
   return ino;
 }
@@ -393,6 +394,7 @@ Status LfsFileSystem::Unlink(InodeNum dir, std::string_view name) {
     target->inode.ctime = Now();
     SetInodeDirty(target);
   }
+  ++mutation_seq_;
   return MaybePressureFlush();
 }
 
@@ -422,6 +424,7 @@ Status LfsFileSystem::Rmdir(InodeNum dir, std::string_view name) {
   --dirnode->inode.nlink;  // Lost the child's "..".
   SetInodeDirty(dirnode);
   RETURN_IF_ERROR(ReleaseInode(entry.ino));
+  ++mutation_seq_;
   return MaybePressureFlush();
 }
 
@@ -450,6 +453,7 @@ Status LfsFileSystem::Link(InodeNum dir, std::string_view name, InodeNum target_
   ++target->inode.nlink;
   target->inode.ctime = Now();
   SetInodeDirty(target);
+  ++mutation_seq_;
   return MaybePressureFlush();
 }
 
@@ -523,6 +527,7 @@ Status LfsFileSystem::Rename(InodeNum from_dir, std::string_view from_name, Inod
     SetInodeDirty(from_node);
     RETURN_IF_ERROR(DirReplace(src.ino, "..", to_dir, FileType::kDirectory));
   }
+  ++mutation_seq_;
   return MaybePressureFlush();
 }
 
@@ -602,6 +607,7 @@ Result<uint64_t> LfsFileSystem::Write(InodeNum ino, uint64_t offset,
   }
   ci->inode.mtime = Now();
   SetInodeDirty(ci);
+  ++mutation_seq_;
   RETURN_IF_ERROR(MaybePressureFlush());
   return done;
 }
@@ -616,6 +622,7 @@ Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
     ci->inode.size = new_size;  // Extension creates a hole.
     ci->inode.mtime = Now();
     SetInodeDirty(ci);
+    ++mutation_seq_;
     return OkStatus();
   }
   const uint64_t keep_blocks = (new_size + BlockSize() - 1) / BlockSize();
@@ -637,6 +644,7 @@ Status LfsFileSystem::Truncate(InodeNum ino, uint64_t new_size) {
   ci3->inode.size = new_size;
   ci3->inode.mtime = Now();
   SetInodeDirty(ci3);
+  ++mutation_seq_;
   return MaybePressureFlush();
 }
 
@@ -681,6 +689,21 @@ Status LfsFileSystem::Sync() {
   return Checkpoint();
 }
 
+Status LfsFileSystem::SyncAsOf(uint64_t seq) {
+  // The group-commit seam: a durability request whose horizon is already
+  // covered by an earlier flush coalesces into it for free. This is what
+  // lets N clients' commits racing into the server collapse into one
+  // segment flush.
+  if (seq <= synced_seq_) {
+    if constexpr (obs::kMetricsEnabled) {
+      static obs::Counter& coalesced = obs::Registry().GetCounter("logfs.sync.coalesced");
+      coalesced.Increment();
+    }
+    return OkStatus();
+  }
+  return Sync();
+}
+
 Status LfsFileSystem::Fsync(InodeNum /*ino*/) {
   OpScope op(this, "fsync");
   // fsync in LFS needs no checkpoint: flushing the dirty set into a partial
@@ -691,7 +714,14 @@ Status LfsFileSystem::Fsync(InodeNum /*ino*/) {
   // it points to has a log address (a directory inode written ahead of its
   // dirty directory block would point into a hole).
   RETURN_IF_ERROR(CheckWritable());
-  return FlushEverything();
+  RETURN_IF_ERROR(FlushEverything());
+  // A flushed partial segment is durable only if recovery replays it: under
+  // roll-forward the horizon advances, under checkpoint-only it must wait
+  // for the next checkpoint.
+  if (options_.roll_forward) {
+    synced_seq_ = mutation_seq_;
+  }
+  return OkStatus();
 }
 
 Status LfsFileSystem::DropCaches() {

@@ -1,0 +1,48 @@
+// DriveSharedLoad: replays generated shared-file schedules
+// (workload/serve_load.h) against a ServeCluster — each client walks its
+// schedule sequentially, pausing for the generated think times, opening
+// handles lazily on first touch. The same driver feeds the scenario tests,
+// the crash-image sweep, and the benchmark binary, so they all exercise the
+// identical protocol paths.
+#ifndef LOGFS_SRC_SERVE_DRIVER_H_
+#define LOGFS_SRC_SERVE_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/cluster.h"
+#include "src/util/result.h"
+#include "src/workload/serve_load.h"
+
+namespace logfs::serve {
+
+struct DriveOptions {
+  // Commit and close every handle once a client's schedule is exhausted
+  // (leaves the server with no dirty client state).
+  bool close_at_end = true;
+  // Event budget for the whole run; exceeded = protocol livelock.
+  size_t max_events = 50'000'000;
+  // Folded into write payloads so repeated runs can differ.
+  uint64_t payload_salt = 0;
+};
+
+struct DriveStats {
+  uint64_t ops_completed = 0;
+  uint64_t errors = 0;
+  std::vector<std::string> first_errors;  // Up to 8, for diagnostics.
+};
+
+// Deterministic payload for client `client`'s schedule entry `op_index`.
+std::vector<std::byte> DrivePayload(uint64_t client, uint64_t op_index, uint64_t salt,
+                                    size_t length);
+
+// Requires load.schedules.size() <= cluster.num_clients(). Creates any
+// missing parent directories of load.paths directly on the server's file
+// system before driving. Returns BusyError if the event budget runs out.
+Result<DriveStats> DriveSharedLoad(ServeCluster& cluster, const ServeLoad& load,
+                                   DriveOptions options = {});
+
+}  // namespace logfs::serve
+
+#endif  // LOGFS_SRC_SERVE_DRIVER_H_

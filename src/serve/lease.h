@@ -1,0 +1,115 @@
+// LeaseManager: Gray & Cheriton-style leases over file handles.
+//
+// A lease is (holder, kind, expiry). Read leases are shareable; the write
+// lease is exclusive against every other holder. All validity is judged
+// against the sim clock: a lease is valid strictly while now < expires_at —
+// at the expiry tick itself it is dead, so a renewal arriving exactly at
+// expiry is too late (the server may already have granted the file away; the
+// strict boundary is what makes that race benign).
+//
+// The table is deliberately ephemeral: nothing is persisted, and the
+// recovery story is the classic one — after a server crash the new
+// incarnation simply refuses to grant conflicting leases until a full lease
+// term has passed (the grant fence), by which time every lease issued by the
+// dead incarnation has expired on its own. Clients holding still-valid
+// leases keep serving cached reads through the outage and replay their
+// pending writes on reconnect.
+#ifndef LOGFS_SRC_SERVE_LEASE_H_
+#define LOGFS_SRC_SERVE_LEASE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/serve/message.h"
+
+namespace logfs::serve {
+
+struct LeaseRecord {
+  LeaseKind kind = LeaseKind::kNone;
+  double expires_at = 0.0;
+  // When the current grant (or re-grant) was issued. The server's minimum
+  // hold reads this: a lease younger than a few round trips is never
+  // recalled, so the grant always reaches its holder before any revoke can.
+  double granted_at = 0.0;
+  // A recall has been posted to the holder. While set the lease is frozen:
+  // it cannot be renewed or re-granted (the server parks the holder's own
+  // acquires), only acked, released, or left to expire.
+  bool recall_posted = false;
+};
+
+class LeaseManager {
+ public:
+  explicit LeaseManager(double lease_seconds) : lease_seconds_(lease_seconds) {}
+
+  double lease_seconds() const { return lease_seconds_; }
+
+  struct AcquireResult {
+    bool granted = false;
+    double expires_at = 0.0;              // Valid when granted.
+    std::vector<uint64_t> conflicts;      // Holders to recall when not.
+  };
+
+  // Tries to grant `kind` on `fh` to `client`. Expired holders are pruned
+  // first (their count is reported through expired()). A holder acquiring a
+  // kind it already has — or a read when it holds write — is a cheap
+  // re-grant with a fresh term.
+  AcquireResult Acquire(uint64_t fh, uint64_t client, LeaseKind kind, double now);
+
+  // Extends a *currently valid, un-recalled* lease by a full term. Returns
+  // false when the client holds no valid lease (expired or never granted) or
+  // the lease is under recall: the client must go back through Acquire.
+  bool Renew(uint64_t fh, uint64_t client, double now, double* expires_at);
+
+  // Voluntarily drops the holder's lease. False when none was held (already
+  // expired — the release raced expiry and lost; harmless).
+  bool Release(uint64_t fh, uint64_t client);
+
+  // Drops the client's every lease (close/crash handling); returns how many.
+  size_t ReleaseAll(uint64_t client);
+
+  // Prunes every expired lease in the table. Returns the number pruned.
+  size_t ExpireDue(double now);
+
+  // Valid lease held by `client` on `fh`, or kNone.
+  LeaseKind Held(uint64_t fh, uint64_t client, double now) const;
+
+  // When the holder's current grant was issued; 0.0 when none is held.
+  double HeldSince(uint64_t fh, uint64_t client) const;
+
+  // Marks a recall as posted so the server sends each revoke once per term.
+  void MarkRecallPosted(uint64_t fh, uint64_t client);
+  bool RecallPosted(uint64_t fh, uint64_t client) const;
+
+  // Monotonic counters for metrics and the inspect verb.
+  uint64_t grants() const { return grants_; }
+  uint64_t renewals() const { return renewals_; }
+  uint64_t expiries() const { return expiries_; }
+  uint64_t releases() const { return releases_; }
+
+  struct TableEntry {
+    uint64_t fh = 0;
+    uint64_t client = 0;
+    LeaseRecord record;
+  };
+  // The live table, ordered by (fh, client) — for lfs_inspect serve.
+  std::vector<TableEntry> Dump(double now) const;
+  size_t ActiveCount(double now) const;
+
+ private:
+  static bool Valid(const LeaseRecord& r, double now) { return now < r.expires_at; }
+  // Removes expired holders of one file, counting them as expiries.
+  void PruneFile(uint64_t fh, double now);
+
+  double lease_seconds_;
+  // fh -> holder -> record. std::map keeps enumeration deterministic.
+  std::map<uint64_t, std::map<uint64_t, LeaseRecord>> table_;
+  uint64_t grants_ = 0;
+  uint64_t renewals_ = 0;
+  uint64_t expiries_ = 0;
+  uint64_t releases_ = 0;
+};
+
+}  // namespace logfs::serve
+
+#endif  // LOGFS_SRC_SERVE_LEASE_H_

@@ -1,0 +1,168 @@
+// The serve-layer wire protocol (DESIGN.md §6f).
+//
+// Requests flow client -> server, responses flow back; the server can also
+// originate lease-recall callbacks (kRevoke), which the client answers with
+// kRevokeAck carrying its dirty blocks for the recalled file. Messages are
+// plain structs — the transport is simulated, so there is no byte
+// serialization — but the protocol is built as if there were a real network:
+// requests carry monotonically increasing per-client ids, the client
+// retransmits on timeout, and the server deduplicates, giving at-most-once
+// execution over a lossy, reordering transport.
+#ifndef LOGFS_SRC_SERVE_MESSAGE_H_
+#define LOGFS_SRC_SERVE_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace logfs::serve {
+
+// Lease modes, per Gray & Cheriton: read leases are shareable, the write
+// lease is exclusive and covers reads too.
+enum class LeaseKind : uint8_t { kNone = 0, kRead, kWrite };
+
+inline const char* LeaseKindName(LeaseKind kind) {
+  switch (kind) {
+    case LeaseKind::kNone:
+      return "none";
+    case LeaseKind::kRead:
+      return "read";
+    case LeaseKind::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+enum class OpKind : uint8_t {
+  kOpen = 0,   // Resolve (creating if absent) a path to a file handle.
+  kRead,       // Read [offset, offset+length) of a handle.
+  kWrite,      // Apply a write; used both for foreground writes and
+               // revocation/close write-backs of dirty client blocks.
+  kCommit,     // Make every server mutation up to the op durable (group
+               // commit: coalesced into an already-covering flush).
+  kClose,      // Drop the handle; releases the caller's lease.
+  kGetLease,   // Acquire or upgrade a lease on a handle.
+  kRenew,      // Extend a currently valid lease.
+  kRelease,    // Voluntarily drop a lease (after writing dirty blocks back).
+};
+
+inline const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kOpen:
+      return "open";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kCommit:
+      return "commit";
+    case OpKind::kClose:
+      return "close";
+    case OpKind::kGetLease:
+      return "get_lease";
+    case OpKind::kRenew:
+      return "renew";
+    case OpKind::kRelease:
+      return "release";
+  }
+  return "?";
+}
+
+struct Request {
+  // The client's transport address doubles as its identity: the cluster
+  // registers the server first (node 0) and clients after, so responses and
+  // recalls are addressed by client_id directly.
+  uint64_t client_id = 0;
+  uint64_t request_id = 0;  // Per-client, monotonically increasing.
+  OpKind op = OpKind::kOpen;
+  std::string path;                // kOpen.
+  uint64_t fh = 0;                 // File handle (server-side: inode number).
+  uint64_t offset = 0;             // kRead / kWrite.
+  uint64_t length = 0;             // kRead.
+  std::vector<std::byte> data;     // kWrite payload.
+  LeaseKind lease = LeaseKind::kNone;  // kGetLease / kRenew.
+  uint64_t commit_seq = 0;         // kCommit: durability horizon requested.
+  // Lease reclaim across a server restart: the client proves it held a
+  // still-valid lease from the previous incarnation. Reclaims pass the
+  // post-restart grace fence; fresh acquires wait it out.
+  bool reclaim = false;
+  double claimed_expiry = 0.0;
+};
+
+struct Response {
+  uint64_t client_id = 0;
+  uint64_t request_id = 0;
+  OpKind op = OpKind::kOpen;
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;               // Human-readable detail when code != kOk.
+  uint64_t fh = 0;                 // kOpen.
+  uint64_t size = 0;               // kOpen: current file size.
+  std::vector<std::byte> data;     // kRead payload.
+  LeaseKind lease = LeaseKind::kNone;  // Granted/now-held lease, if any.
+  double lease_expiry = 0.0;           // Absolute sim time the lease dies.
+  // Server incarnation. Bumped every restart; a changed epoch tells the
+  // client its handles and leases are void and pending ops must be replayed.
+  uint64_t server_epoch = 0;
+  // Server mutation sequence after this op; quoting it back in a kCommit
+  // asks for durability of exactly this much history.
+  uint64_t mutation_seq = 0;
+  // Durable horizon (newest synced mutation) at response time. Piggybacked
+  // on every response so clients can retire replay state opportunistically.
+  uint64_t durable_seq = 0;
+};
+
+// Server -> client lease recall. The client answers with RevokeAck after
+// writing dirty blocks for the file back (kWrite requests), or immediately
+// when its copy is clean. Revoke is an optimization only: a client that
+// never answers is bounded by lease expiry.
+struct Revoke {
+  uint64_t client_id = 0;  // Addressee.
+  uint64_t fh = 0;
+  uint64_t revoke_id = 0;  // Echoed in the ack.
+};
+
+struct RevokeAck {
+  uint64_t client_id = 0;
+  uint64_t fh = 0;
+  uint64_t revoke_id = 0;
+};
+
+struct Message {
+  enum class Kind : uint8_t { kRequest, kResponse, kRevoke, kRevokeAck };
+  Kind kind = Kind::kRequest;
+  Request request;      // kRequest.
+  Response response;    // kResponse.
+  Revoke revoke;        // kRevoke.
+  RevokeAck revoke_ack; // kRevokeAck.
+
+  static Message MakeRequest(Request req) {
+    Message m;
+    m.kind = Kind::kRequest;
+    m.request = std::move(req);
+    return m;
+  }
+  static Message MakeResponse(Response resp) {
+    Message m;
+    m.kind = Kind::kResponse;
+    m.response = std::move(resp);
+    return m;
+  }
+  static Message MakeRevoke(Revoke rev) {
+    Message m;
+    m.kind = Kind::kRevoke;
+    m.revoke = rev;
+    return m;
+  }
+  static Message MakeRevokeAck(RevokeAck ack) {
+    Message m;
+    m.kind = Kind::kRevokeAck;
+    m.revoke_ack = ack;
+    return m;
+  }
+};
+
+}  // namespace logfs::serve
+
+#endif  // LOGFS_SRC_SERVE_MESSAGE_H_

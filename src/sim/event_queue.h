@@ -1,0 +1,137 @@
+// EventQueue: deterministic discrete-event scheduling on the SimClock.
+//
+// The serve layer (src/serve/) turns the single-threaded simulation into a
+// many-party system: clients, the transport, and the server all schedule
+// work at future instants (message deliveries, retransmission timers, lease
+// expiries). All of it funnels through one EventQueue so execution order is
+// a pure function of (timestamp, insertion order) — two events due at the
+// same instant run in the order they were scheduled, which keeps every
+// multi-client run bit-reproducible.
+//
+// RunOne() advances the shared clock to the event's due time before firing
+// it. The clock may already be *past* the due time (the previous event's
+// handler performed disk I/O that consumed simulated time); the event then
+// fires late without rewinding the clock — exactly a busy server working
+// through its backlog.
+#ifndef LOGFS_SRC_SIM_EVENT_QUEUE_H_
+#define LOGFS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/sim_clock.h"
+
+namespace logfs {
+
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock* clock) : clock_(clock) {}
+
+  // Schedules `fn` to run at absolute sim time `at` (clamped to now for
+  // past deadlines). Returns an id usable with Cancel.
+  uint64_t ScheduleAt(double at, std::function<void()> fn) {
+    if (at < clock_->Now()) {
+      at = clock_->Now();
+    }
+    const uint64_t id = next_id_++;
+    heap_.push(Event{at, id, std::move(fn)});
+    ++live_;
+    return id;
+  }
+
+  uint64_t ScheduleAfter(double delay, std::function<void()> fn) {
+    return ScheduleAt(clock_->Now() + (delay > 0.0 ? delay : 0.0), std::move(fn));
+  }
+
+  // Lazily cancels a pending event; a fired or unknown id is a no-op.
+  void Cancel(uint64_t id) {
+    if (cancelled_.size() <= id) {
+      cancelled_.resize(id + 1, false);
+    }
+    if (!cancelled_[id]) {
+      cancelled_[id] = true;
+      if (live_ > 0) --live_;
+    }
+  }
+
+  bool empty() const { return live_ == 0; }
+  size_t pending() const { return live_; }
+  // Due time of the next live event; meaningless when empty().
+  double NextDue() const { return heap_.empty() ? 0.0 : heap_.top().at; }
+
+  // Fires the earliest live event, advancing the clock to its due time if
+  // the clock is still behind it. Returns false when no event is pending.
+  bool RunOne() {
+    while (!heap_.empty()) {
+      Event event = heap_.top();
+      heap_.pop();
+      if (event.id < cancelled_.size() && cancelled_[event.id]) {
+        continue;
+      }
+      --live_;
+      if (event.at > clock_->Now()) {
+        clock_->AdvanceTo(event.at);
+      }
+      event.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Drains the queue (events may schedule further events). `max_events`
+  // bounds runaway feedback loops; returns the number of events fired.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX) {
+    size_t fired = 0;
+    while (fired < max_events && RunOne()) {
+      ++fired;
+    }
+    return fired;
+  }
+
+  // Fires every event due at or before `deadline`, then advances the clock
+  // to `deadline` (if it is still behind). Returns the number fired.
+  size_t RunUntil(double deadline, size_t max_events = SIZE_MAX) {
+    size_t fired = 0;
+    while (fired < max_events && !heap_.empty()) {
+      // Skip cancelled tombstones without consuming the deadline check.
+      if (heap_.top().id < cancelled_.size() && cancelled_[heap_.top().id]) {
+        heap_.pop();
+        continue;
+      }
+      if (heap_.top().at > deadline) {
+        break;
+      }
+      if (RunOne()) ++fired;
+    }
+    if (clock_->Now() < deadline) {
+      clock_->AdvanceTo(deadline);
+    }
+    return fired;
+  }
+
+ private:
+  struct Event {
+    double at = 0.0;
+    uint64_t id = 0;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-instant events.
+    }
+  };
+
+  SimClock* clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<bool> cancelled_;
+  size_t live_ = 0;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_SIM_EVENT_QUEUE_H_

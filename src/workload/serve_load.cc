@@ -1,0 +1,65 @@
+#include "src/workload/serve_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace logfs {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+size_t ZipfSampler::Sample(double u) const {
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+ServeLoad MakeSharedLoad(const ServeLoadParams& params) {
+  ServeLoad load;
+  load.paths.reserve(params.files);
+  for (size_t i = 0; i < params.files; ++i) {
+    load.paths.push_back("/shared/f" + std::to_string(i));
+  }
+  ZipfSampler zipf(params.files, params.zipf_s);
+  load.schedules.resize(params.clients);
+  for (size_t c = 0; c < params.clients; ++c) {
+    // Per-client stream: adding a client never perturbs the others' draws.
+    Rng rng(params.seed * 1000003 + c);
+    auto& schedule = load.schedules[c];
+    schedule.reserve(params.ops_per_client);
+    for (size_t i = 0; i < params.ops_per_client; ++i) {
+      ServeOp op;
+      op.file = zipf.Sample(rng.NextDouble());
+      op.length = std::min(params.io_size, params.file_size);
+      const uint64_t slots =
+          std::max<uint64_t>(1, params.file_size / std::max<uint64_t>(1, op.length));
+      op.offset = rng.NextBelow(slots) * op.length;
+      op.think_seconds = rng.NextExponential(params.mean_think_seconds);
+      op.kind = rng.NextBool(params.write_fraction) ? ServeOp::Kind::kWrite
+                                                    : ServeOp::Kind::kRead;
+      schedule.push_back(op);
+      if (op.kind == ServeOp::Kind::kWrite && rng.NextBool(params.commit_probability)) {
+        ServeOp commit;
+        commit.kind = ServeOp::Kind::kCommit;
+        commit.file = op.file;
+        schedule.push_back(commit);
+      }
+    }
+  }
+  return load;
+}
+
+}  // namespace logfs

@@ -1,0 +1,66 @@
+// Shared-file workload generator for the multi-client file service.
+//
+// Produces per-client op schedules over a common set of files whose
+// popularity follows a Zipf distribution — the classic shape of shared-file
+// traffic (a few hot files, a long cold tail) and the regime where lease
+// caching either pays (read sharing of hot files) or hurts (write sharing
+// forces revocation storms). The structs here are plain data, independent
+// of src/serve/, so the same schedules can drive the cluster simulator,
+// the benchmark binary, and the crash oracle.
+#ifndef LOGFS_SRC_WORKLOAD_SERVE_LOAD_H_
+#define LOGFS_SRC_WORKLOAD_SERVE_LOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace logfs {
+
+// Zipf(s) over ranks 1..n via inverse-CDF lookup: Sample(u) returns the
+// 0-based rank whose cumulative probability covers u. O(n) setup, O(log n)
+// per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  // u must be in [0, 1).
+  size_t Sample(double u) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct ServeOp {
+  enum class Kind { kRead, kWrite, kCommit };
+  Kind kind = Kind::kRead;
+  size_t file = 0;       // Index into ServeLoad::paths.
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  // Idle time before issuing this op (the client "thinking").
+  double think_seconds = 0.0;
+};
+
+struct ServeLoad {
+  std::vector<std::string> paths;
+  // schedules[i] is client i's op sequence, in order.
+  std::vector<std::vector<ServeOp>> schedules;
+};
+
+struct ServeLoadParams {
+  size_t clients = 8;
+  size_t files = 64;
+  double zipf_s = 0.9;   // File-popularity skew.
+  size_t ops_per_client = 100;
+  double write_fraction = 0.3;
+  uint64_t file_size = 64 * 1024;   // Offsets are drawn within this.
+  uint64_t io_size = 4096;
+  double mean_think_seconds = 0.05;  // Exponential think time between ops.
+  double commit_probability = 0.05;  // Chance a write is followed by commit.
+  uint64_t seed = 1;
+};
+
+ServeLoad MakeSharedLoad(const ServeLoadParams& params);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_WORKLOAD_SERVE_LOAD_H_

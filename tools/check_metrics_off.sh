@@ -26,4 +26,12 @@ cmake --build "$BUILD_DIR" -j --target bench_telemetry >/dev/null
 "$BUILD_DIR"/bench/bench_telemetry --smoke --out "$BUILD_DIR"/BENCH_PR5.nometrics.json
 grep -q '"metrics_enabled": false' "$BUILD_DIR"/BENCH_PR5.nometrics.json
 
-echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op verified)"
+# The serve layer counts requests, grants, revokes, and parkings through the
+# same registry; with metrics off the whole lease protocol must behave
+# identically. Run its test surface plus the scaling bench in smoke mode —
+# a deterministic simulation, so any behavioural drift fails loudly.
+(cd "$BUILD_DIR" && ctest --output-on-failure -L serve)
+cmake --build "$BUILD_DIR" -j --target bench_serve >/dev/null
+"$BUILD_DIR"/bench/bench_serve --smoke --out "$BUILD_DIR"/BENCH_PR6.nometrics.json
+
+echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve surface verified)"

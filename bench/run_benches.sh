@@ -10,7 +10,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve >/dev/null
+cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve --target bench_shard_scaling >/dev/null
 
 # The metrics snapshot lands next to the timing JSON so a BENCH_*.json
 # trajectory carries the counters that explain it (flushes, fill levels,
@@ -25,3 +25,7 @@ cmake --build build -j --target bench_writepath --target bench_telemetry --targe
 # The file-service scaling bench: ops/s and client-observed latency
 # percentiles vs client count under Zipf(0.9) shared files.
 ./build/bench/bench_serve "$@" --out BENCH_PR6.json
+
+# The sharded multi-log scaling bench: host wall-clock write throughput
+# over shards {1,2,4} x threads {1,2,4} driven by real OS threads.
+./build/bench/bench_shard_scaling "$@" --out BENCH_PR7.json

@@ -31,6 +31,7 @@
 #include "src/lfs/lfs_blackbox.h"
 #include "src/lfs/lfs_file_system.h"
 #include "src/lfs/lfs_segment.h"
+#include "src/lfs/sharded_lfs.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sampler.h"
 #include "src/obs/tracer.h"
@@ -629,10 +630,74 @@ int RunServe() {
   return c.shadow().violation_count() == 0 ? 0 : 1;
 }
 
+// `shards`: the multi-log volume, one log at a time. Builds a 4-shard
+// volume, drives four per-directory client working sets through the router
+// (files colocate with their directory, so each client's data lands on one
+// log), deletes enough to give the cleaners work, and then renders every
+// shard's segment map and cleaner economics side by side — the per-shard
+// view of exactly the gauges PublishShardMetrics exports as
+// logfs.shard.<i>.*.
+int RunShards() {
+  SimClock clock;
+  MemoryDisk disk(131072, &clock);  // 64 MB over 4 logs of 16 MB.
+  LfsParams params;
+  params.max_inodes = 2048;
+  if (!ShardedLfs::Format(&disk, params, 4).ok()) {
+    return 1;
+  }
+  auto fs = ShardedLfs::Mount(&disk, &clock, nullptr);
+  if (!fs.ok()) {
+    return 1;
+  }
+  PathFs paths(fs->get());
+  std::vector<std::byte> payload(8192, std::byte{0x61});
+  for (int c = 0; c < 4; ++c) {
+    const std::string dir = "/client" + std::to_string(c);
+    (void)paths.MkdirAll(dir);
+    // Uneven offered load so the shard gauges tell different stories.
+    for (int i = 0; i < 100 + 60 * c; ++i) {
+      (void)paths.WriteFile(dir + "/f" + std::to_string(i), payload);
+    }
+    for (int i = 0; i < 100 + 60 * c; i += 2) {
+      (void)paths.Unlink(dir + "/f" + std::to_string(i));
+    }
+  }
+  (void)(*fs)->Sync();
+  (void)(*fs)->CleanNow(4);
+  (*fs)->PublishShardMetrics();
+
+  for (uint32_t i = 0; i < (*fs)->shard_count(); ++i) {
+    const LfsFileSystem& shard = *(*fs)->shard(i);
+    const LfsSuperblock& sb = shard.superblock();
+    const double capacity = static_cast<double>(sb.num_segments) *
+                            static_cast<double>(sb.segment_size);
+    const double util =
+        capacity > 0.0 ? static_cast<double>(shard.TotalLiveBytes()) / capacity : 0.0;
+    const LfsFileSystem::CleanerStats& cs = shard.cleaner_stats();
+    const obs::Gauge* cost = obs::Registry().FindGauge(
+        "logfs.shard." + std::to_string(i) + ".write_cost");
+    std::cout << "shard " << i << ": " << sb.num_segments << " segments x "
+              << sb.segment_size / 1024 << "KB  live=" << shard.TotalLiveBytes() / 1024
+              << "KB (u=" << std::fixed << std::setprecision(3) << util << ")  clean="
+              << shard.CleanSegmentCount() << "  ckpts=" << shard.checkpoint_count()
+              << "\n  cleaner: passes=" << cs.passes
+              << " segments_cleaned=" << cs.segments_cleaned
+              << "  write_cost=" << std::setprecision(3)
+              << (cost != nullptr ? cost->Value() : 0.0) << "\n";
+    DumpSegments(shard);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int Run(const char* verb) {
   if (verb != nullptr && std::strcmp(verb, "serve") == 0) {
     std::cout << "=== lfs_inspect serve: a lease-based file-service cluster, live ===\n\n";
     return RunServe();
+  }
+  if (verb != nullptr && std::strcmp(verb, "shards") == 0) {
+    std::cout << "=== lfs_inspect shards: per-log view of the sharded volume ===\n\n";
+    return RunShards();
   }
   // Build a demonstration volume with history: files, deletions, cleaning.
   SimClock clock;
@@ -685,7 +750,7 @@ int Run(const char* verb) {
     }
     if (verb != nullptr) {
       std::cerr << "unknown verb '" << verb
-                << "' (try: metrics, trace, scrub, top, heatmap, blackbox, serve)\n";
+                << "' (try: metrics, trace, scrub, top, heatmap, blackbox, serve, shards)\n";
       return 2;
     }
 

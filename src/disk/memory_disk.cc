@@ -32,6 +32,7 @@ Status MemoryDisk::CheckExtent(uint64_t first, size_t bytes) const {
 }
 
 void MemoryDisk::Account(uint64_t first, uint64_t count, bool is_write, bool synchronous) {
+  std::lock_guard<std::mutex> lock(account_mu_);
   const double positioning = model_.PositioningSeconds(first, head_);
   const double transfer =
       model_.TransferSeconds(count) + model_.params().command_overhead_ms / 1e3;

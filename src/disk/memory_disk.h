@@ -4,9 +4,18 @@
 // rotation + transfer) to a shared SimClock through a DiskModel. Tracks the
 // head position so sequential continuation is free of positioning cost,
 // exactly the property LFS exploits.
+//
+// Thread safety: the accounting state (head position, stats, clock charge)
+// is guarded by an internal mutex so shards of a sharded mount can issue
+// I/O from many threads. The sector image itself is copied *outside* the
+// lock — concurrent callers touching disjoint extents (each shard owns a
+// disjoint window) proceed in parallel; overlapping concurrent writes were
+// never defined and stay undefined. Single-threaded accounting is
+// bit-identical to the lock-free original.
 #ifndef LOGFS_SRC_DISK_MEMORY_DISK_H_
 #define LOGFS_SRC_DISK_MEMORY_DISK_H_
 
+#include <mutex>
 #include <vector>
 
 #include "src/disk/block_device.h"
@@ -51,7 +60,8 @@ class MemoryDisk : public BlockDevice {
   SimClock* clock_;
   DiskModel model_;
   std::vector<std::byte> data_;
-  uint64_t head_ = 0;  // Sector after the last transferred sector.
+  std::mutex account_mu_;  // Guards head_, stats_, and the clock charge.
+  uint64_t head_ = 0;      // Sector after the last transferred sector.
   DiskStats stats_;
 };
 

@@ -65,16 +65,19 @@ Status StripedDisk::ForEachRun(uint64_t first, bool is_write, IoOptions options,
   if (clock_ != nullptr) {
     clock_->Advance(max_elapsed);
   }
-  stats_.busy_seconds += max_elapsed;
-  if (is_write) {
-    ++stats_.write_ops;
-    stats_.sectors_written += count;
-    if (options.synchronous) {
-      ++stats_.sync_writes;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.busy_seconds += max_elapsed;
+    if (is_write) {
+      ++stats_.write_ops;
+      stats_.sectors_written += count;
+      if (options.synchronous) {
+        ++stats_.sync_writes;
+      }
+    } else {
+      ++stats_.read_ops;
+      stats_.sectors_read += count;
     }
-  } else {
-    ++stats_.read_ops;
-    stats_.sectors_read += count;
   }
   return OkStatus();
 }

@@ -12,10 +12,18 @@
 // Implementation note on timing: members are constructed with their own
 // private SimClocks; the striped layer advances the shared simulation clock
 // by the slowest member's delta per request.
+// Thread safety: concurrent requests (shards flushing in parallel) are
+// safe — member data copies run in parallel guarded per member, the shared
+// and member clocks are atomic, and the array-level stats are mutex
+// guarded. Concurrent requests overlap in *wall* time, so each one's
+// observed member deltas may include a neighbour's service time; the
+// array-level busy_seconds then over-approximates. Single-threaded timing
+// is bit-identical to the original.
 #ifndef LOGFS_SRC_DISK_STRIPED_DISK_H_
 #define LOGFS_SRC_DISK_STRIPED_DISK_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/disk/block_device.h"
@@ -71,6 +79,7 @@ class StripedDisk : public BlockDevice {
   SimClock* clock_;
   std::vector<std::unique_ptr<SimClock>> member_clocks_;
   std::vector<std::unique_ptr<MemoryDisk>> members_;
+  std::mutex stats_mu_;  // Guards stats_ against concurrent requests.
   DiskStats stats_;
 };
 

@@ -1,0 +1,79 @@
+#include "src/disk/window_disk.h"
+
+#include <cassert>
+
+namespace logfs {
+
+WindowDisk::WindowDisk(BlockDevice* parent, uint64_t first_sector, uint64_t sector_count)
+    : parent_(parent), first_sector_(first_sector), sector_count_(sector_count) {
+  assert(parent != nullptr);
+  assert(first_sector + sector_count <= parent->sector_count());
+}
+
+Status WindowDisk::CheckExtent(uint64_t first, size_t bytes) const {
+  if (bytes == 0 || bytes % kSectorSize != 0) {
+    return InvalidArgumentError("I/O size must be a positive multiple of the sector size");
+  }
+  const uint64_t count = bytes / kSectorSize;
+  if (first >= sector_count_ || count > sector_count_ - first) {
+    return OutOfRangeError("I/O extent beyond end of window");
+  }
+  return OkStatus();
+}
+
+void WindowDisk::Count(uint64_t sectors, bool is_write, bool synchronous) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (is_write) {
+    ++stats_.write_ops;
+    stats_.sectors_written += sectors;
+    if (synchronous) {
+      ++stats_.sync_writes;
+    }
+  } else {
+    ++stats_.read_ops;
+    stats_.sectors_read += sectors;
+  }
+}
+
+Status WindowDisk::ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options) {
+  RETURN_IF_ERROR(CheckExtent(first, out.size()));
+  RETURN_IF_ERROR(parent_->ReadSectors(first_sector_ + first, out, options));
+  Count(out.size() / kSectorSize, /*is_write=*/false, options.synchronous);
+  return OkStatus();
+}
+
+Status WindowDisk::WriteSectors(uint64_t first, std::span<const std::byte> data,
+                                IoOptions options) {
+  RETURN_IF_ERROR(CheckExtent(first, data.size()));
+  RETURN_IF_ERROR(parent_->WriteSectors(first_sector_ + first, data, options));
+  Count(data.size() / kSectorSize, /*is_write=*/true, options.synchronous);
+  return OkStatus();
+}
+
+Status WindowDisk::ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                                IoOptions options) {
+  const size_t total = IoVecBytes(bufs);
+  RETURN_IF_ERROR(CheckExtent(first, total));
+  RETURN_IF_ERROR(parent_->ReadSectorsV(first_sector_ + first, bufs, options));
+  Count(total / kSectorSize, /*is_write=*/false, options.synchronous);
+  return OkStatus();
+}
+
+Status WindowDisk::WriteSectorsV(uint64_t first,
+                                 std::span<const std::span<const std::byte>> bufs,
+                                 IoOptions options) {
+  const size_t total = IoVecBytes(bufs);
+  RETURN_IF_ERROR(CheckExtent(first, total));
+  RETURN_IF_ERROR(parent_->WriteSectorsV(first_sector_ + first, bufs, options));
+  Count(total / kSectorSize, /*is_write=*/true, options.synchronous);
+  return OkStatus();
+}
+
+Status WindowDisk::Flush() { return parent_->Flush(); }
+
+void WindowDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.Reset();
+}
+
+}  // namespace logfs

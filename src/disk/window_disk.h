@@ -1,0 +1,61 @@
+// WindowDisk: a contiguous sector-range view of another device.
+//
+// The sharded LFS (src/lfs/sharded_lfs.h) slices one volume into N equal
+// regions and mounts an independent log in each; WindowDisk is the slice.
+// Sector w of the window is sector `first_sector + w` of the parent, so a
+// shard formats "its" superblock at window sector 0 without knowing it
+// lives mid-volume, and when the parent is a StripedDisk the window's
+// sequential transfers still stripe across every member.
+//
+// Thread safety: the window keeps only per-window op/sector tallies (under
+// a mutex); correctness of concurrent access is the parent's contract.
+// Timing-dependent fields (busy/seek seconds, sequentiality) belong to the
+// parent's head model and are not split per window — inspect the parent
+// for those.
+#ifndef LOGFS_SRC_DISK_WINDOW_DISK_H_
+#define LOGFS_SRC_DISK_WINDOW_DISK_H_
+
+#include <mutex>
+
+#include "src/disk/block_device.h"
+
+namespace logfs {
+
+class WindowDisk : public BlockDevice {
+ public:
+  // The window [first_sector, first_sector + sector_count) must lie inside
+  // `parent`, which must outlive this object.
+  WindowDisk(BlockDevice* parent, uint64_t first_sector, uint64_t sector_count);
+
+  Status ReadSectors(uint64_t first, std::span<std::byte> out, IoOptions options = {}) override;
+  Status WriteSectors(uint64_t first, std::span<const std::byte> data,
+                      IoOptions options = {}) override;
+  Status ReadSectorsV(uint64_t first, std::span<const std::span<std::byte>> bufs,
+                      IoOptions options = {}) override;
+  Status WriteSectorsV(uint64_t first, std::span<const std::span<const std::byte>> bufs,
+                       IoOptions options = {}) override;
+  Status Flush() override;
+
+  uint64_t sector_count() const override { return sector_count_; }
+  // Per-window op/sector counts (busy/seek fields stay zero; see header
+  // comment). Do not read while another thread is issuing I/O here.
+  const DiskStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+  BlockDevice* parent() const { return parent_; }
+  uint64_t first_sector() const { return first_sector_; }
+
+ private:
+  Status CheckExtent(uint64_t first, size_t bytes) const;
+  void Count(uint64_t sectors, bool is_write, bool synchronous);
+
+  BlockDevice* parent_;
+  uint64_t first_sector_;
+  uint64_t sector_count_;
+  std::mutex stats_mu_;
+  DiskStats stats_;
+};
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_DISK_WINDOW_DISK_H_

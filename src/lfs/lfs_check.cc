@@ -59,8 +59,9 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
 
   // --- 1. imap -> on-disk inode blocks ---
   std::vector<std::byte> block(sb.block_size);
-  for (InodeNum ino = kRootIno; ino <= imap.max_inodes(); ++ino) {
-    const ImapEntry& entry = imap.Get(ino);
+  for (uint32_t slot = 0; slot < imap.max_inodes(); ++slot) {
+    const InodeNum ino = imap.InoAtSlot(slot);
+    const ImapEntry& entry = imap.GetSlot(slot);
     if (!entry.allocated) {
       continue;
     }
@@ -81,25 +82,62 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
       complain("ino " + std::to_string(ino) + " slot out of range");
       continue;
     }
-    const PackedInode& slot = (*packed)[entry.slot];
-    if (slot.ino != ino) {
+    const PackedInode& packed_slot = (*packed)[entry.slot];
+    if (packed_slot.ino != ino) {
       complain("ino " + std::to_string(ino) + " slot tagged with ino " +
-               std::to_string(slot.ino));
+               std::to_string(packed_slot.ino));
     }
-    if (slot.version != entry.version) {
+    if (packed_slot.version != entry.version) {
       complain("ino " + std::to_string(ino) + " on-disk version stale");
     }
   }
 
   // --- 2. directory tree walk: reachability, nlink, dot entries ---
+  // Shard mode (check_namespace_ false): the tree spans shards, so walk the
+  // inode map instead — every allocated inode must stat and every file's
+  // content must read end to end; reachability/nlink belong to the global
+  // sharded checker.
+  if (!check_namespace_) {
+    for (uint32_t slot = 0; slot < imap.max_inodes(); ++slot) {
+      const InodeNum ino = imap.InoAtSlot(slot);
+      if (!imap.GetSlot(slot).allocated) {
+        continue;
+      }
+      Result<FileStat> stat = fs_->Stat(ino);
+      if (!stat.ok()) {
+        complain("stat of ino " + std::to_string(ino) + " failed");
+        continue;
+      }
+      if (stat->type == FileType::kDirectory) {
+        ++report.directories;
+        if (!fs_->ReadDir(ino).ok()) {
+          complain("dir " + std::to_string(ino) + " unreadable");
+        }
+      } else {
+        ++report.files;
+        if (verify_data) {
+          report.total_bytes += stat->size;
+          std::vector<std::byte> content(stat->size);
+          if (stat->size > 0) {
+            Result<uint64_t> n = fs_->Read(ino, 0, content);
+            if (!n.ok() || *n != stat->size) {
+              complain("file ino " + std::to_string(ino) + " content unreadable");
+            }
+          }
+        }
+      }
+    }
+  }
   std::unordered_map<InodeNum, uint32_t> name_refs;     // Non-dot references.
   std::unordered_map<InodeNum, uint32_t> child_dirs;    // Subdirectory count.
   std::unordered_map<InodeNum, InodeNum> parent_of;
   std::unordered_set<InodeNum> visited;
   std::deque<InodeNum> queue;
-  queue.push_back(kRootIno);
-  visited.insert(kRootIno);
-  parent_of[kRootIno] = kRootIno;
+  if (check_namespace_) {
+    queue.push_back(kRootIno);
+    visited.insert(kRootIno);
+    parent_of[kRootIno] = kRootIno;
+  }
   while (!queue.empty()) {
     const InodeNum dir = queue.front();
     queue.pop_front();
@@ -163,9 +201,10 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
       complain("dir " + std::to_string(dir) + " missing . or ..");
     }
   }
-  // nlink verification and orphan detection.
-  for (InodeNum ino = kRootIno; ino <= imap.max_inodes(); ++ino) {
-    if (!imap.Get(ino).allocated) {
+  // nlink verification and orphan detection (namespace checks only).
+  for (uint32_t slot = 0; check_namespace_ && slot < imap.max_inodes(); ++slot) {
+    const InodeNum ino = imap.InoAtSlot(slot);
+    if (!imap.GetSlot(slot).allocated) {
       continue;
     }
     if (!visited.contains(ino)) {
@@ -223,8 +262,9 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
                " double-references sector " + std::to_string(addr));
     }
   };
-  for (InodeNum ino = kRootIno; ino <= imap.max_inodes(); ++ino) {
-    if (!imap.Get(ino).allocated) {
+  for (uint32_t slot = 0; slot < imap.max_inodes(); ++slot) {
+    const InodeNum ino = imap.InoAtSlot(slot);
+    if (!imap.GetSlot(slot).allocated) {
       continue;
     }
     Result<LfsFileSystem::CachedInode*> ci = fs_->GetInode(ino);
@@ -270,8 +310,8 @@ Result<LfsCheckReport> LfsChecker::Check(bool verify_data) {
   // inconsistencies; both are counted per segment.
   report.quarantined_segments = fs_->usage_.CountState(SegState::kQuarantined);
   std::unordered_set<uint64_t> verify_addrs(seen);
-  for (InodeNum ino = kRootIno; ino <= imap.max_inodes(); ++ino) {
-    const ImapEntry& entry = imap.Get(ino);
+  for (uint32_t slot = 0; slot < imap.max_inodes(); ++slot) {
+    const ImapEntry& entry = imap.GetSlot(slot);
     if (entry.allocated && entry.block_addr != kNoAddr) {
       verify_addrs.insert(entry.block_addr);
     }

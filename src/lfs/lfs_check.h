@@ -48,13 +48,24 @@ struct LfsCheckReport {
 
 class LfsChecker {
  public:
-  explicit LfsChecker(LfsFileSystem* fs) : fs_(fs) {}
+  // `check_namespace` = false is SHARD MODE: one shard of a sharded volume
+  // holds dirents that legitimately reference inodes homed in other shards
+  // (and shards other than 0 have no root directory at all), so the rooted
+  // tree walk, nlink audit and orphan detection are skipped here — the
+  // sharded checker (src/lfs/sharded_lfs.h) performs them globally through
+  // the router. Every per-shard invariant (imap resolution, live-address
+  // uniqueness, usage exactness, content readability, media CRCs) is still
+  // verified, with files/directories enumerated from the inode map instead
+  // of the tree.
+  explicit LfsChecker(LfsFileSystem* fs, bool check_namespace = true)
+      : fs_(fs), check_namespace_(check_namespace) {}
 
   // Full check; `verify_data` additionally reads every file's bytes.
   Result<LfsCheckReport> Check(bool verify_data = true);
 
  private:
   LfsFileSystem* fs_;
+  bool check_namespace_;
 };
 
 }  // namespace logfs

@@ -74,6 +74,13 @@ Status LfsFileSystem::Format(BlockDevice* device, const LfsParams& params) {
   RETURN_IF_ERROR(device->WriteSectors(
       (1ull + sb.checkpoint_region_blocks) * sb.SectorsPerBlock(), zeros));
 
+  // Only shard 0 of a sharded volume (or an unsharded volume) hosts the
+  // root directory — global ino 1 lives in residue class 0. The other
+  // shards start as empty logs; their freshly written region A is already a
+  // mountable state.
+  if (sb.sharded() && sb.shard_index != 0) {
+    return OkStatus();
+  }
   // Create the root directory through a throwaway mount; its first
   // checkpoint persists everything.
   Options options;
@@ -112,7 +119,8 @@ LfsFileSystem::LfsFileSystem(BlockDevice* device, SimClock* clock, CpuModel* cpu
       sb_(sb),
       options_(options),
       cache_(sb.block_size, options.cache_policy, clock),
-      imap_(sb.max_inodes, sb.block_size),
+      imap_(sb.max_inodes, sb.block_size, sb.sharded() ? sb.shard_count : 1,
+            sb.sharded() ? sb.shard_index : 0),
       usage_(sb.num_segments, sb.block_size),
       builder_(device, sb),
       sampler_(obs::TelemetrySampler::Options{
@@ -314,22 +322,48 @@ LfsFileSystem::OpScope::~OpScope() {
   const uint64_t hits = fs_->cache_.stats().hits - a.cache_hits_start;
   const uint64_t misses = fs_->cache_.stats().misses - a.cache_misses_start;
 
-  const std::string prefix = std::string("logfs.op.") + a.name;
+  // Handles are resolved once per op name per instance: the hot path must
+  // not take the global registry mutex seven times per operation (with a
+  // concurrent sharded front-end that lock becomes the scaling ceiling).
+  const OpMetricHandles& h = fs_->OpHandles(a.name);
+  h.seconds->Observe(total);
+  h.count->Increment();
+  h.disk_us->Increment(Micros(disk));
+  h.cleaner_us->Increment(Micros(cleaner));
+  h.retry_us->Increment(Micros(retry));
+  h.cache_us->Increment(Micros(cache));
+  // Ring spans only for ops that did real work (device, cleaner, or retry
+  // backoff): pure cache-hit ops would flood the ring — 65536 identical
+  // microsecond spans hold under a second of history — while serializing
+  // every operation on the tracer's global mutex.
+  if (disk > 0.0 || cleaner > 0.0 || retry > 0.0) {
+    obs::Tracer().RecordSpan("op", a.name, a.start, end,
+                             {{"disk_us", std::to_string(Micros(disk))},
+                              {"cleaner_us", std::to_string(Micros(cleaner))},
+                              {"retry_us", std::to_string(Micros(retry))},
+                              {"cache_us", std::to_string(Micros(cache))},
+                              {"cache_hits", std::to_string(hits)},
+                              {"cache_misses", std::to_string(misses)}});
+  }
+}
+
+const LfsFileSystem::OpMetricHandles& LfsFileSystem::OpHandles(const char* name) {
+  auto it = op_metric_handles_.find(name);
+  if (it != op_metric_handles_.end()) {
+    return it->second;
+  }
   static constexpr double kOpLatencyBounds[] = {0.0001, 0.001, 0.01, 0.05,
                                                 0.1,    0.5,   1.0};
-  obs::Registry().GetHistogram(prefix + ".seconds", kOpLatencyBounds).Observe(total);
-  obs::Registry().GetCounter(prefix + ".count").Increment();
-  obs::Registry().GetCounter(prefix + ".disk_us").Increment(Micros(disk));
-  obs::Registry().GetCounter(prefix + ".cleaner_us").Increment(Micros(cleaner));
-  obs::Registry().GetCounter(prefix + ".retry_us").Increment(Micros(retry));
-  obs::Registry().GetCounter(prefix + ".cache_us").Increment(Micros(cache));
-  obs::Tracer().RecordSpan("op", a.name, a.start, end,
-                           {{"disk_us", std::to_string(Micros(disk))},
-                            {"cleaner_us", std::to_string(Micros(cleaner))},
-                            {"retry_us", std::to_string(Micros(retry))},
-                            {"cache_us", std::to_string(Micros(cache))},
-                            {"cache_hits", std::to_string(hits)},
-                            {"cache_misses", std::to_string(misses)}});
+  const std::string prefix = std::string("logfs.op.") + name;
+  auto& registry = obs::Registry();
+  OpMetricHandles h;
+  h.seconds = &registry.GetHistogram(prefix + ".seconds", kOpLatencyBounds);
+  h.count = &registry.GetCounter(prefix + ".count");
+  h.disk_us = &registry.GetCounter(prefix + ".disk_us");
+  h.cleaner_us = &registry.GetCounter(prefix + ".cleaner_us");
+  h.retry_us = &registry.GetCounter(prefix + ".retry_us");
+  h.cache_us = &registry.GetCounter(prefix + ".cache_us");
+  return op_metric_handles_.emplace(name, h).first->second;
 }
 
 void LfsFileSystem::AddOpDiskSeconds(double seconds) {
@@ -1349,8 +1383,9 @@ Result<std::vector<uint64_t>> LfsFileSystem::ComputeExactUsage() {
   for (DiskAddr addr : usage_block_addrs_) {
     add(addr, bs);
   }
-  for (InodeNum ino = kRootIno; ino <= imap_.max_inodes(); ++ino) {
-    const ImapEntry& entry = imap_.Get(ino);
+  for (uint32_t slot = 0; slot < imap_.max_inodes(); ++slot) {
+    const InodeNum ino = imap_.InoAtSlot(slot);
+    const ImapEntry& entry = imap_.GetSlot(slot);
     if (!entry.allocated) {
       continue;
     }
@@ -1420,8 +1455,8 @@ Result<bool> LfsFileSystem::IsBlockLive(const SummaryEntry& entry, DiskAddr addr
       // damaged) content is not trustworthy — consult the map's reverse
       // direction instead: any allocated inode homed in this block keeps it
       // live.
-      for (InodeNum ino = kRootIno; ino <= imap_.max_inodes(); ++ino) {
-        const ImapEntry& map_entry = imap_.Get(ino);
+      for (uint32_t slot = 0; slot < imap_.max_inodes(); ++slot) {
+        const ImapEntry& map_entry = imap_.GetSlot(slot);
         if (map_entry.allocated && map_entry.block_addr == addr) {
           return true;
         }

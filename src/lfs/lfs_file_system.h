@@ -204,6 +204,54 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // the .cc).
   uint32_t InodeLiveQuantum() const;
 
+  // --- Sharded-router seam (src/lfs/sharded_lfs.h) ---
+  //
+  // A cross-shard namespace operation decomposes into these primitives: the
+  // router holds the locks of every involved shard and sequences dirent
+  // edits on the parent's shard against inode/link edits on the child's
+  // shard. Each primitive performs exactly the slice of the corresponding
+  // native operation that touches THIS shard's structures, with the same
+  // CPU charges, space reservations, dirtying and mutation accounting.
+  // Same-shard operations route through the unsliced native ops and never
+  // reach these. Implemented in lfs_shard_seam.cc.
+
+  // Read-only: `dir` must be a local directory; returns its entry for
+  // `name` (kNotFound if absent).
+  Result<DirEntry> ShardFindEntry(InodeNum dir, std::string_view name);
+  // Read-only precheck for an insert: dir exists, is a directory, `name`
+  // free — the fast-fail before the child's shard allocates an inode.
+  Status ShardCheckCanInsert(InodeNum dir, std::string_view name);
+  // Allocates and initializes a new child inode homed on this shard. For
+  // directories, inserts "." and ".." (the parent may live on any shard).
+  Result<InodeNum> ShardAllocInode(FileType type, InodeNum parent_dir);
+  // Undo of ShardAllocInode when the dirent insert on the parent's shard
+  // fails afterwards. Best-effort: a failure here leaves an orphaned inode,
+  // the same exposure a crash between the two shard edits has.
+  void ShardAbortAlloc(InodeNum ino);
+  // Inserts (dir, name) -> child. `child_is_dir` bumps dir's nlink for the
+  // child's ".." — the router passes it only when the child's ".." will
+  // newly point here (false for same-directory renames).
+  Status ShardAddEntry(InodeNum dir, std::string_view name, InodeNum child, FileType type,
+                       bool child_is_dir);
+  // Removes (dir, name); `child_was_dir` drops dir's nlink.
+  Status ShardRemoveEntry(InodeNum dir, std::string_view name, bool child_was_dir);
+  // Replaces the target of (dir, name); `nlink_delta` (-1, 0, +1) applies
+  // the child-directory ".." arithmetic computed by the router.
+  Status ShardReplaceEntry(InodeNum dir, std::string_view name, InodeNum child, FileType type,
+                           int nlink_delta);
+  // nlink++ on a local non-directory inode (hard-link target).
+  Status ShardAddLink(InodeNum ino);
+  // nlink-- on a local inode; frees it at zero (unlink victim,
+  // file-over-file rename victim).
+  Status ShardDropLink(InodeNum ino);
+  // Releases a local directory inode outright (rmdir victim, dir-over-dir
+  // rename victim — native semantics release without walking nlink to 0).
+  Status ShardReleaseDir(InodeNum ino);
+  // Local directory empty?
+  Result<bool> ShardDirIsEmpty(InodeNum ino);
+  // Rewrites a local directory's ".." (directory moved across parents).
+  Status ShardSetDotDot(InodeNum child_dir, InodeNum new_parent);
+
  private:
   friend class LfsCleaner;
   friend class LfsChecker;
@@ -366,6 +414,21 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
     uint64_t cache_hits_start = 0;
     uint64_t cache_misses_start = 0;
   };
+  // Registry handles for one op name's attribution metrics, resolved once
+  // per instance so the hot path never takes the registry mutex. Pointers
+  // are stable: the registry heap-allocates each metric.
+  struct OpMetricHandles {
+    obs::Histogram* seconds = nullptr;
+    obs::Counter* count = nullptr;
+    obs::Counter* disk_us = nullptr;
+    obs::Counter* cleaner_us = nullptr;
+    obs::Counter* retry_us = nullptr;
+    obs::Counter* cache_us = nullptr;
+  };
+  // `name` must be a string literal (the cache keys on the pointer). Calls
+  // are serialized by the owning shard's lock, like all other FS state.
+  const OpMetricHandles& OpHandles(const char* name);
+
   // Charge device time to the active op (no-op when none; cleaner time is
   // charged separately, so device I/O inside the cleaner is skipped here).
   void AddOpDiskSeconds(double seconds);
@@ -432,6 +495,7 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   obs::TelemetrySampler sampler_;
   int op_depth_ = 0;
   OpAttr op_attr_;
+  std::unordered_map<const char*, OpMetricHandles> op_metric_handles_;
 };
 
 }  // namespace logfs

@@ -492,9 +492,14 @@ Status LfsFileSystem::Rename(InodeNum from_dir, std::string_view from_name, Inod
         return NotEmptyError(to_name);
       }
       RETURN_IF_ERROR(DirReplace(to_dir, to_name, src.ino, src.type));
-      ASSIGN_OR_RETURN(to_node, GetInode(to_dir));
-      --to_node->inode.nlink;  // Old child directory's ".." is gone.
-      SetInodeDirty(to_node);
+      if (from_dir == to_dir) {
+        // Old child directory's ".." is gone and src was already a child
+        // here; cross-directory moves swap one child directory for another,
+        // leaving the count unchanged.
+        ASSIGN_OR_RETURN(to_node, GetInode(to_dir));
+        --to_node->inode.nlink;
+        SetInodeDirty(to_node);
+      }
       RETURN_IF_ERROR(ReleaseInode(dst->ino));
     } else {
       if (src_is_dir) {

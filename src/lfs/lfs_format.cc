@@ -25,8 +25,17 @@ Status ValidateLfsParams(const LfsParams& params) {
   if (params.clean_stop_segments < params.clean_start_segments) {
     return InvalidArgumentError("clean_stop must be >= clean_start");
   }
+  if (params.shard_count == 1 || (params.shard_count >= 2 &&
+                                  params.shard_index >= params.shard_count)) {
+    return InvalidArgumentError("shard_index must be < shard_count (>= 2), or count 0");
+  }
   return OkStatus();
 }
+
+// Shard extension layout, starting right after the legacy payload + CRC:
+// magic u32, shard_count u32, shard_index u32, CRC32 over those 12 bytes.
+constexpr size_t kShardExtOffset = kSuperblockPayload + 4;
+constexpr size_t kShardExtPayload = 12;
 
 }  // namespace
 
@@ -48,7 +57,18 @@ Status EncodeLfsSuperblock(const LfsSuperblock& sb, std::span<std::byte> block) 
   RETURN_IF_ERROR(writer.WriteU32(sb.reserved_segments));
   RETURN_IF_ERROR(writer.WriteF64(sb.checkpoint_interval_seconds));
   const uint32_t crc = Crc32(block.subspan(0, kSuperblockPayload));
-  return writer.WriteU32(crc);
+  RETURN_IF_ERROR(writer.WriteU32(crc));
+  if (sb.sharded()) {
+    if (block.size() < kShardExtOffset + kShardExtPayload + 4) {
+      return InvalidArgumentError("superblock buffer too small for shard extension");
+    }
+    RETURN_IF_ERROR(writer.WriteU32(kShardMagic));
+    RETURN_IF_ERROR(writer.WriteU32(sb.shard_count));
+    RETURN_IF_ERROR(writer.WriteU32(sb.shard_index));
+    const uint32_t ext_crc = Crc32(block.subspan(kShardExtOffset, kShardExtPayload));
+    RETURN_IF_ERROR(writer.WriteU32(ext_crc));
+  }
+  return OkStatus();
 }
 
 Result<LfsSuperblock> DecodeLfsSuperblock(std::span<const std::byte> block) {
@@ -74,6 +94,23 @@ Result<LfsSuperblock> DecodeLfsSuperblock(std::span<const std::byte> block) {
   ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
   if (stored_crc != Crc32(block.subspan(0, kSuperblockPayload))) {
     return CorruptedError("LFS superblock CRC mismatch");
+  }
+  // Optional shard extension. Seed-era superblocks (and every unsharded
+  // format since) have zeros here and decode as shard_count 0.
+  if (block.size() >= kShardExtOffset + kShardExtPayload + 4) {
+    BufferReader ext(block.subspan(kShardExtOffset));
+    ASSIGN_OR_RETURN(uint32_t ext_magic, ext.ReadU32());
+    if (ext_magic == kShardMagic) {
+      ASSIGN_OR_RETURN(sb.shard_count, ext.ReadU32());
+      ASSIGN_OR_RETURN(sb.shard_index, ext.ReadU32());
+      ASSIGN_OR_RETURN(uint32_t ext_crc, ext.ReadU32());
+      if (ext_crc != Crc32(block.subspan(kShardExtOffset, kShardExtPayload))) {
+        return CorruptedError("LFS shard extension CRC mismatch");
+      }
+      if (sb.shard_count < 2 || sb.shard_index >= sb.shard_count) {
+        return CorruptedError("LFS shard extension out of range");
+      }
+    }
   }
   return sb;
 }
@@ -160,6 +197,8 @@ Result<LfsSuperblock> ComputeLfsGeometry(const LfsParams& params, uint64_t secto
   sb.clean_stop_segments = params.clean_stop_segments;
   sb.reserved_segments = params.reserved_segments;
   sb.checkpoint_interval_seconds = params.checkpoint_interval_seconds;
+  sb.shard_count = params.shard_count;
+  sb.shard_index = params.shard_index;
 
   // Checkpoint region: header (~64 B) + one 8-byte address per inode-map
   // block and per segment-usage block. Sized generously and rounded up.

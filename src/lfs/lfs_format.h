@@ -37,6 +37,7 @@ namespace logfs {
 
 inline constexpr uint32_t kLfsMagic = 0x4C465331;   // "LFS1"
 inline constexpr uint32_t kCkptMagic = 0x434B5054;  // "CKPT"
+inline constexpr uint32_t kShardMagic = 0x53485244;  // "SHRD"
 
 struct LfsParams {
   uint32_t block_size = 4096;        // Paper Section 5: LFS used 4 KB blocks.
@@ -52,6 +53,14 @@ struct LfsParams {
   uint32_t reserved_segments = 4;
   // Checkpoint interval (Section 4.4.1; paper uses 30 s).
   double checkpoint_interval_seconds = 30.0;
+  // Sharded multi-log membership (src/lfs/sharded_lfs.h). 0 = unsharded
+  // single log (the seed format, byte-identical on disk). When >= 2, this
+  // volume slice is log `shard_index` of `shard_count`; its inode map owns
+  // the global numbers with (ino - 1) % shard_count == shard_index, and
+  // `max_inodes` counts that shard's LOCAL inode slots. Only shard 0 hosts
+  // the root directory.
+  uint32_t shard_count = 0;
+  uint32_t shard_index = 0;
 };
 
 struct LfsSuperblock {
@@ -66,7 +75,14 @@ struct LfsSuperblock {
   uint32_t clean_stop_segments = 0;
   uint32_t reserved_segments = 0;
   double checkpoint_interval_seconds = 30.0;
+  // Shard membership (see LfsParams). Encoded as a tagged extension AFTER
+  // the legacy payload+CRC, and only when shard_count >= 2 — an unsharded
+  // superblock is byte-identical to the seed format, and a seed-era
+  // superblock decodes with shard_count 0.
+  uint32_t shard_count = 0;
+  uint32_t shard_index = 0;
 
+  bool sharded() const { return shard_count >= 2; }
   uint32_t SectorsPerBlock() const { return block_size / kSectorSize; }
   uint32_t BlocksPerSegment() const { return segment_size / block_size; }
   uint32_t SectorsPerSegment() const { return segment_size / kSectorSize; }

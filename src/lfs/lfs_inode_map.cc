@@ -6,18 +6,22 @@
 
 namespace logfs {
 
-InodeMap::InodeMap(uint32_t max_inodes, uint32_t block_size)
+InodeMap::InodeMap(uint32_t max_inodes, uint32_t block_size, uint32_t stride,
+                   uint32_t offset)
     : max_inodes_(max_inodes),
       block_size_(block_size),
       entries_per_block_(block_size / kImapEntrySize),
+      stride_(stride),
+      offset_(offset),
       entries_(max_inodes) {
+  assert(stride_ >= 1 && offset_ < stride_);
   block_count_ = (max_inodes_ + entries_per_block_ - 1) / entries_per_block_;
   dirty_blocks_.assign(block_count_, false);
 }
 
 void InodeMap::SetLocation(InodeNum ino, DiskAddr block_addr, uint16_t slot) {
   assert(IsValid(ino));
-  ImapEntry& entry = entries_[ino - 1];
+  ImapEntry& entry = entries_[SlotOf(ino)];
   entry.block_addr = block_addr;
   entry.slot = slot;
   MarkDirty(ino);
@@ -25,23 +29,31 @@ void InodeMap::SetLocation(InodeNum ino, DiskAddr block_addr, uint16_t slot) {
 
 void InodeMap::SetAtime(InodeNum ino, double atime) {
   assert(IsValid(ino));
-  entries_[ino - 1].atime = atime;
+  entries_[SlotOf(ino)].atime = atime;
   MarkDirty(ino);
 }
 
 void InodeMap::SetVersion(InodeNum ino, uint32_t version) {
   assert(IsValid(ino));
-  entries_[ino - 1].version = version;
+  entries_[SlotOf(ino)].version = version;
   MarkDirty(ino);
 }
 
 Result<InodeNum> InodeMap::Allocate(InodeNum hint) {
-  if (hint < kRootIno || hint > max_inodes_) {
-    hint = kRootIno;
+  // Round the hint up to this map's residue class, then scan slots
+  // circularly. With stride 1 this is exactly the original ino scan.
+  uint32_t start_slot = 0;
+  if (hint > offset_ + 1) {
+    start_slot = static_cast<uint32_t>((static_cast<uint64_t>(hint) - 1 - offset_ +
+                                        stride_ - 1) / stride_);
+  }
+  if (start_slot >= max_inodes_) {
+    start_slot = 0;
   }
   for (uint32_t step = 0; step < max_inodes_; ++step) {
-    const InodeNum ino = static_cast<InodeNum>((hint - 1 + step) % max_inodes_ + 1);
-    ImapEntry& entry = entries_[ino - 1];
+    const uint32_t slot = (start_slot + step) % max_inodes_;
+    const InodeNum ino = InoAtSlot(slot);
+    ImapEntry& entry = entries_[slot];
     if (!entry.allocated) {
       entry.allocated = true;
       ++entry.version;
@@ -58,7 +70,7 @@ Result<InodeNum> InodeMap::Allocate(InodeNum hint) {
 
 void InodeMap::Free(InodeNum ino) {
   assert(IsValid(ino));
-  ImapEntry& entry = entries_[ino - 1];
+  ImapEntry& entry = entries_[SlotOf(ino)];
   assert(entry.allocated);
   entry.allocated = false;
   entry.block_addr = kNoAddr;
@@ -70,7 +82,7 @@ void InodeMap::Free(InodeNum ino) {
 
 void InodeMap::ForceAllocated(InodeNum ino, bool allocated) {
   assert(IsValid(ino));
-  ImapEntry& entry = entries_[ino - 1];
+  ImapEntry& entry = entries_[SlotOf(ino)];
   if (entry.allocated != allocated) {
     allocated_count_ += allocated ? 1 : -1;
     entry.allocated = allocated;

@@ -1,0 +1,158 @@
+// ShardedLfs: a sharded multi-log LFS with a thread-safe concurrent
+// front-end.
+//
+// The single-log storage manager serializes every operation behind one
+// append point: one segment builder, one cleaner, one checkpoint. This
+// router partitions the volume into N independent logs ("shards"), each a
+// complete LfsFileSystem over a contiguous WindowDisk slice of the device —
+// its own segment writer, cleaner, segment-usage table, inode-map partition
+// and buffer cache. Operations on different shards proceed concurrently on
+// different threads; the router itself holds no global lock on the hot
+// path.
+//
+// Inode-number space: global numbers are striped by residue — shard i of N
+// owns every ino with (ino - 1) % N == i, so ShardOf() is pure arithmetic
+// and no shared allocation state exists. The root directory (ino 1) lives
+// on shard 0. New children are placed by hashing (parent, name), spreading
+// even a single hot directory's files across all logs.
+//
+// Locking protocol: one mutex per shard. Single-shard operations (the
+// common case: read, write, fsync, same-shard namespace ops) take exactly
+// their shard's lock and run the native single-log code. Cross-shard
+// namespace operations lock the involved shards in ascending index order
+// (no deadlock), and compose the Shard* seam primitives of
+// lfs_file_system.h. An operation that discovers it needs a lower-indexed
+// shard after already holding a higher one releases, re-locks in order, and
+// revalidates. Renames additionally serialize on a router-level mutex: the
+// cross-shard subtree (cycle) check walks ".." chains with transient
+// per-shard locks, and only renames can reparent directories, so holding
+// rename_mu_ keeps the directory topology stable for the walk.
+//
+// Crash semantics across shards: each shard checkpoints and rolls forward
+// independently, so a crash between the two halves of a cross-shard
+// operation can surface a dangling dirent (entry whose target inode's
+// shard lost the create) or an orphan inode (target durable, dirent lost).
+// Every shard is individually consistent, fsync durability per inode holds,
+// and synced data is never lost; see DESIGN.md §6g for the full contract.
+//
+// shard_count 1 is the degenerate configuration: Format and Mount delegate
+// to the unmodified single-log LfsFileSystem on the raw device — on-disk
+// bytes and DiskStats are identical to the seed, with only a mutex
+// acquisition added per operation.
+#ifndef LOGFS_SRC_LFS_SHARDED_LFS_H_
+#define LOGFS_SRC_LFS_SHARDED_LFS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/disk/window_disk.h"
+#include "src/fsbase/file_system.h"
+#include "src/lfs/lfs_check.h"
+#include "src/lfs/lfs_file_system.h"
+
+namespace logfs {
+
+class ShardedLfs : public FileSystem {
+ public:
+  using Options = LfsFileSystem::Options;
+
+  // Formats `device` as `shard_count` independent logs on equal contiguous
+  // slices. `params.max_inodes` is the GLOBAL inode budget, split across
+  // shards by residue class. shard_count <= 1 produces the seed single-log
+  // format (byte-identical). The shard membership is recorded in each
+  // slice's superblock; Mount rediscovers it from sector 0.
+  static Status Format(BlockDevice* device, const LfsParams& params, uint32_t shard_count);
+
+  // Mounts whatever Format wrote: sharded volumes get one LfsFileSystem per
+  // window (each rolling forward independently), unsharded volumes a single
+  // passthrough instance on the raw device. `options` applies to every
+  // shard (each gets its own cache of the configured size).
+  static Result<std::unique_ptr<ShardedLfs>> Mount(BlockDevice* device, SimClock* clock,
+                                                   CpuModel* cpu, Options options = {});
+
+  // --- FileSystem interface: safe for concurrent callers ---
+  Result<InodeNum> Create(InodeNum dir, std::string_view name, FileType type) override;
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Status Unlink(InodeNum dir, std::string_view name) override;
+  Status Rmdir(InodeNum dir, std::string_view name) override;
+  Status Link(InodeNum dir, std::string_view name, InodeNum target) override;
+  Status Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
+                std::string_view to_name) override;
+  Result<uint64_t> Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) override;
+  Result<uint64_t> Write(InodeNum ino, uint64_t offset, std::span<const std::byte> data) override;
+  Status Truncate(InodeNum ino, uint64_t new_size) override;
+  Result<FileStat> Stat(InodeNum ino) override;
+  Result<std::vector<DirEntry>> ReadDir(InodeNum dir) override;
+  Status Sync() override;             // Per-shard checkpoints, ascending order.
+  Status Fsync(InodeNum ino) override;
+  Status DropCaches() override;
+  Status Tick() override;             // Also refreshes logfs.shard.<i>.* gauges.
+  std::string name() const override { return "LFS-sharded"; }
+
+  // --- administration / introspection ---
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  // Which shard owns `ino`. Pure arithmetic — callable without locks.
+  uint32_t ShardOf(InodeNum ino) const {
+    return static_cast<uint32_t>((ino - 1) % shards_.size());
+  }
+  // Direct access for tests/tools. The caller is responsible for quiescence
+  // (no concurrent router operations) while poking a shard directly.
+  LfsFileSystem* shard(uint32_t i) { return shards_[i]->fs.get(); }
+
+  // Fan-out: forces a checkpoint on every shard.
+  Status Checkpoint();
+  // Fan-out: cleans up to `max_victims` segments PER SHARD; returns the
+  // total cleaned.
+  Result<uint32_t> CleanNow(uint32_t max_victims);
+  // Fan-out: scrubs up to `max_segments` PER SHARD; aggregates the reports.
+  Result<LfsFileSystem::ScrubReport> Scrub(uint32_t max_segments);
+  // Publishes per-shard gauges (logfs.shard.<i>.clean_segments, .live_bytes,
+  // .write_cost, ...). Called from Tick(); callable directly by tools.
+  void PublishShardMetrics();
+
+ private:
+  struct Shard {
+    std::unique_ptr<WindowDisk> window;  // null for the unsharded passthrough
+    std::unique_ptr<LfsFileSystem> fs;
+    std::mutex mu;
+  };
+
+  ShardedLfs() = default;
+
+  LfsFileSystem* fs(uint32_t i) { return shards_[i]->fs.get(); }
+  // Deterministic placement of a new child created as (dir, name).
+  // Directories are spread by FNV-1a over the name bytes and the parent
+  // ino; everything else is colocated on the parent directory's shard.
+  // The directory is the placement domain: one client working under its
+  // own directory touches exactly one log (no cross-shard creates, no
+  // convoying on another client's flush), while the directory tree itself
+  // fans out across shards. The cost is that a flat tree — every file in
+  // one directory — stays on one log; spread work by spreading the tree.
+  uint32_t PlaceShard(InodeNum dir, std::string_view name, FileType type) const;
+  // Locks every index in `want` (duplicates fine) in ascending order.
+  std::vector<std::unique_lock<std::mutex>> LockSet(std::vector<uint32_t> want);
+  // Walks `candidate`'s ".." chain to the root with transient per-shard
+  // locks; true if `ancestor` is on the chain (including candidate ==
+  // ancestor). Caller must hold rename_mu_ and no shard locks.
+  Result<bool> IsInSubtreeGlobal(InodeNum candidate, InodeNum ancestor);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Serializes renames (N > 1): keeps directory topology stable for the
+  // cross-shard cycle walk. Never held across a blocking shard operation
+  // other than the rename itself.
+  std::mutex rename_mu_;
+};
+
+// Global consistency check for a sharded mount: runs every per-shard
+// structural invariant (LfsChecker in shard mode — imap resolution, usage
+// exactness, address uniqueness, media CRCs, content readability) and then
+// the namespace invariants (rooted acyclic tree, dot entries, nlink,
+// orphans) globally through the router. Problems from shard i are prefixed
+// "shard i:". Requires quiescence, like LfsChecker.
+Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* fs, bool verify_data = true);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_SHARDED_LFS_H_

@@ -9,6 +9,7 @@
 #ifndef LOGFS_SRC_SIM_CPU_MODEL_H_
 #define LOGFS_SRC_SIM_CPU_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/sim/sim_clock.h"
@@ -44,11 +45,14 @@ class CpuModel {
     clock_->Advance(static_cast<double>(instructions) / (mips_ * 1e6));
   }
 
-  uint64_t total_instructions() const { return total_instructions_; }
+  uint64_t total_instructions() const {
+    return total_instructions_.load(std::memory_order_relaxed);
+  }
 
-  // Charge and account (used by the file systems).
+  // Charge and account (used by the file systems; one model may be shared
+  // by every shard of a sharded mount, so the tally is atomic).
   void ChargeTracked(uint64_t instructions) {
-    total_instructions_ += instructions;
+    total_instructions_.fetch_add(instructions, std::memory_order_relaxed);
     Charge(instructions);
   }
 
@@ -56,7 +60,7 @@ class CpuModel {
   SimClock* clock_;
   double mips_;
   CpuCosts costs_;
-  uint64_t total_instructions_ = 0;
+  std::atomic<uint64_t> total_instructions_{0};
 };
 
 }  // namespace logfs

@@ -1,13 +1,23 @@
 // SimClock: the single source of simulated time.
 //
-// logfs is a deterministic single-threaded simulation. All components that
-// consume time (the disk model, the CPU model) advance one shared SimClock;
-// everything that measures time (benchmark harnesses, the cache's write-back
-// age policy, checkpoint intervals) reads it. Wall-clock time never appears
-// in results, which makes every experiment bit-reproducible.
+// logfs started as a deterministic single-threaded simulation. All
+// components that consume time (the disk model, the CPU model) advance one
+// shared SimClock; everything that measures time (benchmark harnesses, the
+// cache's write-back age policy, checkpoint intervals) reads it. Wall-clock
+// time never appears in results, which makes every single-threaded
+// experiment bit-reproducible.
+//
+// The sharded front-end (src/lfs/sharded_lfs.h) runs shard operations from
+// many threads against the one clock, so the counter is atomic: Advance is
+// a CAS add, AdvanceTo a CAS max. Single-threaded callers observe exactly
+// the sequential semantics the plain double had; concurrent callers get a
+// monotone, race-free clock whose advances interleave (each shard's delta
+// is applied exactly once — simulated time then measures the *sum* of
+// concurrent work, which is the single-spindle view the disk model wants).
 #ifndef LOGFS_SRC_SIM_SIM_CLOCK_H_
 #define LOGFS_SRC_SIM_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cassert>
 
 namespace logfs {
@@ -17,23 +27,30 @@ class SimClock {
   SimClock() = default;
 
   // Current simulated time in seconds since simulation start.
-  double Now() const { return now_seconds_; }
+  double Now() const { return now_seconds_.load(std::memory_order_relaxed); }
 
   // Advance time; negative advances are a programming error.
   void Advance(double seconds) {
     assert(seconds >= 0.0);
-    now_seconds_ += seconds;
+    double cur = now_seconds_.load(std::memory_order_relaxed);
+    while (!now_seconds_.compare_exchange_weak(cur, cur + seconds,
+                                               std::memory_order_relaxed)) {
+    }
   }
 
   // Jump directly to a later time (used by workload generators to model
-  // idle periods, e.g. "run the cleaner at night").
+  // idle periods, e.g. "run the cleaner at night"). Under concurrency this
+  // is a max: a target another thread has already passed is a no-op rather
+  // than a step backwards.
   void AdvanceTo(double seconds) {
-    assert(seconds >= now_seconds_);
-    now_seconds_ = seconds;
+    double cur = now_seconds_.load(std::memory_order_relaxed);
+    while (cur < seconds && !now_seconds_.compare_exchange_weak(
+                                cur, seconds, std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  double now_seconds_ = 0.0;
+  std::atomic<double> now_seconds_{0.0};
 };
 
 // Deterministic fixed-interval cadence: Due(now) reports whether the next
@@ -41,7 +58,8 @@ class SimClock {
 // call is always due, and a large jump in `now` (idle period, AdvanceTo)
 // fires once rather than once per missed interval — periodic consumers like
 // the telemetry sampler want "at most one per interval", never a catch-up
-// burst that would distort rate computation.
+// burst that would distort rate computation. Not itself thread-safe: every
+// timer instance belongs to one component (one shard), whose lock covers it.
 class PeriodicTimer {
  public:
   explicit PeriodicTimer(double interval_seconds) : interval_(interval_seconds) {}

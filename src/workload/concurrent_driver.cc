@@ -1,0 +1,260 @@
+#include "src/workload/concurrent_driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/util/status.h"
+
+namespace logfs {
+namespace {
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+// Deterministic content for (name, version): every byte derivable from the
+// header, so verification needs only the expectation table.
+void FillPattern(std::string_view name, uint32_t version, std::span<std::byte> out) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : name) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  h = (h ^ version) * 1099511628211ull;
+  if (h == 0) {
+    h = 1;
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i % 8 == 0) {
+      XorShift(&h);
+    }
+    out[i] = static_cast<std::byte>(h >> (8 * (i % 8)));
+  }
+}
+
+struct Expected {
+  uint32_t version = 0;
+  uint64_t size = 0;
+  // The name the content was generated under: FillPattern keys on the
+  // name at write time, and a rename changes the dirent, not the bytes.
+  std::string content_name;
+};
+
+struct ThreadState {
+  InodeNum dir = kRootIno;
+  std::unordered_map<std::string, Expected> files;
+  ConcurrentLoadReport local;
+};
+
+}  // namespace
+
+Result<ConcurrentLoadReport> RunConcurrentLoad(FileSystem* fs,
+                                               const ConcurrentLoadOptions& options) {
+  if (options.threads == 0 || options.names_per_thread == 0) {
+    return InvalidArgumentError("threads and names_per_thread must be positive");
+  }
+  std::vector<ThreadState> states(options.threads);
+  // Working directories are created up front, single-threaded, so the
+  // concurrent phase starts from a deterministic namespace.
+  for (uint32_t t = 0; t < options.threads; ++t) {
+    if (options.shared_root) {
+      states[t].dir = fs->root();
+    } else {
+      ASSIGN_OR_RETURN(states[t].dir, fs->Create(fs->root(), "w" + std::to_string(t),
+                                                 FileType::kDirectory));
+    }
+  }
+
+  auto worker = [&](uint32_t t) {
+    ThreadState& st = states[t];
+    ConcurrentLoadReport& r = st.local;
+    uint64_t rng = options.seed * 0x9E3779B97F4A7C15ull + t + 1;
+    auto note = [&r](std::string msg) {
+      ++r.unexpected_errors;
+      if (r.problems.size() < 8) {
+        r.problems.push_back(std::move(msg));
+      }
+    };
+    std::vector<std::byte> buf;
+    for (uint32_t op = 0; op < options.ops_per_thread; ++op) {
+      const uint64_t roll = XorShift(&rng) % 100;
+      const std::string name =
+          "f" + std::to_string(t) + "_" + std::to_string(XorShift(&rng) % options.names_per_thread);
+      auto it = st.files.find(name);
+      if (roll < 45 || st.files.empty()) {
+        // Write (creating if new): bump the version, rewrite the content.
+        const uint32_t version = it == st.files.end() ? 1 : it->second.version + 1;
+        const uint64_t size =
+            (1 + XorShift(&rng) % options.max_file_blocks) * options.write_block_bytes;
+        Result<InodeNum> ino = fs->Lookup(st.dir, name);
+        if (!ino.ok()) {
+          ino = fs->Create(st.dir, name, FileType::kRegular);
+          if (ino.ok()) {
+            ++r.creates;
+          }
+        }
+        if (!ino.ok()) {
+          note("create " + name + ": " + ino.status().ToString());
+          continue;
+        }
+        buf.resize(size);
+        FillPattern(name, version, buf);
+        Result<uint64_t> n = fs->Write(*ino, 0, buf);
+        if (!n.ok() || *n != size) {
+          note("write " + name + ": " + n.status().ToString());
+          continue;
+        }
+        if (it != st.files.end() && it->second.size > size) {
+          if (Status s = fs->Truncate(*ino, size); !s.ok()) {
+            note("truncate " + name + ": " + s.ToString());
+            continue;
+          }
+        }
+        st.files[name] = Expected{version, size, name};
+        ++r.writes;
+        r.bytes_written += size;
+        if (options.fsync_interval != 0 && r.writes % options.fsync_interval == 0) {
+          if (Status s = fs->Fsync(*ino); s.ok()) {
+            ++r.fsyncs;
+          } else {
+            note("fsync " + name + ": " + s.ToString());
+          }
+        }
+      } else if (roll < 70) {
+        // Read back a file this thread owns and verify its bytes.
+        if (it == st.files.end()) {
+          continue;
+        }
+        Result<InodeNum> ino = fs->Lookup(st.dir, name);
+        if (!ino.ok()) {
+          note("lookup " + name + ": " + ino.status().ToString());
+          continue;
+        }
+        buf.resize(it->second.size);
+        Result<uint64_t> n = fs->Read(*ino, 0, buf);
+        if (!n.ok() || *n != it->second.size) {
+          note("read " + name + ": " + n.status().ToString());
+          continue;
+        }
+        std::vector<std::byte> want(it->second.size);
+        FillPattern(it->second.content_name, it->second.version, want);
+        if (std::memcmp(buf.data(), want.data(), want.size()) != 0) {
+          note("content mismatch in " + name + " v" + std::to_string(it->second.version));
+          continue;
+        }
+        ++r.reads;
+        r.bytes_read += *n;
+      } else if (roll < 80) {
+        if (it == st.files.end()) {
+          continue;
+        }
+        if (Status s = fs->Unlink(st.dir, name); s.ok()) {
+          st.files.erase(it);
+          ++r.unlinks;
+        } else {
+          note("unlink " + name + ": " + s.ToString());
+        }
+      } else if (roll < 90) {
+        // Rename within this thread's directory (possibly replacing).
+        if (it == st.files.end()) {
+          continue;
+        }
+        const std::string to = "f" + std::to_string(t) + "_" +
+                               std::to_string(XorShift(&rng) % options.names_per_thread);
+        if (to == name) {
+          continue;
+        }
+        if (Status s = fs->Rename(st.dir, name, st.dir, to); s.ok()) {
+          const Expected moved = it->second;  // Copy: the insert below may rehash.
+          st.files.erase(it);
+          st.files[to] = moved;
+          ++r.renames;
+        } else {
+          note("rename " + name + " -> " + to + ": " + s.ToString());
+        }
+      } else {
+        if (it == st.files.end()) {
+          continue;
+        }
+        Result<InodeNum> ino = fs->Lookup(st.dir, name);
+        if (!ino.ok()) {
+          note("lookup " + name + ": " + ino.status().ToString());
+          continue;
+        }
+        Result<FileStat> stat = fs->Stat(*ino);
+        if (!stat.ok() || stat->size != it->second.size) {
+          note("stat " + name + " size mismatch");
+        }
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (options.threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(options.threads);
+    for (uint32_t t = 0; t < options.threads; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& th : threads) {
+      th.join();
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ConcurrentLoadReport report;
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  for (ThreadState& st : states) {
+    report.creates += st.local.creates;
+    report.writes += st.local.writes;
+    report.reads += st.local.reads;
+    report.fsyncs += st.local.fsyncs;
+    report.unlinks += st.local.unlinks;
+    report.renames += st.local.renames;
+    report.bytes_written += st.local.bytes_written;
+    report.bytes_read += st.local.bytes_read;
+    report.unexpected_errors += st.local.unexpected_errors;
+    for (std::string& p : st.local.problems) {
+      if (report.problems.size() < 16) {
+        report.problems.push_back(std::move(p));
+      }
+    }
+  }
+
+  // Single-threaded final sweep: every file each thread believes exists
+  // must be present with exactly the last-written content.
+  std::vector<std::byte> buf;
+  for (uint32_t t = 0; t < options.threads; ++t) {
+    for (const auto& [name, want] : states[t].files) {
+      Result<InodeNum> ino = fs->Lookup(states[t].dir, name);
+      if (!ino.ok()) {
+        report.problems.push_back("final: " + name + " missing");
+        continue;
+      }
+      buf.resize(want.size);
+      Result<uint64_t> n = fs->Read(*ino, 0, buf);
+      if (!n.ok() || *n != want.size) {
+        report.problems.push_back("final: " + name + " unreadable");
+        continue;
+      }
+      std::vector<std::byte> expect(want.size);
+      FillPattern(want.content_name, want.version, expect);
+      if (std::memcmp(buf.data(), expect.data(), expect.size()) != 0) {
+        report.problems.push_back("final: " + name + " content mismatch");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace logfs

@@ -1,0 +1,71 @@
+// ConcurrentDriver: a deterministic multi-threaded workload for exercising
+// a thread-safe FileSystem front-end (src/lfs/sharded_lfs.h).
+//
+// N worker threads run a mixed create/write/read/fsync/unlink/rename
+// stream. Each thread owns a private working set (its own directory and
+// file-name space by default), tracks the expected content of every file it
+// has written, and verifies every read against that expectation — so data
+// races that scramble content, lose writes, or cross-wire caches surface as
+// verification failures, not just crashes. A single-threaded sweep after
+// the workers join re-verifies every surviving file through the same mount.
+//
+// Everything is deterministic per (seed, thread): names, sizes, contents
+// and op mix derive from an xorshift64 stream, so a failure reproduces.
+// Thread *interleaving* is of course not deterministic — that is the point:
+// run under TSan (tools/check_tsan.sh) to turn interleavings into reports.
+#ifndef LOGFS_SRC_WORKLOAD_CONCURRENT_DRIVER_H_
+#define LOGFS_SRC_WORKLOAD_CONCURRENT_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fsbase/file_system.h"
+#include "src/util/result.h"
+
+namespace logfs {
+
+struct ConcurrentLoadOptions {
+  uint32_t threads = 4;
+  uint32_t ops_per_thread = 200;
+  // File sizes are 1..max_file_blocks "blocks" of write_block_bytes.
+  uint32_t max_file_blocks = 4;
+  uint32_t write_block_bytes = 4096;
+  // Every k-th write is followed by Fsync (0 disables).
+  uint32_t fsync_interval = 8;
+  // All threads share the root directory instead of one directory per
+  // thread — maximum namespace contention on one (shard-homed) directory.
+  bool shared_root = false;
+  uint64_t seed = 1;
+  // Distinct file names per thread (bounded so unlink/rename hit).
+  uint32_t names_per_thread = 32;
+};
+
+struct ConcurrentLoadReport {
+  uint64_t creates = 0;
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t fsyncs = 0;
+  uint64_t unlinks = 0;
+  uint64_t renames = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t unexpected_errors = 0;
+  // Host wall-clock seconds of the threaded phase (the figure of merit for
+  // bench_shard_scaling; simulated time is meaningless across threads).
+  double wall_seconds = 0.0;
+  // Content mismatches and unexpected errors (first few, with context).
+  std::vector<std::string> problems;
+
+  bool ok() const { return unexpected_errors == 0 && problems.empty(); }
+};
+
+// Runs the workload. The file system must be safe for concurrent calls
+// when options.threads > 1. Leaves the created files in place (callers
+// remount/check afterwards); returns the report.
+Result<ConcurrentLoadReport> RunConcurrentLoad(FileSystem* fs,
+                                               const ConcurrentLoadOptions& options);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_WORKLOAD_CONCURRENT_DRIVER_H_

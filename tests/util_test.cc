@@ -157,6 +157,62 @@ TEST(Crc32Test, Slice8MatchesBytewiseUnderRandomStreaming) {
   }
 }
 
+TEST(Crc32Test, HardwareKernelKnownAnswers) {
+  // The dispatched kernel (PCLMULQDQ folding on x86-64, the ARMv8 CRC32
+  // extension on aarch64, slice-by-8 where neither exists) must hit the
+  // same standard check values as the reference. Exercised regardless of
+  // host support: Crc32UpdateHw always resolves to something.
+  auto hw_crc = [](std::span<const std::byte> data) {
+    return Crc32Finalize(Crc32UpdateHw(Crc32Init(), data));
+  };
+  const char* s = "123456789";
+  EXPECT_EQ(hw_crc(std::as_bytes(std::span<const char>(s, 9))), 0xCBF43926u);
+  // Sizes that cross the folding kernel's structural boundaries: below the
+  // 64-byte minimum, exact multiples of 64, the 16-byte single-fold path,
+  // and ragged tails peeled back to the table kernel.
+  for (size_t size : {0u, 1u, 7u, 15u, 16u, 63u, 64u, 65u, 80u, 112u, 128u,
+                      192u, 255u, 256u, 1024u, 4096u, 65536u, 65543u}) {
+    std::vector<std::byte> data(size);
+    for (size_t i = 0; i < size; ++i) {
+      data[i] = static_cast<std::byte>((i * 131 + 89) & 0xFF);
+    }
+    EXPECT_EQ(hw_crc(data), Crc32Finalize(Crc32UpdateBytewise(Crc32Init(), data)))
+        << "size " << size << " backend " << Crc32Backend();
+  }
+}
+
+TEST(Crc32Test, AllKernelsAgreeUnderRandomStreaming) {
+  // Same random buffers, random chunk seams, three kernels — and the
+  // streaming pass rotates kernels between chunks, since all share one
+  // running-state convention.
+  Rng rng(0xC5C33u);
+  for (int round = 0; round < 30; ++round) {
+    const size_t size = rng.NextInRange(0, 20000);
+    std::vector<std::byte> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.NextBelow(256));
+    }
+    const uint32_t reference = Crc32UpdateBytewise(Crc32Init(), data);
+    EXPECT_EQ(Crc32UpdateSlice8(Crc32Init(), data), reference);
+    EXPECT_EQ(Crc32UpdateHw(Crc32Init(), data), reference);
+
+    uint32_t mixed = Crc32Init();
+    int kernel = 0;
+    for (size_t pos = 0; pos < size;) {
+      const size_t chunk = std::min<size_t>(rng.NextInRange(1, 300), size - pos);
+      std::span<const std::byte> piece = std::span(data).subspan(pos, chunk);
+      switch (kernel++ % 3) {
+        case 0: mixed = Crc32UpdateBytewise(mixed, piece); break;
+        case 1: mixed = Crc32UpdateSlice8(mixed, piece); break;
+        default: mixed = Crc32UpdateHw(mixed, piece); break;
+      }
+      pos += chunk;
+    }
+    EXPECT_EQ(mixed, reference) << "round " << round << " size " << size
+                                << " backend " << Crc32Backend();
+  }
+}
+
 TEST(Crc32Test, DetectsBitFlip) {
   std::vector<std::byte> data(64, std::byte{0xAB});
   uint32_t before = Crc32(data);

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Proves the sharded front-end is race-free under ThreadSanitizer:
+# configures a separate build tree with -DLOGFS_SANITIZE=thread, builds,
+# and runs the concurrent suite (`ctest -L concurrent`) — many OS threads
+# driving one sharded mount through create/write/read/rename/unlink with
+# the built-in content checker. TSan halts on the first data race, so a
+# green run is a real absence-of-races witness for every interleaving the
+# suite explored.
+#
+# The address/undefined sweep for the single-threaded robustness surfaces
+# lives in a second tree: `ctest -L "crash|fault|serve"` under
+# -DLOGFS_SANITIZE=address,undefined (pass --asan to run it too).
+#
+# Usage: tools/check_tsan.sh [--asan] [build-dir]   (default: build-tsan)
+set -e
+cd "$(dirname "$0")/.."
+
+RUN_ASAN=0
+if [ "$1" = "--asan" ]; then
+  RUN_ASAN=1
+  shift
+fi
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DLOGFS_SANITIZE=thread >/dev/null
+cmake --build "$BUILD_DIR" -j --target sharded_concurrent_test
+(cd "$BUILD_DIR" && ctest --output-on-failure -L concurrent)
+
+# The scaling bench is the other genuinely multi-threaded binary; its smoke
+# sweep under TSan covers the shard router + host-latency device path.
+cmake --build "$BUILD_DIR" -j --target bench_shard_scaling >/dev/null
+"$BUILD_DIR"/bench/bench_shard_scaling --smoke --out "$BUILD_DIR"/BENCH_PR7.tsan.json
+
+echo "LOGFS_SANITIZE=thread: concurrent suite + scaling bench race-free"
+
+if [ "$RUN_ASAN" = "1" ]; then
+  cmake -B build-asan -S . -DLOGFS_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -L "crash|fault|serve")
+  echo "LOGFS_SANITIZE=address,undefined: crash|fault|serve sweep clean"
+fi

@@ -1,0 +1,371 @@
+// Trace-attribution bench (PR 8): where does a request's latency actually
+// go, and what does finding out cost?
+//
+// Three sections, one JSON report (BENCH_PR8.json):
+//
+//   serve_points — a client-count sweep of the lossy shared-file cluster.
+//     Every completed request is traced end-to-end, its critical path
+//     partitioned into the eight canonical classes, and the sweep reports
+//     each layer's share of total latency (network / retransmit /
+//     dedup_parked / lease_wait / disk / cleaner / cache) plus the SLO view
+//     (p50/p99, violations against a 50 ms target) and the wasted-attempt
+//     count. This is the chart that shows contention moving: at 2 clients
+//     latency is disk and wire; at 16 it is lease waits.
+//
+//   shard_points — a shard-count sweep of the threaded sharded mount, all
+//     threads hammering the same two hot files under TraceRoot. Reports the
+//     shard_lock share of the critical path as shards grow (the lock time
+//     the router's sharding exists to shrink).
+//
+//   tracer_self_cost — the recorder's own price: host ns per recorded span
+//     with tracing enabled, and host ns per op with the runtime gate off
+//     (the mint-check-skip path, which is what production pays when tracing
+//     is dormant). Compiled out (LOGFS_METRICS=OFF) both are ~0 by
+//     construction.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/lfs/sharded_lfs.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
+#include "src/obs/tracer.h"
+#include "src/serve/cluster.h"
+#include "src/serve/driver.h"
+#include "src/workload/serve_load.h"
+
+namespace logfs {
+namespace {
+
+double HostNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(sorted.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+struct ClassShares {
+  double seconds[obs::kPathClassCount] = {};
+  double total = 0.0;
+
+  void Add(const obs::Breakdown& b) {
+    for (size_t c = 0; c < obs::kPathClassCount; ++c) seconds[c] += b.seconds[c];
+    total += b.total_seconds;
+  }
+  double Share(size_t c) const { return total > 0 ? seconds[c] / total : 0.0; }
+};
+
+void AppendShares(std::ostream& out, const ClassShares& shares) {
+  out << "{";
+  for (size_t c = 0; c < obs::kPathClassCount; ++c) {
+    out << (c ? ", " : "") << "\"" << obs::PathClassName(static_cast<obs::PathClass>(c))
+        << "\": " << shares.Share(c);
+  }
+  out << "}";
+}
+
+struct ServePoint {
+  size_t clients = 0;
+  uint64_t ops = 0;
+  size_t traces = 0;
+  double sim_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t slo_violations = 0;
+  uint64_t wasted_attempts = 0;
+  ClassShares shares;
+  double host_seconds = 0.0;
+};
+
+int RunServeSweep(bool smoke, std::vector<ServePoint>* points) {
+  const std::vector<size_t> sweep =
+      smoke ? std::vector<size_t>{2, 4} : std::vector<size_t>{2, 4, 8, 16};
+  const uint64_t ops_total = smoke ? 120 : 1200;
+  constexpr double kSloTargetSeconds = 0.050;
+
+  for (size_t n : sweep) {
+    const double host_start = HostNow();
+    obs::Registry().ResetAll();
+    obs::Tracer().Clear();
+
+    serve::ServeClusterParams params;
+    params.clients = n;
+    params.transport.drop_probability = 0.05;
+    auto cluster = serve::ServeCluster::Create(params);
+    if (!cluster.ok()) {
+      std::cerr << "cluster create failed: " << cluster.status().ToString() << "\n";
+      return 1;
+    }
+    serve::ServeCluster& c = **cluster;
+
+    ServeLoadParams lp;
+    lp.clients = n;
+    lp.files = 8;
+    lp.zipf_s = 0.9;
+    lp.ops_per_client = std::max<uint64_t>(8, ops_total / n);
+    lp.write_fraction = 0.4;
+    lp.io_size = 4096;
+    lp.mean_think_seconds = 0.01;
+    lp.seed = 23;
+    auto stats = serve::DriveSharedLoad(c, MakeSharedLoad(lp));
+    if (!stats.ok()) {
+      std::cerr << "drive failed at " << n << " clients: " << stats.status().ToString()
+                << "\n";
+      return 1;
+    }
+    if (c.shadow().violation_count() != 0) {
+      std::cerr << "shadow violation at " << n << " clients\n";
+      return 1;
+    }
+
+    ServePoint pt;
+    pt.clients = n;
+    pt.ops = stats->ops_completed;
+    pt.sim_seconds = c.clock()->Now();
+
+    const std::vector<obs::TraceTree> trees =
+        obs::AssembleTraceTrees(obs::Tracer().Events());
+    obs::SloTracker slo(kSloTargetSeconds);
+    std::vector<double> latencies;
+    for (const obs::TraceTree& tree : trees) {
+      const obs::Breakdown b = obs::AnalyzeCriticalPath(tree);
+      if (b.category != "serve.op") continue;
+      ++pt.traces;
+      pt.shares.Add(b);
+      slo.Observe(b);
+      latencies.push_back(b.total_seconds);
+      if (b.total_seconds > kSloTargetSeconds) ++pt.slo_violations;
+    }
+    slo.Publish();
+    std::sort(latencies.begin(), latencies.end());
+    pt.p50_ms = 1e3 * Percentile(latencies, 0.50);
+    pt.p99_ms = 1e3 * Percentile(latencies, 0.99);
+    if (const obs::Counter* wasted =
+            obs::Registry().FindCounter("logfs.serve.rpc.wasted_attempts")) {
+      pt.wasted_attempts = wasted->Value();
+    }
+    pt.host_seconds = HostNow() - host_start;
+    points->push_back(pt);
+    std::cout << "  serve clients=" << n << " ops=" << pt.ops << " traces=" << pt.traces
+              << " p50=" << pt.p50_ms << "ms p99=" << pt.p99_ms << "ms lease_wait="
+              << pt.shares.Share(static_cast<size_t>(obs::PathClass::kLeaseWait))
+              << " retransmit="
+              << pt.shares.Share(static_cast<size_t>(obs::PathClass::kRetransmit))
+              << " wasted=" << pt.wasted_attempts << " (" << pt.host_seconds
+              << "s host)\n";
+  }
+  return 0;
+}
+
+struct ShardPoint {
+  uint32_t shards = 0;
+  int threads = 0;
+  uint64_t ops = 0;
+  ClassShares shares;
+  double host_seconds = 0.0;
+};
+
+int RunShardSweep(bool smoke, std::vector<ShardPoint>* points) {
+  // Real contention needs real overlap: each thread's loop must outlast a
+  // scheduler quantum (on a single-CPU host a short loop runs to completion
+  // inside one time slice and no thread ever blocks), hence the op counts
+  // and the start barrier. The measured shares are host-dependent, like
+  // every wall-clock number in this file.
+  const std::vector<uint32_t> sweep =
+      smoke ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4};
+  const int threads = 4;
+  const int ops_per_thread = smoke ? 200 : 2000;
+
+  for (uint32_t shards : sweep) {
+    const double host_start = HostNow();
+    obs::Registry().ResetAll();
+    obs::Tracer().Clear();
+
+    SimClock clock;
+    CpuModel cpu(&clock, 10.0);
+    MemoryDisk disk(131072, &clock);
+    LfsParams params;
+    params.max_inodes = 4096;
+    params.segment_size = 1 << 19;
+    params.clean_start_segments = 3;
+    params.clean_stop_segments = 5;
+    params.reserved_segments = 2;
+    if (!ShardedLfs::Format(&disk, params, shards).ok()) return 1;
+    auto mounted = ShardedLfs::Mount(&disk, &clock, &cpu);
+    if (!mounted.ok()) return 1;
+    std::unique_ptr<ShardedLfs> fs = std::move(mounted).value();
+
+    std::vector<InodeNum> files;
+    for (int i = 0; i < 2; ++i) {
+      auto created = fs->Create(1, "hot" + std::to_string(i), FileType::kRegular);
+      if (!created.ok()) return 1;
+      files.push_back(*created);
+    }
+
+    std::atomic<int> ready{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < threads) std::this_thread::yield();
+        std::vector<std::byte> buf(4096, std::byte{static_cast<unsigned char>(t)});
+        for (int i = 0; i < ops_per_thread; ++i) {
+          // Fsync every few writes: without it everything stays in the
+          // buffer cache, the sim clock barely moves inside the lock, and
+          // there is nothing to attribute. The sync puts real device time
+          // under the held section — and real waits on the threads stuck
+          // behind it.
+          obs::TraceRoot root(&clock, "bench.op",
+                              i % 3 == 0 ? "read" : (i % 4 == 3 ? "fsync" : "write"));
+          InodeNum ino = files[i % files.size()];
+          if (i % 3 == 0) {
+            (void)fs->Read(ino, 0, buf);
+          } else {
+            (void)fs->Write(ino, uint64_t(i % 8) * 4096, buf);
+            if (i % 4 == 3) (void)fs->Fsync(ino);
+          }
+        }
+      });
+    }
+    for (auto& th : workers) th.join();
+
+    ShardPoint pt;
+    pt.shards = shards;
+    pt.threads = threads;
+    pt.ops = static_cast<uint64_t>(threads) * ops_per_thread;
+    for (const obs::TraceTree& tree :
+         obs::AssembleTraceTrees(obs::Tracer().Events())) {
+      const obs::Breakdown b = obs::AnalyzeCriticalPath(tree);
+      if (b.category == "bench.op") pt.shares.Add(b);
+    }
+    pt.host_seconds = HostNow() - host_start;
+    points->push_back(pt);
+    std::cout << "  shards=" << shards << " threads=" << threads << " ops=" << pt.ops
+              << " shard_lock_share="
+              << pt.shares.Share(static_cast<size_t>(obs::PathClass::kShardLock))
+              << " disk_share="
+              << pt.shares.Share(static_cast<size_t>(obs::PathClass::kDisk)) << " ("
+              << pt.host_seconds << "s host)\n";
+  }
+  return 0;
+}
+
+struct SelfCost {
+  double enabled_ns_per_span = 0.0;
+  double disabled_ns_per_op = 0.0;
+};
+
+SelfCost MeasureSelfCost(bool smoke) {
+  SelfCost cost;
+  const int iters = smoke ? 50'000 : 500'000;
+  obs::Tracer().Clear();
+  obs::Tracer().SetCapacity(4096);
+
+  obs::SetTracingEnabled(true);
+  double t0 = HostNow();
+  for (int i = 0; i < iters; ++i) {
+    const obs::TraceContext ctx = obs::MintTrace();
+    if (ctx.active()) {
+      obs::Tracer().RecordSpanIds("bench", "span", 0.0, 1e-6, ctx.trace_id,
+                                  ctx.span_id, 0);
+    }
+  }
+  cost.enabled_ns_per_span = (HostNow() - t0) / iters * 1e9;
+
+  obs::SetTracingEnabled(false);
+  t0 = HostNow();
+  for (int i = 0; i < iters; ++i) {
+    // The dormant path every call site pays with the gate off: mint returns
+    // the inactive context and the active() check skips the record.
+    const obs::TraceContext ctx = obs::MintTrace();
+    if (ctx.active()) {
+      obs::Tracer().RecordSpanIds("bench", "span", 0.0, 1e-6, ctx.trace_id,
+                                  ctx.span_id, 0);
+    }
+  }
+  cost.disabled_ns_per_op = (HostNow() - t0) / iters * 1e9;
+  obs::SetTracingEnabled(true);
+  obs::Tracer().Clear();
+  obs::Tracer().SetCapacity(65536);
+  return cost;
+}
+
+int RunBench(bool smoke, const std::string& out_path) {
+  std::cout << "=== Trace attribution bench (" << (smoke ? "smoke" : "full")
+            << "): critical-path shares + tracer self-cost ===\n"
+            << "metrics_enabled=" << (obs::kMetricsEnabled ? "true" : "false") << "\n";
+
+  std::vector<ServePoint> serve_points;
+  if (int rc = RunServeSweep(smoke, &serve_points); rc != 0) return rc;
+  std::vector<ShardPoint> shard_points;
+  if (int rc = RunShardSweep(smoke, &shard_points); rc != 0) return rc;
+  const SelfCost cost = MeasureSelfCost(smoke);
+  std::cout << "  tracer self-cost: " << cost.enabled_ns_per_span
+            << " ns/span enabled, " << cost.disabled_ns_per_op
+            << " ns/op gated off\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"trace_attribution\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"metrics_enabled\": " << (obs::kMetricsEnabled ? "true" : "false") << ",\n"
+      << "  \"slo_target_ms\": 50,\n"
+      << "  \"serve_points\": [\n";
+  for (size_t i = 0; i < serve_points.size(); ++i) {
+    const ServePoint& p = serve_points[i];
+    out << "    {\"clients\": " << p.clients << ", \"ops\": " << p.ops
+        << ", \"traces\": " << p.traces << ", \"sim_seconds\": " << p.sim_seconds
+        << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+        << ", \"slo_violations\": " << p.slo_violations
+        << ", \"wasted_attempts\": " << p.wasted_attempts << ", \"shares\": ";
+    AppendShares(out, p.shares);
+    out << ", \"host_seconds\": " << p.host_seconds << "}"
+        << (i + 1 < serve_points.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"shard_points\": [\n";
+  for (size_t i = 0; i < shard_points.size(); ++i) {
+    const ShardPoint& p = shard_points[i];
+    out << "    {\"shards\": " << p.shards << ", \"threads\": " << p.threads
+        << ", \"ops\": " << p.ops << ", \"shares\": ";
+    AppendShares(out, p.shares);
+    out << ", \"host_seconds\": " << p.host_seconds << "}"
+        << (i + 1 < shard_points.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"tracer_self_cost\": {\"enabled_ns_per_span\": "
+      << cost.enabled_ns_per_span
+      << ", \"disabled_ns_per_op\": " << cost.disabled_ns_per_op << "}\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace logfs
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_PR8.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return logfs::RunBench(smoke, out_path);
+}

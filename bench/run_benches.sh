@@ -10,7 +10,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve --target bench_shard_scaling >/dev/null
+cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve --target bench_shard_scaling --target bench_trace_attribution >/dev/null
 
 # The metrics snapshot lands next to the timing JSON so a BENCH_*.json
 # trajectory carries the counters that explain it (flushes, fill levels,
@@ -29,3 +29,8 @@ cmake --build build -j --target bench_writepath --target bench_telemetry --targe
 # The sharded multi-log scaling bench: host wall-clock write throughput
 # over shards {1,2,4} x threads {1,2,4} driven by real OS threads.
 ./build/bench/bench_shard_scaling "$@" --out BENCH_PR7.json
+
+# The trace-attribution bench: per-layer critical-path shares over a client
+# sweep and a shard sweep, plus the tracer's own ns/span cost (enabled vs
+# runtime-gated off).
+./build/bench/bench_trace_attribution "$@" --out BENCH_PR8.json

@@ -18,17 +18,27 @@
 //                                              the raw image, mount not needed
 //      ./build/examples/lfs_inspect serve      lease table, parked queue, and
 //                                              client caches of a live cluster
+//      ./build/examples/lfs_inspect slo        per-op latency percentiles and
+//                                              critical-path class totals of a
+//                                              traced lossy-cluster run
+//      ./build/examples/lfs_inspect trace-tree [id]
+//                                              one request's span tree with its
+//                                              8-class latency attribution
+//                                              (default: the slowest request)
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "src/disk/memory_disk.h"
 #include "src/fsbase/path.h"
 #include "src/lfs/lfs_blackbox.h"
+#include "src/obs/critical_path.h"
 #include "src/lfs/lfs_file_system.h"
 #include "src/lfs/lfs_segment.h"
 #include "src/lfs/sharded_lfs.h"
@@ -690,7 +700,173 @@ int RunShards() {
   return 0;
 }
 
-int Run(const char* verb) {
+// Shared rig for the tracing verbs: a lossy 4-client cluster under a seeded
+// Zipf load, so the trees show every attribution class at once — dropped
+// attempts (retransmit), recalls and fairness barriers (lease_wait), dedup
+// absorption, and the LFS's own disk/cleaner/cache split.
+int RunTraced(const char* verb, const char* arg) {
+  if (!obs::kMetricsEnabled) {
+    std::cerr << "tracing is compiled out (built with LOGFS_METRICS=OFF)\n";
+    return 1;
+  }
+  using namespace logfs::serve;
+  ServeClusterParams params;
+  params.clients = 4;
+  params.transport.drop_probability = 0.05;
+  auto cluster = ServeCluster::Create(params);
+  if (!cluster.ok()) {
+    std::cerr << "cluster create failed: " << cluster.status().ToString() << "\n";
+    return 1;
+  }
+  ServeCluster& c = **cluster;
+  {
+    PathFs pathfs(c.fs());
+    (void)pathfs.MkdirAll("/shared");
+  }
+  logfs::ServeLoadParams lp;
+  lp.clients = 4;
+  lp.files = 8;
+  lp.ops_per_client = 60;
+  lp.write_fraction = 0.4;
+  lp.mean_think_seconds = 0.005;
+  auto stats = DriveSharedLoad(c, logfs::MakeSharedLoad(lp));
+  if (!stats.ok()) {
+    std::cerr << "load failed: " << stats.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::vector<obs::TraceEvent> events = obs::Tracer().Events();
+  const std::vector<obs::TraceTree> trees = obs::AssembleTraceTrees(events);
+  obs::SloTracker slo(/*target_seconds=*/0.050);
+  std::vector<obs::Breakdown> breakdowns;
+  breakdowns.reserve(trees.size());
+  for (const obs::TraceTree& tree : trees) {
+    obs::Breakdown b = obs::AnalyzeCriticalPath(tree);
+    if (b.category == "serve.op") {  // User requests only; flushes ride along.
+      slo.Observe(b);
+    }
+    breakdowns.push_back(std::move(b));
+  }
+  slo.Publish();
+
+  if (std::strcmp(verb, "slo") == 0) {
+    std::cout << "traced " << trees.size() << " traces over "
+              << stats->ops_completed << " completed ops ("
+              << c.transport()->dropped() << " messages dropped)\n\n";
+    const obs::MetricsSnapshot snap = obs::Registry().Snapshot();
+    auto gauge = [&snap](const std::string& name) {
+      auto it = snap.gauges.find(name);
+      return it == snap.gauges.end() ? 0.0 : it->second;
+    };
+    auto counter = [&snap](const std::string& name) -> uint64_t {
+      auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0 : it->second;
+    };
+    std::cout << "SLO target: " << gauge("logfs.slo.target_us") << " us\n\n";
+    std::set<std::string> ops;
+    for (const obs::Breakdown& b : breakdowns) {
+      if (b.category == "serve.op") {
+        ops.insert(b.op);
+      }
+    }
+    TablePrinter table({"op", "count", "p50_us", "p99_us", "violations"});
+    for (const std::string& op : ops) {
+      const std::string prefix = "logfs.slo." + op;
+      auto hist = snap.histograms.find(prefix + ".latency_us");
+      const uint64_t count =
+          hist == snap.histograms.end() ? 0 : hist->second.count;
+      table.AddRow({op, TablePrinter::Int(count),
+                    TablePrinter::Fixed(gauge(prefix + ".p50_us"), 0),
+                    TablePrinter::Fixed(gauge(prefix + ".p99_us"), 0),
+                    TablePrinter::Int(counter(prefix + ".violations"))});
+    }
+    table.Print(std::cout);
+    std::cout << "\ncritical-path time by class (logfs.path.*, all ops):\n";
+    TablePrinter classes({"class", "total_us", "share"});
+    double class_us[obs::kPathClassCount] = {};
+    double total_us = 0.0;
+    for (const obs::Breakdown& b : breakdowns) {
+      if (b.category != "serve.op") {
+        continue;
+      }
+      for (size_t i = 0; i < obs::kPathClassCount; ++i) {
+        class_us[i] += b.seconds[i] * 1e6;
+        total_us += b.seconds[i] * 1e6;
+      }
+    }
+    for (size_t i = 0; i < obs::kPathClassCount; ++i) {
+      classes.AddRow({obs::PathClassName(static_cast<obs::PathClass>(i)),
+                      TablePrinter::Fixed(class_us[i], 0),
+                      TablePrinter::Fixed(
+                          total_us > 0.0 ? 100.0 * class_us[i] / total_us : 0.0, 1) + "%"});
+    }
+    classes.Print(std::cout);
+    std::cout << "\nwasted RPC attempts: "
+              << counter("logfs.serve.rpc.wasted_attempts") << " of "
+              << counter("logfs.serve.rpc.attempts") << " sent\n";
+    return 0;
+  }
+
+  // trace-tree: one request, rendered as an indented span tree plus its
+  // exact per-class attribution. Default subject: the slowest user op.
+  uint64_t want_id = 0;
+  if (arg != nullptr) {
+    want_id = std::strtoull(arg, nullptr, 10);
+  } else {
+    double slowest = -1.0;
+    for (const obs::Breakdown& b : breakdowns) {
+      if (b.category == "serve.op" && b.total_seconds > slowest) {
+        slowest = b.total_seconds;
+        want_id = b.trace_id;
+      }
+    }
+  }
+  const obs::TraceTree* tree = obs::FindTree(trees, want_id);
+  if (tree == nullptr) {
+    std::cerr << "no trace with id " << want_id << " in the ring ("
+              << trees.size() << " traces held)\n";
+    return 1;
+  }
+  const obs::Breakdown b = obs::AnalyzeCriticalPath(*tree);
+  std::cout << "trace " << b.trace_id << ": " << b.category << "/" << b.op
+            << "  total=" << TablePrinter::Fixed(b.total_seconds * 1e6, 1) << "us\n\n";
+  const double t0 = tree->nodes[tree->root].event.start_seconds;
+  std::function<void(size_t, int)> print = [&](size_t i, int depth) {
+    const obs::TraceEvent& ev = tree->nodes[i].event;
+    std::cout << std::string(static_cast<size_t>(depth) * 2, ' ') << ev.category << "/"
+              << ev.name << "  [" << TablePrinter::Fixed((ev.start_seconds - t0) * 1e6, 1)
+              << "us +" << TablePrinter::Fixed(ev.duration_seconds * 1e6, 1) << "us]";
+    for (const auto& [k, v] : ev.args) {
+      std::cout << " " << k << "=" << v;
+    }
+    if (!ev.links.empty()) {
+      std::cout << " links=";
+      for (size_t l = 0; l < ev.links.size(); ++l) {
+        std::cout << (l > 0 ? "," : "") << ev.links[l];
+      }
+    }
+    std::cout << "\n";
+    for (size_t child : tree->nodes[i].children) {
+      print(child, depth + 1);
+    }
+  };
+  print(tree->root, 0);
+  std::cout << "\ncritical path:\n";
+  for (size_t i = 0; i < obs::kPathClassCount; ++i) {
+    if (b.seconds[i] > 0.0) {
+      std::cout << "  " << std::setw(12) << std::left
+                << obs::PathClassName(static_cast<obs::PathClass>(i))
+                << TablePrinter::Fixed(b.seconds[i] * 1e6, 1) << "us ("
+                << TablePrinter::Fixed(100.0 * b.seconds[i] / b.total_seconds, 1)
+                << "%)\n";
+    }
+  }
+  std::cout << "  sum " << TablePrinter::Fixed(b.Sum() * 1e6, 1) << "us vs total "
+            << TablePrinter::Fixed(b.total_seconds * 1e6, 1) << "us\n";
+  return 0;
+}
+
+int Run(const char* verb, const char* arg) {
   if (verb != nullptr && std::strcmp(verb, "serve") == 0) {
     std::cout << "=== lfs_inspect serve: a lease-based file-service cluster, live ===\n\n";
     return RunServe();
@@ -698,6 +874,14 @@ int Run(const char* verb) {
   if (verb != nullptr && std::strcmp(verb, "shards") == 0) {
     std::cout << "=== lfs_inspect shards: per-log view of the sharded volume ===\n\n";
     return RunShards();
+  }
+  if (verb != nullptr && std::strcmp(verb, "slo") == 0) {
+    std::cout << "=== lfs_inspect slo: latency percentiles and path attribution ===\n\n";
+    return RunTraced(verb, arg);
+  }
+  if (verb != nullptr && std::strcmp(verb, "trace-tree") == 0) {
+    std::cout << "=== lfs_inspect trace-tree: one request's causal span tree ===\n\n";
+    return RunTraced(verb, arg);
   }
   // Build a demonstration volume with history: files, deletions, cleaning.
   SimClock clock;
@@ -750,7 +934,8 @@ int Run(const char* verb) {
     }
     if (verb != nullptr) {
       std::cerr << "unknown verb '" << verb
-                << "' (try: metrics, trace, scrub, top, heatmap, blackbox, serve, shards)\n";
+                << "' (try: metrics, trace, scrub, top, heatmap, blackbox, serve, "
+                   "shards, slo, trace-tree)\n";
       return 2;
     }
 
@@ -774,4 +959,6 @@ int Run(const char* verb) {
 
 }  // namespace
 
-int main(int argc, char** argv) { return Run(argc > 1 ? argv[1] : nullptr); }
+int main(int argc, char** argv) {
+  return Run(argc > 1 ? argv[1] : nullptr, argc > 2 ? argv[2] : nullptr);
+}

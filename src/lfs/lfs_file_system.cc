@@ -9,6 +9,7 @@
 #include "src/lfs/lfs_blackbox.h"
 #include "src/lfs/lfs_cleaner.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
 #include "src/obs/tracer.h"
 #include "src/util/crc32.h"
 #include "src/util/logging.h"
@@ -335,15 +336,26 @@ LfsFileSystem::OpScope::~OpScope() {
   // Ring spans only for ops that did real work (device, cleaner, or retry
   // backoff): pure cache-hit ops would flood the ring — 65536 identical
   // microsecond spans hold under a second of history — while serializing
-  // every operation on the tracer's global mutex.
-  if (disk > 0.0 || cleaner > 0.0 || retry > 0.0) {
-    obs::Tracer().RecordSpan("op", a.name, a.start, end,
-                             {{"disk_us", std::to_string(Micros(disk))},
-                              {"cleaner_us", std::to_string(Micros(cleaner))},
-                              {"retry_us", std::to_string(Micros(retry))},
-                              {"cache_us", std::to_string(Micros(cache))},
-                              {"cache_hits", std::to_string(hits)},
-                              {"cache_misses", std::to_string(misses)}});
+  // every operation on the tracer's global mutex. Exception: an op running
+  // under a trace context is always recorded — its trace tree needs the leaf
+  // regardless, and traced ops are a request-rate (not cache-hit-rate)
+  // population.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (disk > 0.0 || cleaner > 0.0 || retry > 0.0 || ctx.active()) {
+    std::vector<std::pair<std::string, std::string>> args = {
+        {"disk_us", std::to_string(Micros(disk))},
+        {"cleaner_us", std::to_string(Micros(cleaner))},
+        {"retry_us", std::to_string(Micros(retry))},
+        {"cache_us", std::to_string(Micros(cache))},
+        {"cache_hits", std::to_string(hits)},
+        {"cache_misses", std::to_string(misses)}};
+    if (ctx.active()) {
+      obs::Tracer().RecordSpanIds("op", a.name, a.start, end, ctx.trace_id,
+                                  obs::Tracer().NextId(), ctx.span_id, {},
+                                  std::move(args));
+    } else {
+      obs::Tracer().RecordSpan("op", a.name, a.start, end, std::move(args));
+    }
   }
 }
 

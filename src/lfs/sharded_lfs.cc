@@ -12,9 +12,80 @@
 
 #include "src/lfs/lfs_cleaner.h"
 #include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/util/logging.h"
 
 namespace logfs {
+namespace {
+
+void CountLockMicros(const char* name, double seconds) {
+  if constexpr (obs::kMetricsEnabled) {
+    if (seconds > 0.0) {
+      obs::Registry().GetCounter(name).Increment(
+          static_cast<uint64_t>(seconds * 1e6 + 0.5));
+    }
+  } else {
+    (void)name;
+    (void)seconds;
+  }
+}
+
+}  // namespace
+
+// --- shard-lock attribution ----------------------------------------------------
+
+ShardedLfs::Locked::Locked(ShardedLfs* sfs, uint32_t shard)
+    : sfs_(sfs), shard_(shard), lock_(sfs->shards_[shard]->mu, std::defer_lock) {
+  if constexpr (!obs::kMetricsEnabled) {
+    lock_.lock();
+    return;
+  }
+  ctx_ = obs::CurrentTraceContext();
+  const bool multi = sfs_->shards_.size() > 1;
+  if (!multi && !ctx_.active()) {
+    lock_.lock();  // Seed-identical fast path: nothing to attribute.
+    return;
+  }
+  SimClock* clock = sfs_->clock_;
+  const double wait_start = clock != nullptr ? clock->Now() : 0.0;
+  const bool contended = !lock_.try_lock();
+  if (contended) {
+    lock_.lock();
+  }
+  held_start_ = clock != nullptr ? clock->Now() : wait_start;
+  if (multi) {
+    CountLockMicros("logfs.shard.lock.wait_us", held_start_ - wait_start);
+  }
+  if (ctx_.active()) {
+    if (contended && held_start_ > wait_start) {
+      obs::Tracer().RecordSpanIds("shard.lock_wait", "acquire", wait_start,
+                                  held_start_, ctx_.trace_id, obs::Tracer().NextId(),
+                                  ctx_.span_id, {},
+                                  {{"shard", std::to_string(shard_)}});
+    }
+    held_span_ = obs::Tracer().NextId();
+    scope_.emplace(obs::TraceContext{ctx_.trace_id, held_span_});
+  }
+}
+
+ShardedLfs::Locked::~Locked() {
+  if constexpr (obs::kMetricsEnabled) {
+    if (held_span_ == 0 && sfs_->shards_.size() <= 1) {
+      return;  // Fast path took no timestamps.
+    }
+    SimClock* clock = sfs_->clock_;
+    const double end = clock != nullptr ? clock->Now() : held_start_;
+    if (held_span_ != 0) {
+      scope_.reset();  // Restore the caller's ambient context first.
+      obs::Tracer().RecordSpanIds("shard.lock_held", "section", held_start_, end,
+                                  ctx_.trace_id, held_span_, ctx_.span_id, {},
+                                  {{"shard", std::to_string(shard_)}});
+    }
+    if (sfs_->shards_.size() > 1) {
+      CountLockMicros("logfs.shard.lock.held_us", end - held_start_);
+    }
+  }
+}
 
 // --- format / mount ------------------------------------------------------------
 
@@ -57,6 +128,7 @@ Result<std::unique_ptr<ShardedLfs>> ShardedLfs::Mount(BlockDevice* device, SimCl
   RETURN_IF_ERROR(device->ReadSectors(0, first));
   ASSIGN_OR_RETURN(LfsSuperblock sb0, DecodeLfsSuperblock(first));
   auto sfs = std::unique_ptr<ShardedLfs>(new ShardedLfs());
+  sfs->clock_ = clock;
   if (!sb0.sharded()) {
     auto shard = std::make_unique<Shard>();
     ASSIGN_OR_RETURN(shard->fs, LfsFileSystem::Mount(device, clock, cpu, options));
@@ -110,8 +182,34 @@ std::vector<std::unique_lock<std::mutex>> ShardedLfs::LockSet(std::vector<uint32
   want.erase(std::unique(want.begin(), want.end()), want.end());
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(want.size());
+  // Cross-shard acquisition is attributed as one wait covering the whole
+  // ascending sweep: per-shard held spans would misstate the section (the
+  // operation holds the set jointly, not each shard serially).
+  const double start = clock_ != nullptr ? clock_->Now() : 0.0;
+  bool contended = false;
   for (uint32_t i : want) {
-    locks.emplace_back(shards_[i]->mu);
+    std::unique_lock<std::mutex> l(shards_[i]->mu, std::try_to_lock);
+    if (!l.owns_lock()) {
+      contended = true;
+      l.lock();
+    }
+    locks.push_back(std::move(l));
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    const double end = clock_ != nullptr ? clock_->Now() : start;
+    if (shards_.size() > 1) {
+      CountLockMicros("logfs.shard.lock.wait_us", end - start);
+    }
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
+    if (ctx.active() && contended && end > start) {
+      std::string which;
+      for (uint32_t i : want) {
+        which += (which.empty() ? "" : ",") + std::to_string(i);
+      }
+      obs::Tracer().RecordSpanIds("shard.lock_wait", "acquire_set", start, end,
+                                  ctx.trace_id, obs::Tracer().NextId(), ctx.span_id,
+                                  {}, {{"shards", std::move(which)}});
+    }
   }
   return locks;
 }
@@ -126,7 +224,7 @@ Result<bool> ShardedLfs::IsInSubtreeGlobal(InodeNum candidate, InodeNum ancestor
       return false;
     }
     const uint32_t s = ShardOf(cur);
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    Locked lock(this, s);
     ASSIGN_OR_RETURN(DirEntry up, fs(s)->ShardFindEntry(cur, ".."));
     cur = up.ino;
   }
@@ -139,7 +237,7 @@ Result<InodeNum> ShardedLfs::Create(InodeNum dir, std::string_view name, FileTyp
   const uint32_t ds = ShardOf(dir);
   const uint32_t cs = shards_.size() == 1 ? ds : PlaceShard(dir, name, type);
   if (cs == ds) {
-    std::lock_guard<std::mutex> lock(shards_[ds]->mu);
+    Locked lock(this, ds);
     return fs(ds)->Create(dir, name, type);
   }
   auto locks = LockSet({ds, cs});
@@ -156,7 +254,7 @@ Result<InodeNum> ShardedLfs::Create(InodeNum dir, std::string_view name, FileTyp
 
 Result<InodeNum> ShardedLfs::Lookup(InodeNum dir, std::string_view name) {
   const uint32_t s = ShardOf(dir);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->Lookup(dir, name);
 }
 
@@ -166,7 +264,7 @@ Status ShardedLfs::Unlink(InodeNum dir, std::string_view name) {
     // Degenerate fast path: skip the discovery probe — the native op does
     // its own entry lookup, so probing here would double the CPU charge
     // and break shards=1 timing identity with the seed.
-    std::lock_guard<std::mutex> lock(shards_[ds]->mu);
+    Locked lock(this, ds);
     return fs(ds)->Unlink(dir, name);
   }
   for (;;) {
@@ -207,7 +305,7 @@ Status ShardedLfs::Rmdir(InodeNum dir, std::string_view name) {
   const uint32_t ds = ShardOf(dir);
   if (shards_.size() == 1) {
     // Degenerate fast path: see Unlink.
-    std::lock_guard<std::mutex> lock(shards_[ds]->mu);
+    Locked lock(this, ds);
     return fs(ds)->Rmdir(dir, name);
   }
   for (;;) {
@@ -248,7 +346,7 @@ Status ShardedLfs::Link(InodeNum dir, std::string_view name, InodeNum target) {
   const uint32_t ds = ShardOf(dir);
   const uint32_t ts = ShardOf(target);
   if (ts == ds) {
-    std::lock_guard<std::mutex> lock(shards_[ds]->mu);
+    Locked lock(this, ds);
     return fs(ds)->Link(dir, name, target);
   }
   auto locks = LockSet({ds, ts});
@@ -264,7 +362,7 @@ Status ShardedLfs::Link(InodeNum dir, std::string_view name, InodeNum target) {
 Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
                           std::string_view to_name) {
   if (shards_.size() == 1) {
-    std::lock_guard<std::mutex> lock(shards_[0]->mu);
+    Locked lock(this, 0);
     return fs(0)->Rename(from_dir, from_name, to_dir, to_name);
   }
   if (from_name == "." || from_name == ".." || to_name == "." || to_name == "..") {
@@ -358,38 +456,38 @@ Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNu
 
 Result<uint64_t> ShardedLfs::Read(InodeNum ino, uint64_t offset, std::span<std::byte> out) {
   const uint32_t s = ShardOf(ino);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->Read(ino, offset, out);
 }
 
 Result<uint64_t> ShardedLfs::Write(InodeNum ino, uint64_t offset,
                                    std::span<const std::byte> data) {
   const uint32_t s = ShardOf(ino);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->Write(ino, offset, data);
 }
 
 Status ShardedLfs::Truncate(InodeNum ino, uint64_t new_size) {
   const uint32_t s = ShardOf(ino);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->Truncate(ino, new_size);
 }
 
 Result<FileStat> ShardedLfs::Stat(InodeNum ino) {
   const uint32_t s = ShardOf(ino);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->Stat(ino);
 }
 
 Result<std::vector<DirEntry>> ShardedLfs::ReadDir(InodeNum dir) {
   const uint32_t s = ShardOf(dir);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->ReadDir(dir);
 }
 
 Status ShardedLfs::Fsync(InodeNum ino) {
   const uint32_t s = ShardOf(ino);
-  std::lock_guard<std::mutex> lock(shards_[s]->mu);
+  Locked lock(this, s);
   return fs(s)->Fsync(ino);
 }
 

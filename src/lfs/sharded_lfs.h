@@ -44,6 +44,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,7 @@
 #include "src/fsbase/file_system.h"
 #include "src/lfs/lfs_check.h"
 #include "src/lfs/lfs_file_system.h"
+#include "src/obs/trace_context.h"
 
 namespace logfs {
 
@@ -119,6 +121,34 @@ class ShardedLfs : public FileSystem {
     std::mutex mu;
   };
 
+  // Shard-mutex acquisition with trace attribution. When the acquiring
+  // thread carries an ambient trace context, time blocked on a contended
+  // shard becomes a "shard.lock_wait" span and the critical section a
+  // "shard.lock_held" span whose id is installed as the ambient parent, so
+  // the shard's own op spans nest inside the lock section. Aggregate
+  // contention counters (logfs.shard.lock.{wait,held}_us) are kept only for
+  // true multi-shard mounts: the degenerate shards=1 mount must leave the
+  // metric namespace — and hence the flight-recorder black box —
+  // byte-identical to the seed. Waits are measured on the SimClock, which
+  // other threads advance while doing the work that blocks us, so a wait's
+  // extent is the simulated work the holder did meanwhile.
+  class Locked {
+   public:
+    Locked(ShardedLfs* sfs, uint32_t shard);
+    ~Locked();
+    Locked(const Locked&) = delete;
+    Locked& operator=(const Locked&) = delete;
+
+   private:
+    ShardedLfs* sfs_;
+    uint32_t shard_;
+    std::unique_lock<std::mutex> lock_;
+    double held_start_ = 0.0;
+    obs::TraceContext ctx_;  // caller's ambient context; inactive = untraced
+    uint64_t held_span_ = 0;
+    std::optional<obs::TraceContextScope> scope_;
+  };
+
   ShardedLfs() = default;
 
   LfsFileSystem* fs(uint32_t i) { return shards_[i]->fs.get(); }
@@ -139,6 +169,7 @@ class ShardedLfs : public FileSystem {
   Result<bool> IsInSubtreeGlobal(InodeNum candidate, InodeNum ancestor);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  SimClock* clock_ = nullptr;  // Stamps lock wait/held spans; set at Mount.
   // Serializes renames (N > 1): keeps directory topology stable for the
   // cross-shard cycle walk. Never held across a blocking shard operation
   // other than the rename itself.

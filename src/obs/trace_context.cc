@@ -1,0 +1,89 @@
+#include "src/obs/trace_context.h"
+
+#include "src/obs/tracer.h"
+
+namespace logfs::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+thread_local TraceContext t_current_ctx;
+
+}  // namespace
+
+bool TracingEnabled() {
+  if constexpr (!kMetricsEnabled) return false;
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceContext CurrentTraceContext() {
+  if constexpr (!kMetricsEnabled) return {};
+  return t_current_ctx;
+}
+
+TraceContext MintTrace() {
+  if (!TracingEnabled()) return {};
+  StructuredTracer& tracer = Tracer();
+  TraceContext ctx;
+  ctx.trace_id = tracer.NextId();
+  ctx.span_id = tracer.NextId();
+  return ctx;
+}
+
+uint64_t MintSpanId(const TraceContext& parent) {
+  if constexpr (!kMetricsEnabled) return 0;
+  if (!parent.active()) return 0;
+  return Tracer().NextId();
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx) {
+  if constexpr (kMetricsEnabled) {
+    saved_ = t_current_ctx;
+    if (ctx.active()) t_current_ctx = ctx;
+  }
+}
+
+TraceContextScope::~TraceContextScope() {
+  if constexpr (kMetricsEnabled) {
+    t_current_ctx = saved_;
+  }
+}
+
+TraceRoot::TraceRoot(const SimClock* clock, std::string_view category,
+                     std::string_view name)
+    : clock_(clock), category_(category), name_(name),
+      start_(clock ? clock->Now() : 0.0), ctx_(MintTrace()) {
+  if constexpr (kMetricsEnabled) {
+    saved_ = t_current_ctx;
+    if (ctx_.active()) t_current_ctx = ctx_;
+  }
+}
+
+TraceRoot::~TraceRoot() {
+  if constexpr (kMetricsEnabled) {
+    t_current_ctx = saved_;
+    if (ctx_.active()) {
+      Tracer().RecordSpanIds(category_, name_, start_,
+                             clock_ ? clock_->Now() : start_, ctx_.trace_id,
+                             ctx_.span_id, /*parent_id=*/0, std::move(links_),
+                             std::move(args_));
+    }
+  }
+}
+
+void TraceRoot::AddArg(std::string_view key, std::string value) {
+  if constexpr (kMetricsEnabled) {
+    args_.emplace_back(std::string(key), std::move(value));
+  }
+}
+
+void TraceRoot::AddLink(uint64_t trace_id) {
+  if constexpr (kMetricsEnabled) {
+    if (trace_id != 0) links_.push_back(trace_id);
+  }
+}
+
+}  // namespace logfs::obs

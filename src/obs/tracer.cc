@@ -110,6 +110,30 @@ void StructuredTracer::RecordSpan(
   Push(std::move(ev));
 }
 
+void StructuredTracer::RecordSpanIds(
+    std::string_view category, std::string_view name, double start_seconds,
+    double end_seconds, uint64_t trace_id, uint64_t span_id,
+    uint64_t parent_id, std::vector<uint64_t> links,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if constexpr (!kMetricsEnabled) {
+    (void)category; (void)name; (void)start_seconds; (void)end_seconds;
+    (void)trace_id; (void)span_id; (void)parent_id; (void)links; (void)args;
+    return;
+  }
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kSpan;
+  ev.category = std::string(category);
+  ev.name = std::string(name);
+  ev.start_seconds = start_seconds;
+  ev.duration_seconds = end_seconds > start_seconds ? end_seconds - start_seconds : 0.0;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.parent_id = parent_id;
+  ev.links = std::move(links);
+  ev.args = std::move(args);
+  Push(std::move(ev));
+}
+
 void StructuredTracer::RecordInstant(
     std::string_view category, std::string_view name, double at_seconds,
     std::vector<std::pair<std::string, std::string>> args) {
@@ -146,6 +170,7 @@ void StructuredTracer::Clear() {
   ring_.clear();
   dropped_ = 0;
   next_seq_ = 0;
+  next_id_.store(1, std::memory_order_relaxed);
 }
 
 std::string StructuredTracer::ToJson() const {
@@ -166,7 +191,20 @@ std::string StructuredTracer::ToJson() const {
     AppendDouble(out, ev.start_seconds);
     out << ", \"dur\": ";
     AppendDouble(out, ev.duration_seconds);
-    out << ", \"seq\": " << ev.seq << ", \"args\": ";
+    out << ", \"seq\": " << ev.seq;
+    if (ev.trace_id != 0) {
+      out << ", \"trace\": " << ev.trace_id << ", \"span\": " << ev.span_id
+          << ", \"parent\": " << ev.parent_id;
+      if (!ev.links.empty()) {
+        out << ", \"links\": [";
+        for (size_t i = 0; i < ev.links.size(); ++i) {
+          if (i) out << ", ";
+          out << ev.links[i];
+        }
+        out << "]";
+      }
+    }
+    out << ", \"args\": ";
     AppendArgs(out, ev.args);
     out << "}";
   }
@@ -197,8 +235,36 @@ std::string StructuredTracer::ToChromeTrace() const {
     out << ", \"name\": ";
     AppendJsonString(out, ev.name);
     out << ", \"args\": ";
-    AppendArgs(out, ev.args);
+    if (ev.trace_id != 0) {
+      auto args = ev.args;
+      args.emplace_back("trace", std::to_string(ev.trace_id));
+      args.emplace_back("span", std::to_string(ev.span_id));
+      args.emplace_back("parent", std::to_string(ev.parent_id));
+      AppendArgs(out, args);
+    } else {
+      AppendArgs(out, ev.args);
+    }
     out << "}";
+    // Cross-layer causality as Chrome flow events: a trace root opens a
+    // flow keyed by its trace id; any span linking to that trace closes an
+    // enclosing-slice flow step, so about:tracing/Perfetto draw arrows from
+    // the blocking request to the blocked span.
+    if (ev.kind == TraceEvent::Kind::kSpan && ev.trace_id != 0) {
+      if (ev.parent_id == 0) {
+        out << ",\n  {\"ph\": \"s\", \"id\": " << ev.trace_id << ", \"ts\": ";
+        AppendDouble(out, ev.start_seconds * 1e6);
+        out << ", \"pid\": 1, \"tid\": 1, \"cat\": ";
+        AppendJsonString(out, ev.category);
+        out << ", \"name\": \"flow\"}";
+      }
+      for (uint64_t link : ev.links) {
+        out << ",\n  {\"ph\": \"f\", \"bp\": \"e\", \"id\": " << link << ", \"ts\": ";
+        AppendDouble(out, ev.start_seconds * 1e6);
+        out << ", \"pid\": 1, \"tid\": 1, \"cat\": ";
+        AppendJsonString(out, ev.category);
+        out << ", \"name\": \"flow\"}";
+      }
+    }
   }
   out << (first ? "], " : "\n], ");
   out << "\"displayTimeUnit\": \"ms\"}\n";

@@ -11,6 +11,7 @@
 #ifndef LOGFS_SRC_OBS_TRACER_H_
 #define LOGFS_SRC_OBS_TRACER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -32,6 +33,12 @@ struct TraceEvent {
   double start_seconds = 0.0;  // SimClock time
   double duration_seconds = 0.0;  // zero for instants
   uint64_t seq = 0;  // registration order; breaks ties at equal sim time
+  // Causal identity (all zero for untraced events — exporters then omit the
+  // fields entirely, so pre-existing golden snapshots are unchanged).
+  uint64_t trace_id = 0;   // which end-to-end request this span belongs to
+  uint64_t span_id = 0;    // this span's own id
+  uint64_t parent_id = 0;  // enclosing span (0 = trace root)
+  std::vector<uint64_t> links;  // other traces causally blocking this span
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -50,9 +57,21 @@ class StructuredTracer {
   void RecordSpan(std::string_view category, std::string_view name,
                   double start_seconds, double end_seconds,
                   std::vector<std::pair<std::string, std::string>> args = {});
+  // Span carrying causal identity: trace/span/parent ids plus optional links
+  // to other traces (e.g. the lease holder a parked request waited out).
+  void RecordSpanIds(std::string_view category, std::string_view name,
+                     double start_seconds, double end_seconds,
+                     uint64_t trace_id, uint64_t span_id, uint64_t parent_id,
+                     std::vector<uint64_t> links = {},
+                     std::vector<std::pair<std::string, std::string>> args = {});
   void RecordInstant(std::string_view category, std::string_view name,
                      double at_seconds,
                      std::vector<std::pair<std::string, std::string>> args = {});
+
+  // Monotonic id source for trace and span ids (shared so ids are unique
+  // across both). Starts at 1; Clear() resets it, keeping seeded runs
+  // byte-for-byte reproducible.
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
   size_t size() const;
   uint64_t dropped() const;
@@ -72,6 +91,7 @@ class StructuredTracer {
   size_t capacity_ = 65536;
   uint64_t dropped_ = 0;
   uint64_t next_seq_ = 0;
+  std::atomic<uint64_t> next_id_{1};
 };
 
 inline StructuredTracer& Tracer() { return StructuredTracer::Global(); }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
+#include "src/obs/tracer.h"
 
 namespace logfs::serve {
 namespace {
@@ -56,7 +58,8 @@ Client::Handle* Client::Find(uint64_t handle) {
 // timeout with exponential backoff; the server's dedup cache absorbs the
 // duplicates, so a response always corresponds to exactly one execution.
 
-void Client::Call(Request request, std::function<void(Response&&)> cb) {
+void Client::Call(Request request, std::function<void(Response&&)> cb,
+                  const obs::TraceContext* ctx) {
   if (crashed_) {
     return;  // A dead client sends nothing; the callback is abandoned.
   }
@@ -64,6 +67,21 @@ void Client::Call(Request request, std::function<void(Response&&)> cb) {
   request.request_id = next_request_id_++;
   const uint64_t id = request.request_id;
   Outstanding& out = outstanding_[id];
+  if constexpr (obs::kMetricsEnabled) {
+    out.ctx = ctx != nullptr ? *ctx : op_ctx_;
+    if (out.ctx.active()) {
+      out.rpc_span = obs::Tracer().NextId();
+      out.call_time = Now();
+      const uint64_t attempt_span = obs::Tracer().NextId();
+      out.attempts.emplace_back(out.call_time, attempt_span);
+      // The wire carries the *attempt* span so the server's handle span
+      // parents under the send that actually reached it.
+      request.ctx = obs::TraceContext{out.ctx.trace_id, attempt_span};
+      request.attempt = 0;
+    }
+  } else {
+    (void)ctx;
+  }
   out.request = request;
   out.cb = std::move(cb);
   out.rto = options_.rto_seconds;
@@ -81,6 +99,16 @@ void Client::Retransmit(uint64_t request_id) {
   }
   Outstanding& out = it->second;
   CountMetric("logfs.serve.client.retransmits");
+  if constexpr (obs::kMetricsEnabled) {
+    if (out.ctx.active()) {
+      // Each resend is its own sibling attempt span, tagged with the RTO
+      // generation; the response will name exactly one of them the winner.
+      const uint64_t attempt_span = obs::Tracer().NextId();
+      out.attempts.emplace_back(Now(), attempt_span);
+      out.request.ctx.span_id = attempt_span;
+      out.request.attempt = static_cast<uint32_t>(out.attempts.size() - 1);
+    }
+  }
   out.rto = std::min(out.rto * 2.0, options_.max_rto_seconds);
   out.timer = events_->ScheduleAfter(out.rto, [this, request_id] { Retransmit(request_id); });
   transport_->Send(server_, Message::MakeRequest(out.request));
@@ -118,9 +146,48 @@ void Client::OnResponse(Response&& response) {
     return;  // Duplicate reply to a retransmitted request.
   }
   events_->Cancel(it->second.timer);
-  auto cb = std::move(it->second.cb);
+  Outstanding out = std::move(it->second);
   outstanding_.erase(it);
-  cb(std::move(response));
+  if constexpr (obs::kMetricsEnabled) {
+    RecordRpcSpans(out, response);
+  }
+  out.cb(std::move(response));
+}
+
+void Client::RecordRpcSpans(const Outstanding& out, const Response& response) {
+  if constexpr (obs::kMetricsEnabled) {
+    if (!out.ctx.active()) {
+      return;
+    }
+    const double now = Now();
+    const char* op = OpKindName(out.request.op);
+    const size_t n = out.attempts.size();
+    // The server echoed which send's payload it executed (or replayed from
+    // the dedup cache) — that attempt carried the exchange; clamp defends
+    // against a response from a pre-crash incarnation that never saw it.
+    const size_t winner = std::min<size_t>(response.attempt, n - 1);
+    for (size_t i = 0; i < n; ++i) {
+      const auto [sent_at, span] = out.attempts[i];
+      // Attempts tile [call, response]: a loser span ends where the next
+      // send starts (its useful life — waiting — ended there); the winner
+      // runs to the response, so the tree's critical path credits the
+      // network exactly once and every earlier wait as retransmit cost.
+      const double end =
+          i == winner ? now : (i + 1 < n ? std::min(out.attempts[i + 1].first, now) : now);
+      obs::Tracer().RecordSpanIds(
+          "serve.attempt", op, sent_at, end, out.ctx.trace_id, span, out.rpc_span, {},
+          {{"rto_gen", std::to_string(i)}, {"winner", i == winner ? "1" : "0"}});
+    }
+    obs::Tracer().RecordSpanIds("serve.rpc", op, out.call_time, now, out.ctx.trace_id,
+                                out.rpc_span, out.ctx.span_id);
+    if (n > 1) {
+      CountMetric("logfs.serve.rpc.wasted_attempts", n - 1);
+    }
+    CountMetric("logfs.serve.rpc.attempts", n);
+  } else {
+    (void)out;
+    (void)response;
+  }
 }
 
 void Client::RetireDurable(uint64_t durable_seq) {
@@ -168,10 +235,14 @@ void Client::OnRevoke(const Revoke& revoke) {
     return;  // Already flushing; its ack will release the lease for both.
   }
   h->recalled = true;
-  FlushForRevoke(hid, ack);
+  // The flush is out-of-band work with no foreground op to parent under: it
+  // gets its own root trace, linked to the conflicting request's trace (the
+  // revoke carries it) so that request's park span can be followed here.
+  FlushForRevoke(hid, ack, obs::MintTrace(), revoke.ctx.trace_id, Now());
 }
 
-void Client::FlushForRevoke(uint64_t hid, RevokeAck ack) {
+void Client::FlushForRevoke(uint64_t hid, RevokeAck ack, obs::TraceContext flush_ctx,
+                            uint64_t link_trace, double started) {
   Handle* h = Find(hid);
   if (h == nullptr || !h->open) {
     transport_->Send(server_, Message::MakeRevokeAck(ack));
@@ -183,8 +254,9 @@ void Client::FlushForRevoke(uint64_t hid, RevokeAck ack) {
       dirty.push_back(b);
     }
   }
-  WritebackBlocks(hid, std::move(dirty), [this, hid, ack](Status) {
-    CommitSeq(max_write_seq_, [this, hid, ack](Status) {
+  WritebackBlocks(hid, std::move(dirty), [this, hid, ack, flush_ctx, link_trace,
+                                          started](Status) {
+    CommitSeq(max_write_seq_, [this, hid, ack, flush_ctx, link_trace, started](Status) {
       if (crashed_) {
         return;
       }
@@ -192,9 +264,21 @@ void Client::FlushForRevoke(uint64_t hid, RevokeAck ack) {
         InvalidateFile(*h2);
         h2->recalled = false;
       }
+      if constexpr (obs::kMetricsEnabled) {
+        if (flush_ctx.active()) {
+          std::vector<uint64_t> links;
+          if (link_trace != 0) {
+            links.push_back(link_trace);
+          }
+          obs::Tracer().RecordSpanIds("serve.revoke_flush", "flush", started, Now(),
+                                      flush_ctx.trace_id, flush_ctx.span_id, 0,
+                                      std::move(links),
+                                      {{"client", std::to_string(node_)}});
+        }
+      }
       transport_->Send(server_, Message::MakeRevokeAck(ack));
-    });
-  });
+    }, flush_ctx);
+  }, flush_ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -206,11 +290,25 @@ void Client::Enqueue(const char* kind, std::function<void(std::function<void()>)
                      bool front) {
   const double start = Now();
   std::string k(kind);
+  // Every user op is one trace; the root span opens when the op starts
+  // executing (queue wait is the client's own, not the system's) and closes
+  // at completion, so its extent IS the client-observed latency.
   auto wrapped = [this, k, start, body = std::move(body)]() {
-    body([this, k, start]() {
+    const double op_start = Now();
+    op_ctx_ = obs::MintTrace();
+    const obs::TraceContext op_ctx = op_ctx_;
+    body([this, k, start, op_start, op_ctx]() {
       if (crashed_) {
         return;
       }
+      if constexpr (obs::kMetricsEnabled) {
+        if (op_ctx.active()) {
+          obs::Tracer().RecordSpanIds("serve.op", k, op_start, Now(), op_ctx.trace_id,
+                                      op_ctx.span_id, 0, {},
+                                      {{"client", std::to_string(node_)}});
+        }
+      }
+      op_ctx_ = obs::TraceContext{};
       RecordLatency(k.c_str(), start);
       busy_ = false;
       events_->ScheduleAfter(0.0, [this] { StartNext(); });
@@ -719,7 +817,8 @@ void Client::EnsureWriteLease(uint64_t handle, bool reclaim, StatusCb then) {
   });
 }
 
-void Client::WritebackBlocks(uint64_t handle, std::vector<uint64_t> indices, StatusCb then) {
+void Client::WritebackBlocks(uint64_t handle, std::vector<uint64_t> indices, StatusCb then,
+                             obs::TraceContext ctx) {
   Handle* h = Find(handle);
   if (h == nullptr || indices.empty()) {
     then(OkStatus());
@@ -743,7 +842,7 @@ void Client::WritebackBlocks(uint64_t handle, std::vector<uint64_t> indices, Sta
   };
   // Weak self-reference: see Commit's chain for why a strong one leaks.
   std::weak_ptr<std::function<void()>> weak_pump = pump;
-  *pump = [this, handle, st, weak_pump, maybe_finish]() {
+  *pump = [this, handle, st, weak_pump, maybe_finish, ctx]() {
     auto pump = weak_pump.lock();
     Handle* h2 = Find(handle);
     if (h2 == nullptr) {
@@ -791,18 +890,19 @@ void Client::WritebackBlocks(uint64_t handle, std::vector<uint64_t> indices, Sta
         }
         (*pump)();
         maybe_finish();
-      });
+      }, ctx.active() ? &ctx : nullptr);
     }
     maybe_finish();
   };
   (*pump)();
 }
 
-void Client::CommitSeq(uint64_t seq, StatusCb then) {
+void Client::CommitSeq(uint64_t seq, StatusCb then, obs::TraceContext ctx) {
   Request req;
   req.op = OpKind::kCommit;
   req.commit_seq = seq;
-  Call(std::move(req), [then](Response&& resp) { then(ToStatus(resp)); });
+  Call(std::move(req), [then](Response&& resp) { then(ToStatus(resp)); },
+       ctx.active() ? &ctx : nullptr);
 }
 
 void Client::ApplyLocalWrite(uint64_t handle, uint64_t offset, std::vector<std::byte> data,

@@ -177,23 +177,39 @@ class Client {
     std::function<void(Response&&)> cb;
     uint64_t timer = 0;
     double rto = 0.0;
+    // Tracing (inert when ctx is inactive): the whole exchange becomes a
+    // "serve.rpc" span under `ctx`, with one "serve.attempt" child per send.
+    // The response names the attempt that won; the rest were wasted.
+    obs::TraceContext ctx;   // parent context (usually the op root span)
+    uint64_t rpc_span = 0;   // pre-minted "serve.rpc" span id
+    double call_time = 0.0;
+    std::vector<std::pair<double, uint64_t>> attempts;  // (send time, span id)
   };
 
   double Now() const;
   Handle* Find(uint64_t handle);
 
   // --- RPC layer ---
-  void Call(Request request, std::function<void(Response&&)> cb);
+  // `ctx` overrides the trace parent for this exchange; nullptr means the
+  // ambient foreground op (op_ctx_). Out-of-band work (revoke flushes) runs
+  // under its own root trace and must pass it explicitly.
+  void Call(Request request, std::function<void(Response&&)> cb,
+            const obs::TraceContext* ctx = nullptr);
   void Retransmit(uint64_t request_id);
   void OnMessage(Message&& message);
   void OnResponse(Response&& response);
+  // Emits the serve.rpc span and its serve.attempt children for a completed
+  // exchange; `response.attempt` names the winner exactly.
+  void RecordRpcSpans(const Outstanding& out, const Response& response);
   void OnRevoke(const Revoke& revoke);
   // Services a write-lease recall immediately, concurrent with whatever op
   // is in flight: flush dirty blocks, commit, invalidate, ack. Running this
   // out-of-band (not behind the op queue) is what keeps a client whose
   // foreground op is parked on another file's lease from deadlocking the
-  // cluster until expiry.
-  void FlushForRevoke(uint64_t hid, RevokeAck ack);
+  // cluster until expiry. The flush runs under its own trace (`flush_ctx`),
+  // linked to the conflicting request's trace (`link_trace`) that forced it.
+  void FlushForRevoke(uint64_t hid, RevokeAck ack, obs::TraceContext flush_ctx,
+                      uint64_t link_trace, double started);
   void RetireDurable(uint64_t durable_seq);
 
   // --- op queueing ---
@@ -209,8 +225,9 @@ class Client {
   void EnsureWriteLease(uint64_t handle, bool reclaim, StatusCb then);
   // Writes the given blocks back (bounded parallelism); `then` fires after
   // every ack. Blocks that fail with a lost lease are surfaced as kBusy.
-  void WritebackBlocks(uint64_t handle, std::vector<uint64_t> indices, StatusCb then);
-  void CommitSeq(uint64_t seq, StatusCb then);
+  void WritebackBlocks(uint64_t handle, std::vector<uint64_t> indices, StatusCb then,
+                       obs::TraceContext ctx = {});
+  void CommitSeq(uint64_t seq, StatusCb then, obs::TraceContext ctx = {});
   // Applies a write to the cache (fetching partially-covered blocks first).
   void ApplyLocalWrite(uint64_t handle, uint64_t offset, std::vector<std::byte> data,
                        StatusCb then);
@@ -258,6 +275,10 @@ class Client {
 
   std::deque<std::function<void()>> op_queue_;
   bool busy_ = false;
+  // Trace of the foreground op currently executing (inactive between ops).
+  // Ops run one at a time, so a single slot suffices; RPCs issued while an
+  // op runs inherit it as their parent unless Call is given an explicit ctx.
+  obs::TraceContext op_ctx_;
 
   CacheStats stats_;
   std::map<std::string, OpLatency> latencies_;

@@ -1,6 +1,7 @@
 #include "src/serve/lease.h"
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
 
 namespace logfs::serve {
 
@@ -68,6 +69,9 @@ LeaseManager::AcquireResult LeaseManager::Acquire(uint64_t fh, uint64_t client,
   mine.expires_at = now + lease_seconds_;
   mine.granted_at = now;
   mine.recall_posted = false;
+  // The server executes requests under their trace scope, so the ambient
+  // context here is the acquiring request's; later waiters link to it.
+  mine.trace_id = obs::CurrentTraceContext().trace_id;
   result.granted = true;
   result.expires_at = mine.expires_at;
   ++grants_;
@@ -197,6 +201,15 @@ void LeaseManager::MarkRecallPosted(uint64_t fh, uint64_t client) {
   if (h != it->second.end()) {
     h->second.recall_posted = true;
   }
+}
+
+uint64_t LeaseManager::HolderTrace(uint64_t fh, uint64_t client) const {
+  auto it = table_.find(fh);
+  if (it == table_.end()) {
+    return 0;
+  }
+  auto h = it->second.find(client);
+  return h == it->second.end() ? 0 : h->second.trace_id;
 }
 
 bool LeaseManager::RecallPosted(uint64_t fh, uint64_t client) const {

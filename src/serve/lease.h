@@ -36,6 +36,10 @@ struct LeaseRecord {
   // it cannot be renewed or re-granted (the server parks the holder's own
   // acquires), only acked, released, or left to expire.
   bool recall_posted = false;
+  // Trace id of the request that acquired (or last re-granted) this lease.
+  // Observability only: a request parked behind this holder records the id
+  // as a span link, naming the actual blocker in its trace tree.
+  uint64_t trace_id = 0;
 };
 
 class LeaseManager {
@@ -80,6 +84,10 @@ class LeaseManager {
   // Marks a recall as posted so the server sends each revoke once per term.
   void MarkRecallPosted(uint64_t fh, uint64_t client);
   bool RecallPosted(uint64_t fh, uint64_t client) const;
+
+  // Trace id recorded at grant time; 0 when the holder is unknown or the
+  // grant predated tracing.
+  uint64_t HolderTrace(uint64_t fh, uint64_t client) const;
 
   // Monotonic counters for metrics and the inspect verb.
   uint64_t grants() const { return grants_; }

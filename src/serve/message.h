@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace_context.h"
 #include "src/util/status.h"
 
 namespace logfs::serve {
@@ -89,6 +90,13 @@ struct Request {
   // post-restart grace fence; fresh acquires wait it out.
   bool reclaim = false;
   double claimed_expiry = 0.0;
+  // Causal trace context (observability only — the server never branches on
+  // it, so traced and untraced runs execute identically). span_id names the
+  // client's per-attempt send span; the server parents its handling span
+  // under it. Retransmits bump `attempt` so the response can say exactly
+  // which send won.
+  obs::TraceContext ctx;
+  uint32_t attempt = 0;
 };
 
 struct Response {
@@ -111,6 +119,10 @@ struct Response {
   // Durable horizon (newest synced mutation) at response time. Piggybacked
   // on every response so clients can retire replay state opportunistically.
   uint64_t durable_seq = 0;
+  // Which client send attempt this response answers: the attempt that was
+  // executed (or, for a dedup-cache resend, the retransmit that triggered
+  // the resend). Lets the client tag the winning attempt span exactly.
+  uint32_t attempt = 0;
 };
 
 // Server -> client lease recall. The client answers with RevokeAck after
@@ -121,6 +133,10 @@ struct Revoke {
   uint64_t client_id = 0;  // Addressee.
   uint64_t fh = 0;
   uint64_t revoke_id = 0;  // Echoed in the ack.
+  // Trace of the conflicting request that forced the recall; the client's
+  // flush work links back to it so the blocked writer's trace tree shows
+  // who it was waiting on.
+  obs::TraceContext ctx;
 };
 
 struct RevokeAck {

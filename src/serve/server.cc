@@ -121,12 +121,35 @@ void FileServer::HandleRequest(Request&& request) {
       static obs::Counter& dups = obs::Registry().GetCounter("logfs.serve.req.duplicates");
       dups.Increment();
     }
+    // The resend answers *this* retransmit: quote its attempt number back so
+    // the client tags the winning attempt span exactly (the original reply —
+    // or an earlier resend — was evidently lost).
+    cached->second.attempt = request.attempt;
+    if constexpr (obs::kMetricsEnabled) {
+      if (request.ctx.active()) {
+        obs::Tracer().RecordSpanIds("serve.dedup", "replay", Now(), Now(),
+                                    request.ctx.trace_id, obs::Tracer().NextId(),
+                                    request.ctx.span_id);
+      }
+    }
     transport_->Send(static_cast<NodeId>(request.client_id), Message::MakeResponse(cached->second));
     return;
   }
   if (std::find(session.parked_ids.begin(), session.parked_ids.end(), request.request_id) !=
       session.parked_ids.end()) {
     ++duplicates_;
+    if constexpr (obs::kMetricsEnabled) {
+      // Absorbed into the parked original: remember when the retransmit
+      // arrived so the park span grows a "serve.dedup" child covering the
+      // tail of the wait the client spent with a retransmit already parked.
+      for (Parked& p : parked_) {
+        if (p.request.client_id == request.client_id &&
+            p.request.request_id == request.request_id) {
+          if (p.ctx.active()) p.dup_arrivals.push_back(Now());
+          break;
+        }
+      }
+    }
     return;
   }
   // Anything else executes, even ids below max_request_id: with parallel
@@ -135,10 +158,30 @@ void FileServer::HandleRequest(Request&& request) {
   // forever. Every protocol op is idempotent (writes are gated by the lease
   // check), so re-executing a genuinely ancient duplicate is harmless.
   session.max_request_id = std::max(session.max_request_id, request.request_id);
+  if constexpr (obs::kMetricsEnabled) {
+    if (request.ctx.active()) {
+      InflightTrace& inf = inflight_[{request.client_id, request.request_id}];
+      inf.ctx = obs::TraceContext{request.ctx.trace_id, obs::Tracer().NextId()};
+      inf.parent = request.ctx.span_id;
+      inf.arrival = Now();
+    }
+  }
   Execute(request);
 }
 
+obs::TraceContext FileServer::InflightCtx(const Request& req) const {
+  if constexpr (!obs::kMetricsEnabled) {
+    (void)req;
+    return {};
+  }
+  auto it = inflight_.find({req.client_id, req.request_id});
+  return it == inflight_.end() ? obs::TraceContext{} : it->second.ctx;
+}
+
 void FileServer::Execute(const Request& request) {
+  // Everything below — lease decisions, LFS op scopes, park episodes — runs
+  // under the request's trace so their spans join its tree.
+  obs::TraceContextScope trace_scope(InflightCtx(request));
   Response resp;
   resp.client_id = request.client_id;
   resp.request_id = request.request_id;
@@ -181,6 +224,17 @@ void FileServer::Execute(const Request& request) {
 void FileServer::FinishRequest(const Request& req, Response resp) {
   resp.mutation_seq = fs_->mutation_seq();
   resp.durable_seq = fs_->synced_seq();
+  resp.attempt = req.attempt;  // The send that triggered execution won.
+  if constexpr (obs::kMetricsEnabled) {
+    auto it = inflight_.find({req.client_id, req.request_id});
+    if (it != inflight_.end()) {
+      obs::Tracer().RecordSpanIds(
+          "serve.handle", OpKindName(req.op), it->second.arrival, Now(),
+          it->second.ctx.trace_id, it->second.ctx.span_id, it->second.parent,
+          {}, {{"client", std::to_string(req.client_id)}});
+      inflight_.erase(it);
+    }
+  }
   Session& session = sessions_[req.client_id];
   session.replies[req.request_id] = resp;
   while (session.replies.size() > options_.dedup_window) {
@@ -364,7 +418,7 @@ bool FileServer::AcquireOrPark(const Request& req, LeaseKind kind, Response* res
   // the very lease being surrendered — the client would trust a term the
   // imminent ack is about to release.
   if (leases_.RecallPosted(req.fh, req.client_id)) {
-    Park(req);
+    Park(req, "recall_frozen", {leases_.HolderTrace(req.fh, req.client_id)});
     return false;
   }
   const double now = Now();
@@ -392,7 +446,7 @@ bool FileServer::AcquireOrPark(const Request& req, LeaseKind kind, Response* res
           p.request.op == OpKind::kRead ? LeaseKind::kRead : p.request.lease;
       if (p.request.fh == req.fh && p.request.client_id != req.client_id &&
           (parked_kind == LeaseKind::kWrite || kind == LeaseKind::kWrite)) {
-        Park(req);
+        Park(req, "barrier", {p.ctx.trace_id});
         return false;
       }
     }
@@ -402,7 +456,7 @@ bool FileServer::AcquireOrPark(const Request& req, LeaseKind kind, Response* res
     // dead incarnation may proceed; everyone else waits out the fence.
     const bool reclaim_ok = req.reclaim && now < req.claimed_expiry;
     if (!reclaim_ok) {
-      Park(req);
+      Park(req, "grace");
       return false;
     }
   }
@@ -412,7 +466,13 @@ bool FileServer::AcquireOrPark(const Request& req, LeaseKind kind, Response* res
     // Holders inside their minimum hold are left alone for now; the parked
     // request retries when the youngest such hold expires.
     double earliest_retry = 0.0;
+    bool recall_active = false;
+    std::vector<uint64_t> holder_traces;
     for (uint64_t holder : result.conflicts) {
+      holder_traces.push_back(leases_.HolderTrace(req.fh, holder));
+      if (leases_.RecallPosted(req.fh, holder)) {
+        recall_active = true;
+      }
       if (!leases_.RecallPosted(req.fh, holder)) {
         const double hold_left =
             options_.min_hold_seconds - (now - leases_.HeldSince(req.fh, holder));
@@ -428,6 +488,7 @@ bool FileServer::AcquireOrPark(const Request& req, LeaseKind kind, Response* res
           continue;
         }
         leases_.MarkRecallPosted(req.fh, holder);
+        recall_active = true;
         ++revokes_sent_;
         if constexpr (obs::kMetricsEnabled) {
           static obs::Counter& revokes =
@@ -438,10 +499,13 @@ bool FileServer::AcquireOrPark(const Request& req, LeaseKind kind, Response* res
         revoke.client_id = holder;
         revoke.fh = req.fh;
         revoke.revoke_id = next_revoke_id_++;
+        // Ambient context = the acquirer's handle span: the holder's flush
+        // trace links back to the request that forced the recall.
+        revoke.ctx = obs::CurrentTraceContext();
         transport_->Send(static_cast<NodeId>(holder), Message::MakeRevoke(revoke));
       }
     }
-    Park(req);
+    Park(req, recall_active ? "conflict" : "min_hold", std::move(holder_traces));
     if (earliest_retry > 0.0 &&
         (!hold_retry_scheduled_ || earliest_retry < hold_retry_at_)) {
       if (hold_retry_scheduled_) {
@@ -493,10 +557,26 @@ Status FileServer::SyncBeforeGrant(uint64_t fh) {
   return OkStatus();
 }
 
-void FileServer::Park(const Request& req) {
+void FileServer::Park(const Request& req, const char* reason,
+                      std::vector<uint64_t> links) {
   Session& session = sessions_[req.client_id];
   session.parked_ids.push_back(req.request_id);
-  parked_.push_back(Parked{req, Now()});
+  Parked p;
+  p.request = req;
+  p.since = Now();
+  if constexpr (obs::kMetricsEnabled) {
+    p.ctx = InflightCtx(req);
+    if (p.ctx.active()) {
+      p.span_id = obs::Tracer().NextId();
+      p.reason = reason;
+      links.erase(std::remove(links.begin(), links.end(), uint64_t{0}), links.end());
+      // Self-links happen on holder refresh (the blocker is the parker's own
+      // earlier grant); drop them, the tree already contains that trace.
+      links.erase(std::remove(links.begin(), links.end(), p.ctx.trace_id), links.end());
+      p.links = std::move(links);
+    }
+  }
+  parked_.push_back(std::move(p));
   if constexpr (obs::kMetricsEnabled) {
     static obs::Counter& parked = obs::Registry().GetCounter("logfs.serve.req.parked");
     parked.Increment();
@@ -515,6 +595,25 @@ void FileServer::RetryParked() {
     Session& session = sessions_[p.request.client_id];
     auto& ids = session.parked_ids;
     ids.erase(std::remove(ids.begin(), ids.end(), p.request.request_id), ids.end());
+    if constexpr (obs::kMetricsEnabled) {
+      // The park episode ends here (the retry may park again — that becomes
+      // a fresh span). Links name the traces that were blocking at park
+      // time; absorbed retransmits become dedup_parked children covering
+      // the tail of the wait.
+      if (p.ctx.active()) {
+        const double unparked = Now();
+        obs::Tracer().RecordSpanIds(
+            "serve.park", p.reason, p.since, unparked, p.ctx.trace_id,
+            p.span_id, p.ctx.span_id, p.links,
+            {{"op", OpKindName(p.request.op)},
+             {"fh", std::to_string(p.request.fh)}});
+        for (double dup_at : p.dup_arrivals) {
+          obs::Tracer().RecordSpanIds(
+              "serve.dedup", "absorbed", std::max(dup_at, p.since), unparked,
+              p.ctx.trace_id, obs::Tracer().NextId(), p.span_id);
+        }
+      }
+    }
     Execute(p.request);
   }
 }

@@ -29,10 +29,12 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fsbase/path.h"
 #include "src/lfs/lfs_file_system.h"
+#include "src/obs/trace_context.h"
 #include "src/serve/lease.h"
 #include "src/serve/message.h"
 #include "src/serve/transport.h"
@@ -128,6 +130,23 @@ class FileServer {
   struct Parked {
     Request request;
     double since = 0.0;
+    // Tracing (inert when the request carried no context): the park episode
+    // becomes a "serve.park" span under the request's handle span, linking
+    // to the traces that blocked it; duplicates absorbed while parked
+    // become "serve.dedup" child spans.
+    obs::TraceContext ctx;        // {trace, handle span} of the parked request
+    uint64_t span_id = 0;         // pre-minted park span id
+    const char* reason = "conflict";
+    std::vector<uint64_t> links;  // blocking holders' trace ids
+    std::vector<double> dup_arrivals;
+  };
+  // Tracing state of a request between arrival and response. Keyed by
+  // (client, request id); lives in this incarnation only, like the dedup
+  // cache — a crash loses the spans of in-flight requests, nothing else.
+  struct InflightTrace {
+    obs::TraceContext ctx;   // {trace id, handle span id}
+    uint64_t parent = 0;     // the client attempt span that reached us
+    double arrival = 0.0;
   };
 
   double Now() const { return clock_->Now(); }
@@ -152,8 +171,9 @@ class FileServer {
   bool AcquireOrPark(const Request& req, LeaseKind kind, Response* resp);
   // Makes every mutation of `fh` durable before a grant exposes it.
   Status SyncBeforeGrant(uint64_t fh);
-  void Park(const Request& req);
+  void Park(const Request& req, const char* reason, std::vector<uint64_t> links = {});
   void RetryParked();
+  obs::TraceContext InflightCtx(const Request& req) const;
   void SendResponse(Response resp);
   void FinishRequest(const Request& req, Response resp);
   Status CheckHandle(uint64_t fh) const;
@@ -174,6 +194,7 @@ class FileServer {
   LeaseManager leases_;
   std::map<uint64_t, Session> sessions_;     // client id -> session.
   std::vector<Parked> parked_;               // In arrival order.
+  std::map<std::pair<uint64_t, uint64_t>, InflightTrace> inflight_;
   // At most one pending min-hold retry, at the earliest requested deadline.
   // One event re-runs the whole parked queue, so per-request events would
   // only multiply: each retry re-parks N waiters which would schedule N

@@ -13,6 +13,7 @@
 #include "src/disk/striped_disk.h"
 #include "src/disk/tracing_disk.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
 #include "src/obs/tracer.h"
 #include "tests/fs_fixture.h"
 
@@ -438,6 +439,82 @@ TEST_F(ObsTest, CleanerWriteCostMatchesHandComputedPaperFormula) {
   // And the raw counters mirror the per-instance CleanerStats exactly.
   EXPECT_EQ(examined->Value(), inst.fs->cleaner_stats().blocks_examined);
   EXPECT_EQ(copied->Value(), inst.fs->cleaner_stats().live_blocks_copied);
+}
+
+// --- causal identity in the ring and the exporters ------------------------
+
+TEST_F(ObsTest, SpanIdsAppearInExportsOnlyWhenTraced) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // One untraced span and one traced span with a link to another trace.
+  obs::Tracer().RecordSpan("plain", "work", 1.0, 2.0);
+  obs::Tracer().RecordSpanIds("traced", "child", 2.0, 3.0,
+                              /*trace_id=*/7, /*span_id=*/8, /*parent_id=*/0,
+                              /*links=*/{42});
+
+  const std::string json = obs::Tracer().ToJson();
+  // The untraced event carries no id fields at all — the exact property
+  // that keeps pre-tracing golden snapshots byte-identical.
+  const size_t plain_at = json.find("\"plain\"");
+  const size_t traced_at = json.find("\"traced\"");
+  ASSERT_NE(plain_at, std::string::npos);
+  ASSERT_NE(traced_at, std::string::npos);
+  const std::string plain_obj = json.substr(plain_at, traced_at - plain_at);
+  EXPECT_EQ(plain_obj.find("\"trace\":"), std::string::npos);
+  EXPECT_EQ(plain_obj.find("\"span\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": 7, \"span\": 8, \"parent\": 0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"links\": [42]"), std::string::npos);
+
+  const std::string chrome = obs::Tracer().ToChromeTrace();
+  // Parentless traced span opens a flow; its link closes a flow step.
+  EXPECT_NE(chrome.find("\"ph\": \"s\", \"id\": 7"), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"f\", \"bp\": \"e\", \"id\": 42"),
+            std::string::npos);
+  // The untraced span produces no flow events and no id args.
+  const size_t plain_chrome = chrome.find("\"plain\"");
+  ASSERT_NE(plain_chrome, std::string::npos);
+  EXPECT_EQ(chrome.substr(0, plain_chrome).find("\"ph\": \"s\""),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, TraceIdsResetWithClear) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const uint64_t first = obs::Tracer().NextId();
+  EXPECT_EQ(first, 1u);  // SetUp cleared the ring, so ids restart at 1.
+  EXPECT_EQ(obs::Tracer().NextId(), 2u);
+  obs::Tracer().Clear();
+  EXPECT_EQ(obs::Tracer().NextId(), 1u);
+
+  // MintTrace draws from the same counter and respects the runtime gate.
+  obs::Tracer().Clear();
+  obs::SetTracingEnabled(false);
+  EXPECT_FALSE(obs::MintTrace().active());
+  obs::SetTracingEnabled(true);
+  const obs::TraceContext ctx = obs::MintTrace();
+  EXPECT_EQ(ctx.trace_id, 1u);
+  EXPECT_EQ(ctx.span_id, 2u);
+}
+
+TEST_F(ObsTest, TraceContextScopeNestsAndRestores) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  EXPECT_FALSE(obs::CurrentTraceContext().active());
+  const obs::TraceContext outer = obs::MintTrace();
+  {
+    obs::TraceContextScope outer_scope(outer);
+    EXPECT_EQ(obs::CurrentTraceContext().span_id, outer.span_id);
+    const obs::TraceContext inner{outer.trace_id, obs::MintSpanId(outer)};
+    {
+      obs::TraceContextScope inner_scope(inner);
+      EXPECT_EQ(obs::CurrentTraceContext().span_id, inner.span_id);
+    }
+    EXPECT_EQ(obs::CurrentTraceContext().span_id, outer.span_id);
+    // Installing an inactive context is a no-op, not a reset.
+    {
+      obs::TraceContextScope inert(obs::TraceContext{});
+      EXPECT_EQ(obs::CurrentTraceContext().span_id, outer.span_id);
+    }
+  }
+  EXPECT_FALSE(obs::CurrentTraceContext().active());
 }
 
 }  // namespace

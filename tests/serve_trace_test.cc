@@ -1,0 +1,390 @@
+// End-to-end tracing structural tests: a seeded lossy multi-client run
+// (drops force retransmits, two hot shared files force a recall storm) whose
+// trace trees must satisfy the causal invariants by construction — one root
+// per trace, an exact critical-path partition for every completed request,
+// exactly one winning RPC attempt with the wasted-attempt counters to match,
+// and park spans whose links name the trace that was actually blocking.
+// A separate rig drives a sharded mount from real threads to pin down the
+// shard-lock span shape, and a paired enabled/disabled run checks that the
+// runtime gate changes nothing observable but the trace ring itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/disk/memory_disk.h"
+#include "src/lfs/sharded_lfs.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
+#include "src/obs/tracer.h"
+#include "src/serve/cluster.h"
+#include "src/serve/driver.h"
+#include "src/workload/serve_load.h"
+
+namespace logfs {
+namespace {
+
+using obs::TraceEvent;
+
+class ServeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry().ResetAll();
+    obs::Tracer().Clear();
+    obs::SetTracingEnabled(true);
+  }
+  void TearDown() override { obs::SetTracingEnabled(true); }
+};
+
+const std::string* FindArg(const TraceEvent& ev, std::string_view key) {
+  for (const auto& [k, v] : ev.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// The seeded scenario every serve-layer test here replays: three clients,
+// two hot files, half writes — a steady stream of conflicting lease acquires
+// — over a transport that drops `drop_probability` of all messages.
+struct Scenario {
+  std::unique_ptr<serve::ServeCluster> cluster;
+  serve::DriveStats stats;
+  std::vector<TraceEvent> events;
+  std::vector<obs::TraceTree> trees;
+};
+
+void RunScenario(Scenario* s, double drop_probability) {
+  obs::Tracer().Clear();
+  serve::ServeClusterParams params;
+  params.clients = 3;
+  params.transport.drop_probability = drop_probability;
+  auto cluster = serve::ServeCluster::Create(params);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  s->cluster = std::move(cluster).value();
+
+  ServeLoadParams lp;
+  lp.clients = 3;
+  lp.files = 2;
+  lp.ops_per_client = 40;
+  lp.write_fraction = 0.5;
+  lp.io_size = 2048;
+  lp.mean_think_seconds = 0.005;
+  lp.seed = 11;
+  auto stats = serve::DriveSharedLoad(*s->cluster, MakeSharedLoad(lp));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  s->stats = *stats;
+  EXPECT_EQ(s->stats.errors, 0u)
+      << (s->stats.first_errors.empty() ? "" : s->stats.first_errors.front());
+  EXPECT_EQ(s->cluster->shadow().violation_count(), 0u);
+
+  s->events = obs::Tracer().Events();
+  s->trees = obs::AssembleTraceTrees(s->events);
+  EXPECT_EQ(obs::Tracer().dropped(), 0u) << "ring too small for the scenario";
+}
+
+TEST_F(ServeTraceTest, EveryCompletedRequestHasOneExactCriticalPath) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Scenario s;
+  RunScenario(&s, 0.08);
+
+  // Every trace has exactly one parentless span: the request's root.
+  std::map<uint64_t, size_t> roots_per_trace;
+  for (const TraceEvent& ev : s.events) {
+    if (ev.kind != TraceEvent::Kind::kSpan || ev.trace_id == 0) continue;
+    if (ev.parent_id == 0) ++roots_per_trace[ev.trace_id];
+  }
+  EXPECT_FALSE(roots_per_trace.empty());
+  for (const auto& [trace, roots] : roots_per_trace) {
+    EXPECT_EQ(roots, 1u) << "trace " << trace << " has " << roots << " roots";
+  }
+
+  // The sweep partitions: per-class seconds sum to the end-to-end latency
+  // exactly, for EVERY tree (client ops and out-of-band revoke flushes).
+  size_t serve_ops = 0;
+  size_t with_retransmit = 0;
+  size_t with_lease_wait = 0;
+  for (const obs::TraceTree& tree : s.trees) {
+    const obs::Breakdown b = obs::AnalyzeCriticalPath(tree);
+    EXPECT_NEAR(b.Sum(), b.total_seconds, 1e-9)
+        << "trace " << tree.trace_id << " (" << b.category << "/" << b.op << ")";
+    EXPECT_GE(b.total_seconds, 0.0);
+    if (b.category == "serve.op") ++serve_ops;
+    if (b.seconds[static_cast<size_t>(obs::PathClass::kRetransmit)] > 0.0) {
+      ++with_retransmit;
+    }
+    if (b.seconds[static_cast<size_t>(obs::PathClass::kLeaseWait)] > 0.0) {
+      ++with_lease_wait;
+    }
+  }
+  // Every driver op completed as exactly one traced request; the lazy
+  // first-touch opens add more.
+  EXPECT_GE(serve_ops, s.stats.ops_completed);
+  // The scenario is lossy and write-shared, so both pathologies must show
+  // up on some critical path.
+  EXPECT_GT(with_retransmit, 0u);
+  EXPECT_GT(with_lease_wait, 0u);
+}
+
+TEST_F(ServeTraceTest, ExactlyOneWinningAttemptPerRpc) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // 10% is as lossy as the strict shadow allows: much beyond that, RTO
+  // backoff can outlast the lease term and expiry discards dirty data.
+  Scenario s;
+  RunScenario(&s, 0.10);
+
+  // Group attempts under their serve.rpc parent.
+  std::map<uint64_t, std::vector<const TraceEvent*>> attempts_by_rpc;
+  size_t rpc_count = 0;
+  for (const TraceEvent& ev : s.events) {
+    if (ev.kind != TraceEvent::Kind::kSpan) continue;
+    if (ev.category == "serve.attempt") {
+      ASSERT_NE(ev.parent_id, 0u);
+      attempts_by_rpc[ev.parent_id].push_back(&ev);
+    } else if (ev.category == "serve.rpc") {
+      ++rpc_count;
+    }
+  }
+  ASSERT_GT(rpc_count, 0u);
+  EXPECT_EQ(attempts_by_rpc.size(), rpc_count);
+
+  uint64_t expected_wasted = 0;
+  uint64_t expected_attempts = 0;
+  size_t multi_attempt_rpcs = 0;
+  for (const auto& [rpc, attempts] : attempts_by_rpc) {
+    size_t winners = 0;
+    for (size_t i = 0; i < attempts.size(); ++i) {
+      const std::string* gen = FindArg(*attempts[i], "rto_gen");
+      ASSERT_NE(gen, nullptr);
+      EXPECT_EQ(*gen, std::to_string(i));  // one span per send, in order
+      const std::string* winner = FindArg(*attempts[i], "winner");
+      ASSERT_NE(winner, nullptr);
+      if (*winner == "1") ++winners;
+    }
+    EXPECT_EQ(winners, 1u) << "rpc span " << rpc;
+    expected_attempts += attempts.size();
+    if (attempts.size() > 1) {
+      expected_wasted += attempts.size() - 1;
+      ++multi_attempt_rpcs;
+    }
+  }
+  EXPECT_GT(multi_attempt_rpcs, 0u) << "10% drops produced no retransmit?";
+
+  // The counters are derived from the same spans, so they must agree
+  // exactly: wasted = sends - 1 per RPC that needed more than one send.
+  const obs::Counter* wasted =
+      obs::Registry().FindCounter("logfs.serve.rpc.wasted_attempts");
+  const obs::Counter* total = obs::Registry().FindCounter("logfs.serve.rpc.attempts");
+  ASSERT_NE(wasted, nullptr);
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(wasted->Value(), expected_wasted);
+  EXPECT_EQ(total->Value(), expected_attempts);
+}
+
+TEST_F(ServeTraceTest, ParkSpansLinkToTheBlockingTrace) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Scenario s;
+  RunScenario(&s, 0.02);
+
+  size_t parks = 0;
+  size_t conflict_links_checked = 0;
+  for (const TraceEvent& ev : s.events) {
+    if (ev.kind != TraceEvent::Kind::kSpan || ev.category != "serve.park") continue;
+    ++parks;
+    for (uint64_t link : ev.links) {
+      EXPECT_NE(link, 0u);
+      EXPECT_NE(link, ev.trace_id) << "park span links to its own trace";
+      if (ev.name != "conflict") continue;
+      // A conflict park names the holder whose lease had to be recalled:
+      // that trace must exist, be a completed client op, and belong to a
+      // different client than the parked request.
+      const obs::TraceTree* holder = obs::FindTree(s.trees, link);
+      ASSERT_NE(holder, nullptr) << "link " << link << " resolves to no trace";
+      const TraceEvent& holder_root = holder->nodes[holder->root].event;
+      EXPECT_EQ(holder_root.category, "serve.op");
+      const std::string* holder_client = FindArg(holder_root, "client");
+      ASSERT_NE(holder_client, nullptr);
+      const obs::TraceTree* parked = obs::FindTree(s.trees, ev.trace_id);
+      ASSERT_NE(parked, nullptr);
+      const std::string* parked_client =
+          FindArg(parked->nodes[parked->root].event, "client");
+      ASSERT_NE(parked_client, nullptr);
+      EXPECT_NE(*holder_client, *parked_client)
+          << "conflict park blocked by its own client";
+      ++conflict_links_checked;
+    }
+  }
+  EXPECT_GT(parks, 0u) << "write-shared hot files produced no parks?";
+  EXPECT_GT(conflict_links_checked, 0u);
+}
+
+// --- shard-lock attribution under real thread contention -----------------
+
+TEST_F(ServeTraceTest, ShardLockSpansNestUnderTheTraceRoot) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  SimClock clock;
+  CpuModel cpu(&clock, 10.0);
+  MemoryDisk disk(131072, &clock);
+  LfsParams params;
+  params.max_inodes = 4096;
+  params.segment_size = 1 << 19;
+  params.clean_start_segments = 3;
+  params.clean_stop_segments = 5;
+  params.reserved_segments = 2;
+  ASSERT_TRUE(ShardedLfs::Format(&disk, params, 4).ok());
+  auto mounted = ShardedLfs::Mount(&disk, &clock, &cpu);
+  ASSERT_TRUE(mounted.ok());
+  std::unique_ptr<ShardedLfs> fs = std::move(mounted).value();
+
+  // Two shared hot files: every thread hammers both, so every op contends
+  // on the same two shard mutexes.
+  std::vector<InodeNum> files;
+  for (int i = 0; i < 2; ++i) {
+    auto created = fs->Create(1, "hot" + std::to_string(i), FileType::kRegular);
+    ASSERT_TRUE(created.ok());
+    files.push_back(*created);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> buf(4096, std::byte{static_cast<unsigned char>(t)});
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        obs::TraceRoot root(&clock, "test.op", i % 3 == 0 ? "read" : "write");
+        root.AddArg("thread", std::to_string(t));
+        InodeNum ino = files[i % files.size()];
+        if (i % 3 == 0) {
+          auto got = fs->Read(ino, 0, buf);
+          EXPECT_TRUE(got.ok());
+        } else {
+          auto wrote = fs->Write(ino, uint64_t(i % 8) * 4096, buf);
+          EXPECT_TRUE(wrote.ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::vector<TraceEvent> events = obs::Tracer().Events();
+  std::map<uint64_t, const TraceEvent*> span_by_id;
+  for (const TraceEvent& ev : events) {
+    if (ev.span_id != 0) span_by_id[ev.span_id] = &ev;
+  }
+  std::map<uint64_t, uint64_t> root_span_of_trace;
+  for (const TraceEvent& ev : events) {
+    if (ev.category == "test.op") root_span_of_trace[ev.trace_id] = ev.span_id;
+  }
+  EXPECT_EQ(root_span_of_trace.size(), size_t(kThreads * kOpsPerThread));
+
+  size_t held = 0;
+  size_t lfs_ops_under_lock = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != TraceEvent::Kind::kSpan || ev.trace_id == 0) continue;
+    if (ev.category == "shard.lock_held") {
+      ++held;
+      // The critical section hangs directly off the op's root span.
+      auto root = root_span_of_trace.find(ev.trace_id);
+      ASSERT_NE(root, root_span_of_trace.end());
+      EXPECT_EQ(ev.parent_id, root->second);
+      EXPECT_NE(FindArg(ev, "shard"), nullptr);
+    } else if (ev.category == "shard.lock_wait") {
+      auto root = root_span_of_trace.find(ev.trace_id);
+      ASSERT_NE(root, root_span_of_trace.end());
+      EXPECT_EQ(ev.parent_id, root->second);
+    } else if (ev.category == "op") {
+      // The LFS leaf span's parent must be the lock-held section it ran in.
+      auto parent = span_by_id.find(ev.parent_id);
+      ASSERT_NE(parent, span_by_id.end());
+      EXPECT_EQ(parent->second->category, "shard.lock_held");
+      ++lfs_ops_under_lock;
+    }
+  }
+  EXPECT_EQ(held, size_t(kThreads * kOpsPerThread));
+  EXPECT_GT(lfs_ops_under_lock, 0u);
+
+  // Aggregate contention counters exist on a true multi-shard mount.
+  // (wait_us is not asserted: a wait during which no other thread advanced
+  // the sim clock rounds to zero and never creates the counter.)
+  const obs::Counter* held_us = obs::Registry().FindCounter("logfs.shard.lock.held_us");
+  ASSERT_NE(held_us, nullptr);
+  EXPECT_GT(held_us->Value(), 0u);
+}
+
+// --- the runtime gate changes nothing but the trace ring ------------------
+
+struct ParityResult {
+  std::vector<std::byte> image;
+  DiskStats disk_stats;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t ops_completed = 0;
+  size_t traced_spans = 0;
+};
+
+void RunParity(bool tracing_enabled, ParityResult* out) {
+  obs::Registry().ResetAll();
+  obs::Tracer().Clear();
+  obs::SetTracingEnabled(tracing_enabled);
+  Scenario s;
+  RunScenario(&s, 0.10);
+  obs::SetTracingEnabled(true);
+
+  auto image = s.cluster->disk()->RawImage();
+  out->image.assign(image.begin(), image.end());
+  // Mask the two checkpoint regions (blocks 1 .. 1+2C-1): their tail slack
+  // carries the flight-recorder black box, which embeds metric *values* —
+  // and gated counters like logfs.serve.rpc.attempts legitimately read zero
+  // with tracing off. Everything else on the device (superblock, every log
+  // segment, all summaries/inodes/data) must be byte-identical.
+  const LfsSuperblock& sb = s.cluster->fs()->superblock();
+  const size_t cp_begin = sb.block_size;
+  const size_t cp_end = cp_begin + size_t{2} * sb.checkpoint_region_blocks * sb.block_size;
+  std::fill(out->image.begin() + cp_begin, out->image.begin() + cp_end, std::byte{0});
+  out->disk_stats = s.cluster->disk()->stats();
+  out->delivered = s.cluster->transport()->delivered();
+  out->dropped = s.cluster->transport()->dropped();
+  out->ops_completed = s.stats.ops_completed;
+  out->traced_spans = 0;
+  for (const TraceEvent& ev : s.events) {
+    if (ev.trace_id != 0) ++out->traced_spans;
+  }
+}
+
+TEST_F(ServeTraceTest, RuntimeDisabledRunIsByteIdentical) {
+  ParityResult on;
+  RunParity(/*tracing_enabled=*/true, &on);
+  ParityResult off;
+  RunParity(/*tracing_enabled=*/false, &off);
+
+  // Tracing only records; it never branches the traced code. The disk
+  // image, device accounting, wire traffic, and completed work must all be
+  // identical with the recorder off.
+  ASSERT_EQ(on.image.size(), off.image.size());
+  EXPECT_EQ(std::memcmp(on.image.data(), off.image.data(), on.image.size()), 0);
+  EXPECT_EQ(on.disk_stats.read_ops, off.disk_stats.read_ops);
+  EXPECT_EQ(on.disk_stats.write_ops, off.disk_stats.write_ops);
+  EXPECT_EQ(on.disk_stats.sectors_read, off.disk_stats.sectors_read);
+  EXPECT_EQ(on.disk_stats.sectors_written, off.disk_stats.sectors_written);
+  EXPECT_EQ(on.disk_stats.seeks, off.disk_stats.seeks);
+  EXPECT_EQ(on.disk_stats.sync_writes, off.disk_stats.sync_writes);
+  EXPECT_EQ(on.disk_stats.busy_seconds, off.disk_stats.busy_seconds);
+  EXPECT_EQ(on.delivered, off.delivered);
+  EXPECT_EQ(on.dropped, off.dropped);
+  EXPECT_EQ(on.ops_completed, off.ops_completed);
+
+  // And the gate actually gates: the enabled run traced, the disabled run
+  // minted nothing.
+  if (obs::kMetricsEnabled) {
+    EXPECT_GT(on.traced_spans, 0u);
+  }
+  EXPECT_EQ(off.traced_spans, 0u);
+}
+
+}  // namespace
+}  // namespace logfs

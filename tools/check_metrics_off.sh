@@ -34,4 +34,13 @@ grep -q '"metrics_enabled": false' "$BUILD_DIR"/BENCH_PR5.nometrics.json
 cmake --build "$BUILD_DIR" -j --target bench_serve >/dev/null
 "$BUILD_DIR"/bench/bench_serve --smoke --out "$BUILD_DIR"/BENCH_PR6.nometrics.json
 
-echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve surface verified)"
+# The tracing subsystem compiles out with the rest of src/obs: the trace-
+# structure tests self-skip their span assertions (the runtime-parity case
+# still runs and must hold trivially), and the attribution bench must
+# complete with zero traces and report metrics_enabled=false.
+(cd "$BUILD_DIR" && ctest --output-on-failure -R serve_trace_test)
+cmake --build "$BUILD_DIR" -j --target bench_trace_attribution >/dev/null
+"$BUILD_DIR"/bench/bench_trace_attribution --smoke --out "$BUILD_DIR"/BENCH_PR8.nometrics.json
+grep -q '"metrics_enabled": false' "$BUILD_DIR"/BENCH_PR8.nometrics.json
+
+echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve + tracing surfaces verified)"

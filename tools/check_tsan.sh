@@ -1,11 +1,12 @@
 #!/bin/sh
 # Proves the sharded front-end is race-free under ThreadSanitizer:
 # configures a separate build tree with -DLOGFS_SANITIZE=thread, builds,
-# and runs the concurrent suite (`ctest -L concurrent`) — many OS threads
-# driving one sharded mount through create/write/read/rename/unlink with
-# the built-in content checker. TSan halts on the first data race, so a
-# green run is a real absence-of-races witness for every interleaving the
-# suite explored.
+# and runs the serve/concurrent/obs suites — many OS threads driving one
+# sharded mount through create/write/read/rename/unlink with the built-in
+# content checker, plus the tracing structural suite (whose shard-lock
+# section also spawns real threads against the tracer and registry). TSan
+# halts on the first data race, so a green run is a real absence-of-races
+# witness for every interleaving the suites explored.
 #
 # The address/undefined sweep for the single-threaded robustness surfaces
 # lives in a second tree: `ctest -L "crash|fault|serve"` under
@@ -23,8 +24,9 @@ fi
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DLOGFS_SANITIZE=thread >/dev/null
-cmake --build "$BUILD_DIR" -j --target sharded_concurrent_test
-(cd "$BUILD_DIR" && ctest --output-on-failure -L concurrent)
+cmake --build "$BUILD_DIR" -j --target sharded_concurrent_test --target serve_trace_test \
+  --target serve_test --target serve_crash_test --target obs_test --target sampler_test
+(cd "$BUILD_DIR" && ctest --output-on-failure -L "serve|concurrent|obs")
 
 # The scaling bench is the other genuinely multi-threaded binary; its smoke
 # sweep under TSan covers the shard router + host-latency device path.
@@ -36,6 +38,6 @@ echo "LOGFS_SANITIZE=thread: concurrent suite + scaling bench race-free"
 if [ "$RUN_ASAN" = "1" ]; then
   cmake -B build-asan -S . -DLOGFS_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j
-  (cd build-asan && ctest --output-on-failure -L "crash|fault|serve")
-  echo "LOGFS_SANITIZE=address,undefined: crash|fault|serve sweep clean"
+  (cd build-asan && ctest --output-on-failure -L "crash|fault|serve|concurrent|obs")
+  echo "LOGFS_SANITIZE=address,undefined: crash|fault|serve|concurrent|obs sweep clean"
 fi

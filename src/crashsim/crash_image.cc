@@ -50,8 +50,20 @@ std::vector<CrashPlan> CrashImageGenerator::Enumerate(
     return false;
   };
 
-  std::vector<CrashPlan> plans;
+  std::vector<size_t> positions;
   for (size_t p = 0; p < boundaries; p += stride) {
+    positions.push_back(p);
+  }
+  for (size_t f : budget.forced_boundaries) {
+    if (f < boundaries) {
+      positions.push_back(f);
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()), positions.end());
+
+  std::vector<CrashPlan> plans;
+  for (size_t p : positions) {
     plans.push_back(CrashPlan{p, 0, CrashPlan::kNoDrop});
     if (p < n) {
       const uint64_t in_flight = (*writes_)[p].SectorCount();

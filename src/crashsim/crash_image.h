@@ -47,6 +47,12 @@ struct CrashEnumerationBudget {
   // Also emit reorder (dropped-write) variants within the open flush epoch.
   bool reorder_within_epoch = false;
   size_t max_drops_per_boundary = 2;
+  // Journal positions that must appear as boundaries even when
+  // max_boundaries strides past them (each also gets its torn variants).
+  // Lets a sweep pin crash points inside a narrow window of interest —
+  // e.g. the single-sector intent publish/retire writes of a cross-shard
+  // namespace operation, which a coarse stride would sample right over.
+  std::vector<size_t> forced_boundaries;
 };
 
 class CrashImageGenerator {

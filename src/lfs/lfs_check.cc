@@ -24,6 +24,9 @@ std::string LfsCheckReport::Summary() const {
   if (read_only) {
     os << " [read-only]";
   }
+  if (repairs_applied > 0) {
+    os << ", " << repairs_applied << " repairs applied";
+  }
   for (const auto& [seg, failures] : segment_checksum_failures) {
     os << "\n  segment " << seg << ": " << failures << " checksum failures";
   }

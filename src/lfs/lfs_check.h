@@ -29,6 +29,15 @@
 
 namespace logfs {
 
+// How CheckShardedLfs (src/lfs/sharded_lfs.h) treats namespace damage:
+// kCheckOnly reports it; kRepair runs the online repairer
+// (src/lfs/lfs_repair.h) first and reports the post-repair state, with the
+// edits recorded in LfsCheckReport::repair_actions.
+enum class RepairMode {
+  kCheckOnly,
+  kRepair,
+};
+
 struct LfsCheckReport {
   std::vector<std::string> problems;
   uint64_t files = 0;
@@ -41,6 +50,10 @@ struct LfsCheckReport {
   std::vector<std::pair<uint32_t, uint64_t>> segment_checksum_failures;
   uint32_t quarantined_segments = 0;
   bool read_only = false;  // Mount was demoted before/while checking.
+  // Populated only by CheckShardedLfs(..., RepairMode::kRepair): what the
+  // online repairer changed before the reported (re-)check ran.
+  uint64_t repairs_applied = 0;
+  std::vector<std::string> repair_actions;
 
   bool ok() const { return problems.empty(); }
   std::string Summary() const;

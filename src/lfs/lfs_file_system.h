@@ -252,6 +252,33 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // Rewrites a local directory's ".." (directory moved across parents).
   Status ShardSetDotDot(InodeNum child_dir, InodeNum new_parent);
 
+  // The ino ShardAllocInode WOULD return, without mutating anything — the
+  // router records it in a cross-shard intent BEFORE the allocation can
+  // dirty (and potentially pressure-flush) this shard.
+  Result<InodeNum> ShardPeekAllocInode() const;
+
+  // --- Repair primitives (src/lfs/lfs_repair.h) ---
+  //
+  // Raw structural edits for the cross-shard reconciler / repairer. Unlike
+  // the operation slices above they do NO nlink arithmetic — the repairer
+  // finishes with an exact nlink recount (ShardSetNlink), so intermediate
+  // counts do not need to be maintained edit by edit.
+
+  // Removes (dir, name) without touching any nlink.
+  Status ShardRepairRemoveEntry(InodeNum dir, std::string_view name);
+  // Inserts (dir, name) -> child without touching any nlink.
+  Status ShardRepairInsertEntry(InodeNum dir, std::string_view name, InodeNum child,
+                                FileType type);
+  // Repoints (dir, name) -> child without touching any nlink ('.'/'..'
+  // fixes and duplicate-link detachment).
+  Status ShardRepairSetEntry(InodeNum dir, std::string_view name, InodeNum child,
+                             FileType type);
+  // Forces a local inode's nlink to the recounted value.
+  Status ShardSetNlink(InodeNum ino, uint32_t nlink);
+  // Reaps a local orphan outright: forces nlink to 0 and releases the
+  // inode (and its blocks), whatever its type.
+  Status ShardReapInode(InodeNum ino);
+
  private:
   friend class LfsCleaner;
   friend class LfsChecker;

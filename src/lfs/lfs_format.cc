@@ -29,6 +29,9 @@ Status ValidateLfsParams(const LfsParams& params) {
                                   params.shard_index >= params.shard_count)) {
     return InvalidArgumentError("shard_index must be < shard_count (>= 2), or count 0");
   }
+  if (params.intent_sectors > 0 && params.shard_count < 2) {
+    return InvalidArgumentError("intent region requires a sharded volume");
+  }
   return OkStatus();
 }
 
@@ -36,6 +39,12 @@ Status ValidateLfsParams(const LfsParams& params) {
 // magic u32, shard_count u32, shard_index u32, CRC32 over those 12 bytes.
 constexpr size_t kShardExtOffset = kSuperblockPayload + 4;
 constexpr size_t kShardExtPayload = 12;
+
+// Intent extension layout, after the shard extension + its CRC:
+// magic u32, intent_start_sector u64, intent_sectors u32, CRC32 over those
+// 16 bytes. Present only on sharded superblocks with an intent region.
+constexpr size_t kIntentExtOffset = kShardExtOffset + kShardExtPayload + 4;
+constexpr size_t kIntentExtPayload = 16;
 
 }  // namespace
 
@@ -66,6 +75,16 @@ Status EncodeLfsSuperblock(const LfsSuperblock& sb, std::span<std::byte> block) 
     RETURN_IF_ERROR(writer.WriteU32(sb.shard_count));
     RETURN_IF_ERROR(writer.WriteU32(sb.shard_index));
     const uint32_t ext_crc = Crc32(block.subspan(kShardExtOffset, kShardExtPayload));
+    RETURN_IF_ERROR(writer.WriteU32(ext_crc));
+  }
+  if (sb.has_intent_region()) {
+    if (block.size() < kIntentExtOffset + kIntentExtPayload + 4) {
+      return InvalidArgumentError("superblock buffer too small for intent extension");
+    }
+    RETURN_IF_ERROR(writer.WriteU32(kIntentExtMagic));
+    RETURN_IF_ERROR(writer.WriteU64(sb.intent_start_sector));
+    RETURN_IF_ERROR(writer.WriteU32(sb.intent_sectors));
+    const uint32_t ext_crc = Crc32(block.subspan(kIntentExtOffset, kIntentExtPayload));
     RETURN_IF_ERROR(writer.WriteU32(ext_crc));
   }
   return OkStatus();
@@ -109,6 +128,23 @@ Result<LfsSuperblock> DecodeLfsSuperblock(std::span<const std::byte> block) {
       }
       if (sb.shard_count < 2 || sb.shard_index >= sb.shard_count) {
         return CorruptedError("LFS shard extension out of range");
+      }
+      // Optional intent extension: only meaningful on sharded superblocks.
+      // Absent (pre-intent-log images) decodes as 0/0 — no region.
+      if (block.size() >= kIntentExtOffset + kIntentExtPayload + 4) {
+        BufferReader iext(block.subspan(kIntentExtOffset));
+        ASSIGN_OR_RETURN(uint32_t iext_magic, iext.ReadU32());
+        if (iext_magic == kIntentExtMagic) {
+          ASSIGN_OR_RETURN(sb.intent_start_sector, iext.ReadU64());
+          ASSIGN_OR_RETURN(sb.intent_sectors, iext.ReadU32());
+          ASSIGN_OR_RETURN(uint32_t iext_crc, iext.ReadU32());
+          if (iext_crc != Crc32(block.subspan(kIntentExtOffset, kIntentExtPayload))) {
+            return CorruptedError("LFS intent extension CRC mismatch");
+          }
+          if (sb.intent_sectors == 0 || sb.intent_start_sector == 0) {
+            return CorruptedError("LFS intent extension out of range");
+          }
+        }
       }
     }
   }
@@ -199,6 +235,8 @@ Result<LfsSuperblock> ComputeLfsGeometry(const LfsParams& params, uint64_t secto
   sb.checkpoint_interval_seconds = params.checkpoint_interval_seconds;
   sb.shard_count = params.shard_count;
   sb.shard_index = params.shard_index;
+  sb.intent_start_sector = params.intent_start_sector;
+  sb.intent_sectors = params.intent_sectors;
 
   // Checkpoint region: header (~64 B) + one 8-byte address per inode-map
   // block and per segment-usage block. Sized generously and rounded up.

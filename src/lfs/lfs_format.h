@@ -38,6 +38,7 @@ namespace logfs {
 inline constexpr uint32_t kLfsMagic = 0x4C465331;   // "LFS1"
 inline constexpr uint32_t kCkptMagic = 0x434B5054;  // "CKPT"
 inline constexpr uint32_t kShardMagic = 0x53485244;  // "SHRD"
+inline constexpr uint32_t kIntentExtMagic = 0x494E5431;  // "INT1"
 
 struct LfsParams {
   uint32_t block_size = 4096;        // Paper Section 5: LFS used 4 KB blocks.
@@ -61,6 +62,12 @@ struct LfsParams {
   // the root directory.
   uint32_t shard_count = 0;
   uint32_t shard_index = 0;
+  // Cross-shard intent log region (src/lfs/lfs_intent.h), in RAW volume
+  // sectors (the region lives after the last shard slice, outside every
+  // shard's window). 0/0 = no intent region: the unsharded seed format, and
+  // sharded volumes formatted before the intent log existed.
+  uint64_t intent_start_sector = 0;
+  uint32_t intent_sectors = 0;
 };
 
 struct LfsSuperblock {
@@ -81,8 +88,16 @@ struct LfsSuperblock {
   // superblock decodes with shard_count 0.
   uint32_t shard_count = 0;
   uint32_t shard_index = 0;
+  // Intent-log region in RAW volume sectors (see LfsParams). Encoded as a
+  // second tagged extension ("INT1") after the shard extension, present
+  // only when sharded AND an intent region was formatted — so unsharded
+  // images stay byte-identical to the seed, and pre-intent sharded images
+  // decode with 0/0 (no region: recovery falls back to the repair walk).
+  uint64_t intent_start_sector = 0;
+  uint32_t intent_sectors = 0;
 
   bool sharded() const { return shard_count >= 2; }
+  bool has_intent_region() const { return sharded() && intent_sectors > 0; }
   uint32_t SectorsPerBlock() const { return block_size / kSectorSize; }
   uint32_t BlocksPerSegment() const { return segment_size / block_size; }
   uint32_t SectorsPerSegment() const { return segment_size / kSectorSize; }

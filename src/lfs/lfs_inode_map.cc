@@ -68,6 +68,25 @@ Result<InodeNum> InodeMap::Allocate(InodeNum hint) {
   return NoSpaceError("out of inodes");
 }
 
+Result<InodeNum> InodeMap::PeekAllocate(InodeNum hint) const {
+  // Mirrors Allocate's scan exactly, minus the mutation.
+  uint32_t start_slot = 0;
+  if (hint > offset_ + 1) {
+    start_slot = static_cast<uint32_t>((static_cast<uint64_t>(hint) - 1 - offset_ +
+                                        stride_ - 1) / stride_);
+  }
+  if (start_slot >= max_inodes_) {
+    start_slot = 0;
+  }
+  for (uint32_t step = 0; step < max_inodes_; ++step) {
+    const uint32_t slot = (start_slot + step) % max_inodes_;
+    if (!entries_[slot].allocated) {
+      return InoAtSlot(slot);
+    }
+  }
+  return NoSpaceError("out of inodes");
+}
+
 void InodeMap::Free(InodeNum ino) {
   assert(IsValid(ino));
   ImapEntry& entry = entries_[SlotOf(ino)];

@@ -85,6 +85,11 @@ class InodeMap {
   // rounded up to this map's residue class); bumps its version so blocks of
   // any previous incarnation read as dead. Returns a GLOBAL ino.
   Result<InodeNum> Allocate(InodeNum hint);
+  // The ino Allocate(hint) WOULD return, without mutating anything. The
+  // scan is deterministic, so under the owning shard's lock
+  // PeekAllocate(h) == Allocate(h). Lets the cross-shard router name the
+  // child ino in an intent record before the allocation dirties the shard.
+  Result<InodeNum> PeekAllocate(InodeNum hint) const;
   // Marks an inode free and bumps its version (the delete fast-path of the
   // cleaner's liveness check).
   void Free(InodeNum ino);

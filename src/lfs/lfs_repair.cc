@@ -1,0 +1,394 @@
+#include "src/lfs/lfs_repair.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/fsbase/dirent.h"
+
+namespace logfs {
+namespace {
+
+// The iterated walk converges in one pass per level of damage nesting
+// (an orphan directory reattached in pass N has its subtree walked in pass
+// N+1); real crash images settle in 1-2 passes.
+constexpr int kMaxPasses = 6;
+
+class Repairer {
+ public:
+  Repairer(std::span<LfsFileSystem* const> shards, std::span<const IntentRecord> pending)
+      : shards_(shards), pending_(pending) {}
+
+  Result<RepairReport> Run() {
+    for (const IntentRecord& in : pending_) {
+      RETURN_IF_ERROR(SettleIntent(in));
+      ++report_.intents_settled;
+    }
+    for (int pass = 0; pass < kMaxPasses; ++pass) {
+      Walk walk;
+      ASSIGN_OR_RETURN(uint64_t walk_edits, WalkAndFix(&walk));
+      ASSIGN_OR_RETURN(uint64_t orphan_edits, HandleOrphans(walk));
+      if (walk_edits == 0 && orphan_edits == 0) {
+        break;
+      }
+    }
+    Walk walk;
+    RETURN_IF_ERROR(WalkAndFix(&walk).status());
+    RETURN_IF_ERROR(RecountNlinks(walk));
+    return std::move(report_);
+  }
+
+ private:
+  struct Walk {
+    std::unordered_set<InodeNum> visited;
+    std::unordered_map<InodeNum, uint32_t> name_refs;
+    std::unordered_map<InodeNum, uint32_t> child_dirs;
+    std::unordered_map<InodeNum, InodeNum> parent_of;
+  };
+
+  uint32_t ShardOf(InodeNum ino) const {
+    return static_cast<uint32_t>((ino - 1) % shards_.size());
+  }
+  LfsFileSystem* Home(InodeNum ino) const { return shards_[ShardOf(ino)]; }
+
+  bool Allocated(InodeNum ino) const {
+    if (ino == 0) {
+      return false;
+    }
+    const InodeMap& imap = Home(ino)->imap();
+    return imap.IsValid(ino) && imap.Get(ino).allocated;
+  }
+  // Target ino of (dir, name), or 0 when absent / unreadable.
+  InodeNum EntryTarget(InodeNum dir, std::string_view name) {
+    Result<DirEntry> found = Home(dir)->ShardFindEntry(dir, name);
+    return found.ok() ? found->ino : 0;
+  }
+  bool IsDirectory(InodeNum ino) {
+    Result<FileStat> stat = Home(ino)->Stat(ino);
+    return stat.ok() && stat->type == FileType::kDirectory;
+  }
+
+  void Note(std::string msg) { report_.actions.push_back(std::move(msg)); }
+
+  Status Drop(InodeNum dir, std::string_view name, const char* why) {
+    RETURN_IF_ERROR(Home(dir)->ShardRepairRemoveEntry(dir, name));
+    ++report_.dirents_dropped;
+    Note("dropped " + std::string(why) + " entry '" + std::string(name) + "' in dir " +
+         std::to_string(dir));
+    return OkStatus();
+  }
+  Status Insert(InodeNum dir, std::string_view name, InodeNum child, FileType type,
+                const char* why) {
+    RETURN_IF_ERROR(Home(dir)->ShardRepairInsertEntry(dir, name, child, type));
+    ++report_.dirents_added;
+    Note("inserted entry '" + std::string(name) + "' -> ino " + std::to_string(child) +
+         " in dir " + std::to_string(dir) + " (" + why + ")");
+    return OkStatus();
+  }
+  Status Repoint(InodeNum dir, std::string_view name, InodeNum child, FileType type,
+                 const char* why) {
+    RETURN_IF_ERROR(Home(dir)->ShardRepairSetEntry(dir, name, child, type));
+    ++report_.dirents_fixed;
+    Note("repointed entry '" + std::string(name) + "' in dir " + std::to_string(dir) +
+         " -> ino " + std::to_string(child) + " (" + why + ")");
+    return OkStatus();
+  }
+  Status Reap(InodeNum ino, const char* why) {
+    RETURN_IF_ERROR(Home(ino)->ShardReapInode(ino));
+    ++report_.orphans_reaped;
+    Note("reaped orphan ino " + std::to_string(ino) + " (" + why + ")");
+    return OkStatus();
+  }
+
+  // --- Phase 0: settle pending intents (op_id order) ---
+  //
+  // Decision table (§6i). `dirent` = (from_dir, from_name); probes run
+  // against the recovered (durable) shard states:
+  //   create: dirent -> child but child gone     => drop dirent (roll back)
+  //           child allocated, dirent gone       => reap child  (orphan pass)
+  //   link:   dirent -> child but child gone     => drop dirent (roll back)
+  //   unlink: dirent -> child but child gone     => drop dirent (roll forward)
+  //           child allocated, dirent gone       => reap child  (orphan pass;
+  //                                                 only if no other name)
+  //   rmdir:  same as unlink, child is the empty directory
+  //   rename: forward iff the destination half or the victim release is
+  //           durable, else back — see SettleRename.
+  // nlink in all cases comes from the final recount, never from the table.
+  Status SettleIntent(const IntentRecord& in) {
+    switch (in.kind) {
+      case IntentKind::kCreate:
+      case IntentKind::kLink:
+      case IntentKind::kUnlink:
+      case IntentKind::kRmdir: {
+        reap_if_orphan_.insert(in.child);
+        if (Allocated(in.from_dir) &&
+            EntryTarget(in.from_dir, in.from_name) == in.child && !Allocated(in.child)) {
+          RETURN_IF_ERROR(Drop(in.from_dir, in.from_name, "half-applied"));
+        }
+        return OkStatus();
+      }
+      case IntentKind::kRename:
+        return SettleRename(in);
+    }
+    return OkStatus();
+  }
+
+  Status SettleRename(const IntentRecord& in) {
+    if (in.victim != 0) {
+      reap_if_orphan_.insert(in.victim);
+    }
+    rename_child_[in.child] = &in;
+    if (!Allocated(in.child)) {
+      return OkStatus();  // The walk drops whichever dangling entries remain.
+    }
+    const InodeNum src =
+        Allocated(in.from_dir) ? EntryTarget(in.from_dir, in.from_name) : 0;
+    const InodeNum dst = Allocated(in.to_dir) ? EntryTarget(in.to_dir, in.to_name) : 0;
+    const bool victim_alive = in.victim != 0 && Allocated(in.victim);
+    // Forward iff a destination-side half is already durable: the dst entry
+    // points at the child, or the victim's release landed (the dst entry
+    // cannot be rolled back to a victim that no longer exists).
+    const bool forward = dst == in.child || (in.victim != 0 && !victim_alive);
+    if (forward) {
+      if (dst != in.child && Allocated(in.to_dir) && IsDirectory(in.to_dir)) {
+        if (dst != 0) {
+          RETURN_IF_ERROR(Repoint(in.to_dir, in.to_name, in.child, in.child_type,
+                                  "rename roll-forward"));
+        } else {
+          RETURN_IF_ERROR(Insert(in.to_dir, in.to_name, in.child, in.child_type,
+                                 "rename roll-forward"));
+        }
+      }
+      if (src == in.child) {
+        RETURN_IF_ERROR(Drop(in.from_dir, in.from_name, "rename roll-forward source"));
+      }
+      if (victim_alive) {
+        RETURN_IF_ERROR(Reap(in.victim, "rename victim"));
+      }
+    } else if (src != in.child && src == 0 && Allocated(in.from_dir) &&
+               IsDirectory(in.from_dir)) {
+      RETURN_IF_ERROR(Insert(in.from_dir, in.from_name, in.child, in.child_type,
+                             "rename roll-back"));
+    }
+    // A moved directory's '..' is corrected by the walk (it repoints '..'
+    // at the actual walk parent), so neither branch edits it here.
+    return OkStatus();
+  }
+
+  // --- Iterated global walk ---
+  //
+  // One BFS from the root that fixes what it can prove wrong locally:
+  // dangling entries dropped, duplicate directory links detached
+  // (first-in-BFS-order parent wins), '.'/'..' repointed or re-inserted,
+  // entry/inode type disagreements repointed. Returns the number of edits;
+  // `walk` receives the reachability tallies of the walked (post-fix) tree.
+  Result<uint64_t> WalkAndFix(Walk* walk) {
+    const uint64_t before = report_.total_edits();
+    std::deque<InodeNum> queue;
+    queue.push_back(kRootIno);
+    walk->visited.insert(kRootIno);
+    walk->parent_of[kRootIno] = kRootIno;
+    while (!queue.empty()) {
+      const InodeNum dir = queue.front();
+      queue.pop_front();
+      Result<std::vector<DirEntry>> entries_r = Home(dir)->ReadDir(dir);
+      if (!entries_r.ok()) {
+        Note("dir " + std::to_string(dir) + " unreadable, skipped: " +
+             entries_r.status().ToString());
+        continue;
+      }
+      std::vector<DirEntry>& entries = entries_r.value();
+      const InodeNum parent = walk->parent_of[dir];
+      bool saw_dot = false;
+      bool saw_dotdot = false;
+      for (const DirEntry& entry : entries) {
+        if (entry.name == ".") {
+          saw_dot = true;
+          if (entry.ino != dir) {
+            RETURN_IF_ERROR(Repoint(dir, ".", dir, FileType::kDirectory, "wrong '.'"));
+          }
+          continue;
+        }
+        if (entry.name == "..") {
+          saw_dotdot = true;
+          if (entry.ino != parent) {
+            RETURN_IF_ERROR(
+                Repoint(dir, "..", parent, FileType::kDirectory, "wrong '..'"));
+          }
+          continue;
+        }
+        if (!Allocated(entry.ino)) {
+          RETURN_IF_ERROR(Drop(dir, entry.name, "dangling"));
+          continue;
+        }
+        Result<FileStat> stat = Home(entry.ino)->Stat(entry.ino);
+        if (!stat.ok()) {
+          RETURN_IF_ERROR(Drop(dir, entry.name, "unstattable"));
+          continue;
+        }
+        if (stat->type == FileType::kDirectory &&
+            walk->visited.contains(entry.ino)) {
+          RETURN_IF_ERROR(Drop(dir, entry.name, "duplicate directory link"));
+          continue;
+        }
+        if (stat->type != entry.type) {
+          RETURN_IF_ERROR(
+              Repoint(dir, entry.name, entry.ino, stat->type, "type mismatch"));
+        }
+        ++walk->name_refs[entry.ino];
+        if (stat->type == FileType::kDirectory) {
+          ++walk->child_dirs[dir];
+          walk->visited.insert(entry.ino);
+          walk->parent_of[entry.ino] = dir;
+          queue.push_back(entry.ino);
+        } else {
+          walk->visited.insert(entry.ino);
+        }
+      }
+      if (!saw_dot) {
+        RETURN_IF_ERROR(Insert(dir, ".", dir, FileType::kDirectory, "missing '.'"));
+      }
+      if (!saw_dotdot) {
+        RETURN_IF_ERROR(Insert(dir, "..", parent, FileType::kDirectory, "missing '..'"));
+      }
+    }
+    return report_.total_edits() - before;
+  }
+
+  // --- Orphan policy ---
+  //
+  // An allocated-but-unreachable inode is settled by what the intents say
+  // about it: the half-applied child of a create/unlink/rmdir (or a rename
+  // victim) is reaped; a rename's moved inode is reattached at its
+  // destination name, else its source name; anything else (intent region
+  // lost, pre-intent image) is reattached under the per-shard lost+found.
+  Result<uint64_t> HandleOrphans(const Walk& walk) {
+    const uint64_t before = report_.total_edits();
+    for (uint32_t i = 0; i < shards_.size(); ++i) {
+      const InodeMap& imap = shards_[i]->imap();
+      for (uint32_t slot = 0; slot < imap.max_inodes(); ++slot) {
+        if (!imap.GetSlot(slot).allocated) {
+          continue;
+        }
+        const InodeNum ino = imap.InoAtSlot(slot);
+        if (walk.visited.contains(ino)) {
+          continue;
+        }
+        if (reap_if_orphan_.contains(ino)) {
+          RETURN_IF_ERROR(Reap(ino, "named by a pending intent"));
+          continue;
+        }
+        Result<FileStat> stat = shards_[i]->Stat(ino);
+        if (!stat.ok()) {
+          RETURN_IF_ERROR(Reap(ino, "unstattable"));
+          continue;
+        }
+        auto moved = rename_child_.find(ino);
+        if (moved != rename_child_.end()) {
+          const IntentRecord& in = *moved->second;
+          if (TryAttach(in.to_dir, in.to_name, ino, stat->type, walk) ||
+              TryAttach(in.from_dir, in.from_name, ino, stat->type, walk)) {
+            continue;
+          }
+        }
+        ASSIGN_OR_RETURN(InodeNum lf, LostFound(i, walk));
+        std::string name = "ino" + std::to_string(ino);
+        for (int k = 1; EntryTarget(lf, name) != 0; ++k) {
+          name = "ino" + std::to_string(ino) + "." + std::to_string(k);
+        }
+        RETURN_IF_ERROR(Home(lf)->ShardRepairInsertEntry(lf, name, ino, stat->type));
+        ++report_.orphans_reattached;
+        Note("reattached orphan ino " + std::to_string(ino) + " as lost+found." +
+             std::to_string(i) + "/" + name);
+      }
+    }
+    return report_.total_edits() - before;
+  }
+
+  // Reattaches `ino` at (dir, name) if dir is a reachable directory and the
+  // name is free. Returns false (untouched) otherwise.
+  bool TryAttach(InodeNum dir, std::string_view name, InodeNum ino, FileType type,
+                 const Walk& walk) {
+    if (dir == 0 || name.empty() || !Allocated(dir) || !walk.visited.contains(dir) ||
+        !IsDirectory(dir) || EntryTarget(dir, name) != 0) {
+      return false;
+    }
+    if (!Home(dir)->ShardRepairInsertEntry(dir, name, ino, type).ok()) {
+      return false;
+    }
+    ++report_.orphans_reattached;
+    Note("reattached rename target ino " + std::to_string(ino) + " at dir " +
+         std::to_string(dir) + " entry '" + std::string(name) + "'");
+    return true;
+  }
+
+  // Root entry "lost+found.<shard>": found-or-created, homed on `shard` so
+  // the orphan dirent insert stays shard-local.
+  Result<InodeNum> LostFound(uint32_t shard, const Walk& walk) {
+    const std::string name = "lost+found." + std::to_string(shard);
+    const InodeNum existing = EntryTarget(kRootIno, name);
+    if (existing != 0) {
+      if (Allocated(existing) && IsDirectory(existing)) {
+        return existing;
+      }
+      RETURN_IF_ERROR(Drop(kRootIno, name, "unusable lost+found"));
+    }
+    (void)walk;
+    ASSIGN_OR_RETURN(InodeNum ino,
+                     shards_[shard]->ShardAllocInode(FileType::kDirectory, kRootIno));
+    RETURN_IF_ERROR(
+        Home(kRootIno)->ShardRepairInsertEntry(kRootIno, name, ino, FileType::kDirectory));
+    Note("created " + name + " (ino " + std::to_string(ino) + ")");
+    return ino;
+  }
+
+  // --- Final exact nlink recount over the converged namespace ---
+  Status RecountNlinks(const Walk& walk) {
+    auto tally = [](const std::unordered_map<InodeNum, uint32_t>& m, InodeNum ino) {
+      auto it = m.find(ino);
+      return it == m.end() ? 0u : it->second;
+    };
+    for (uint32_t i = 0; i < shards_.size(); ++i) {
+      const InodeMap& imap = shards_[i]->imap();
+      for (uint32_t slot = 0; slot < imap.max_inodes(); ++slot) {
+        if (!imap.GetSlot(slot).allocated) {
+          continue;
+        }
+        const InodeNum ino = imap.InoAtSlot(slot);
+        if (!walk.visited.contains(ino)) {
+          continue;  // kMaxPasses exhausted with damage left: do not guess.
+        }
+        ASSIGN_OR_RETURN(FileStat stat, shards_[i]->Stat(ino));
+        const uint32_t expected = stat.type == FileType::kDirectory
+                                      ? 2 + tally(walk.child_dirs, ino)
+                                      : tally(walk.name_refs, ino);
+        if (stat.nlink != expected) {
+          RETURN_IF_ERROR(shards_[i]->ShardSetNlink(ino, expected));
+          ++report_.nlinks_fixed;
+          Note("recounted ino " + std::to_string(ino) + " nlink " +
+               std::to_string(stat.nlink) + " -> " + std::to_string(expected));
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  std::span<LfsFileSystem* const> shards_;
+  std::span<const IntentRecord> pending_;
+  RepairReport report_;
+  std::unordered_set<InodeNum> reap_if_orphan_;
+  std::unordered_map<InodeNum, const IntentRecord*> rename_child_;
+};
+
+}  // namespace
+
+Result<RepairReport> RepairShardedNamespace(std::span<LfsFileSystem* const> shards,
+                                            std::span<const IntentRecord> pending) {
+  if (shards.empty()) {
+    return InvalidArgumentError("no shards to repair");
+  }
+  return Repairer(shards, pending).Run();
+}
+
+}  // namespace logfs

@@ -1,0 +1,63 @@
+// Cross-shard namespace reconciliation and repair (DESIGN.md §6i).
+//
+// One machine serves two masters:
+//
+//   * Mount-time intent reconciliation: ShardedLfs::Mount hands the
+//     repairer the pending intents (lfs_intent.h) after per-shard
+//     roll-forward. Each intent names every half of one cross-shard
+//     operation; the repairer probes the actual durable state and settles
+//     the operation forward or back (decision table in the .cc / §6i).
+//   * The online repairer behind CheckShardedLfs(..., kRepair): the same
+//     walk, run with an EMPTY intent list, fixes namespace damage on
+//     images that predate the intent log or whose intent region was lost
+//     to media faults — dangling dirents are dropped, orphans reattached
+//     or reaped, dot entries and nlink counts rebuilt.
+//
+// The repairer never does incremental nlink arithmetic: structural edits
+// use the nlink-free ShardRepair* primitives and a final exact recount
+// (ShardSetNlink) sets every inode's count from the walked namespace. That
+// makes each pass idempotent — re-running the repairer on a clean volume
+// performs zero edits.
+//
+// Callers must hold every shard's lock (and the router's rename lock) for
+// the duration; the repairer touches shard structures directly.
+#ifndef LOGFS_SRC_LFS_LFS_REPAIR_H_
+#define LOGFS_SRC_LFS_LFS_REPAIR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/lfs/lfs_file_system.h"
+#include "src/lfs/lfs_intent.h"
+#include "src/util/result.h"
+
+namespace logfs {
+
+struct RepairReport {
+  uint64_t intents_settled = 0;      // Pending intents reconciled (fwd or back).
+  uint64_t dirents_dropped = 0;      // Dangling / duplicate entries removed.
+  uint64_t dirents_fixed = 0;        // Dot entries / types repointed.
+  uint64_t dirents_added = 0;        // Missing dots, rollback re-inserts.
+  uint64_t orphans_reaped = 0;       // Unreachable inodes released.
+  uint64_t orphans_reattached = 0;   // Unreachable inodes given a name.
+  uint64_t nlinks_fixed = 0;         // Inodes whose recount changed nlink.
+  std::vector<std::string> actions;  // Human-readable log, one per edit.
+
+  uint64_t total_edits() const {
+    return dirents_dropped + dirents_fixed + dirents_added + orphans_reaped +
+           orphans_reattached + nlinks_fixed;
+  }
+};
+
+// Repairs the cross-shard namespace of `shards` (indexed by shard number;
+// ino homing is (ino - 1) % shards.size()). `pending` is the intent work
+// list, op_id-ordered (empty for intent-less repair). Deterministic and
+// idempotent; returns what was done.
+Result<RepairReport> RepairShardedNamespace(std::span<LfsFileSystem* const> shards,
+                                            std::span<const IntentRecord> pending);
+
+}  // namespace logfs
+
+#endif  // LOGFS_SRC_LFS_LFS_REPAIR_H_

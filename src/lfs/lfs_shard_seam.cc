@@ -193,4 +193,56 @@ Status LfsFileSystem::ShardSetDotDot(InodeNum child_dir, InodeNum new_parent) {
   return MaybePressureFlush();
 }
 
+Result<InodeNum> LfsFileSystem::ShardPeekAllocInode() const {
+  return imap_.PeekAllocate(next_ino_hint_);
+}
+
+// --- Repair primitives (see header note: no nlink arithmetic here; the
+// repairer ends with an exact recount via ShardSetNlink). ---
+
+Status LfsFileSystem::ShardRepairRemoveEntry(InodeNum dir, std::string_view name) {
+  RETURN_IF_ERROR(CheckWritable());
+  RETURN_IF_ERROR(DirRemove(dir, name));
+  ++mutation_seq_;
+  return MaybePressureFlush();
+}
+
+Status LfsFileSystem::ShardRepairInsertEntry(InodeNum dir, std::string_view name,
+                                             InodeNum child, FileType type) {
+  RETURN_IF_ERROR(CheckWritable());
+  RETURN_IF_ERROR(EnsureSpaceForWrite(2ull * BlockSize()));
+  RETURN_IF_ERROR(DirInsert(dir, name, child, type));
+  ++mutation_seq_;
+  return MaybePressureFlush();
+}
+
+Status LfsFileSystem::ShardRepairSetEntry(InodeNum dir, std::string_view name,
+                                          InodeNum child, FileType type) {
+  RETURN_IF_ERROR(CheckWritable());
+  RETURN_IF_ERROR(DirReplace(dir, name, child, type));
+  ++mutation_seq_;
+  return MaybePressureFlush();
+}
+
+Status LfsFileSystem::ShardSetNlink(InodeNum ino, uint32_t nlink) {
+  RETURN_IF_ERROR(CheckWritable());
+  ASSIGN_OR_RETURN(CachedInode * node, GetInode(ino));
+  if (node->inode.nlink == nlink) {
+    return OkStatus();
+  }
+  node->inode.nlink = nlink;
+  SetInodeDirty(node);
+  ++mutation_seq_;
+  return MaybePressureFlush();
+}
+
+Status LfsFileSystem::ShardReapInode(InodeNum ino) {
+  RETURN_IF_ERROR(CheckWritable());
+  ASSIGN_OR_RETURN(CachedInode * node, GetInode(ino));
+  node->inode.nlink = 0;
+  RETURN_IF_ERROR(ReleaseInode(ino));
+  ++mutation_seq_;
+  return MaybePressureFlush();
+}
+
 }  // namespace logfs

@@ -101,14 +101,23 @@ Status ShardedLfs::Format(BlockDevice* device, const LfsParams& params,
   if (shard_count > 64) {
     return InvalidArgumentError("shard_count must be <= 64");
   }
-  const uint64_t slice = device->sector_count() / shard_count;
+  // The cross-shard intent region (lfs_intent.h) is carved off the end of
+  // the device, after the last shard slice; each slice's superblock locates
+  // it via the INT1 extension so Mount rediscovers the layout from sector 0.
+  if (device->sector_count() <= kIntentRegionSectors) {
+    return InvalidArgumentError("device too small to shard");
+  }
+  const uint64_t slice = (device->sector_count() - kIntentRegionSectors) / shard_count;
   if (slice == 0) {
     return InvalidArgumentError("device too small to shard");
   }
+  const uint64_t intent_start = slice * shard_count;
   for (uint32_t i = 0; i < shard_count; ++i) {
     LfsParams p = params;
     p.shard_count = shard_count;
     p.shard_index = i;
+    p.intent_start_sector = intent_start;
+    p.intent_sectors = static_cast<uint32_t>(kIntentRegionSectors);
     // Shard i owns the global inos with (ino - 1) % N == i; max_inodes
     // becomes the LOCAL slot count of that residue class.
     p.max_inodes =
@@ -119,6 +128,10 @@ Status ShardedLfs::Format(BlockDevice* device, const LfsParams& params,
     WindowDisk window(device, static_cast<uint64_t>(i) * slice, slice);
     RETURN_IF_ERROR(LfsFileSystem::Format(&window, p));
   }
+  // Zero the intent region: a leftover record from a previous incarnation
+  // of the device must not decode as a pending intent.
+  std::vector<std::byte> zeros(kIntentRegionSectors * kSectorSize);
+  RETURN_IF_ERROR(device->WriteSectors(intent_start, zeros, IoOptions{.synchronous = true}));
   return OkStatus();
 }
 
@@ -136,7 +149,10 @@ Result<std::unique_ptr<ShardedLfs>> ShardedLfs::Mount(BlockDevice* device, SimCl
     return sfs;
   }
   const uint32_t n = sb0.shard_count;
-  const uint64_t slice = device->sector_count() / n;
+  // With an intent region the slices stop where it starts; legacy sharded
+  // images (no INT1 extension) tile the whole device.
+  const uint64_t slice = sb0.has_intent_region() ? sb0.intent_start_sector / n
+                                                 : device->sector_count() / n;
   for (uint32_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->window =
@@ -150,7 +166,87 @@ Result<std::unique_ptr<ShardedLfs>> ShardedLfs::Mount(BlockDevice* device, SimCl
     }
     sfs->shards_.push_back(std::move(shard));
   }
+  if (sb0.has_intent_region()) {
+    sfs->intent_dev_ = std::make_unique<ResilientDisk>(device, clock);
+    sfs->intents_ = std::make_unique<IntentLog>(
+        sfs->intent_dev_.get(), sb0.intent_start_sector, sb0.intent_sectors);
+    RETURN_IF_ERROR(sfs->ReconcileIntents());
+  }
   return sfs;
+}
+
+// Mount-time cross-shard reconciliation: every shard has already rolled
+// forward individually; unretired intents are the only operations whose
+// halves can disagree. Repair first, make the repair durable, THEN retire —
+// retiring before the sync would leave damage with no intent if we crash
+// in between.
+Status ShardedLfs::ReconcileIntents() {
+  ASSIGN_OR_RETURN(std::vector<LoadedIntent> all, intents_->LoadAll());
+  std::vector<LoadedIntent> pending_slots;
+  for (LoadedIntent& li : all) {
+    if (li.state == IntentState::kPending) {
+      pending_slots.push_back(std::move(li));
+    }
+  }
+  if (pending_slots.empty()) {
+    return OkStatus();
+  }
+  std::sort(pending_slots.begin(), pending_slots.end(),
+            [](const LoadedIntent& a, const LoadedIntent& b) {
+              return a.record.op_id < b.record.op_id;
+            });
+  std::vector<IntentRecord> pending;
+  pending.reserve(pending_slots.size());
+  for (const LoadedIntent& li : pending_slots) {
+    pending.push_back(li.record);
+  }
+  std::vector<LfsFileSystem*> raw;
+  raw.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    raw.push_back(shard->fs.get());
+  }
+  ASSIGN_OR_RETURN(RepairReport rep, RepairShardedNamespace(raw, pending));
+  for (auto& shard : shards_) {
+    RETURN_IF_ERROR(shard->fs->Sync());
+  }
+  for (const LoadedIntent& li : pending_slots) {
+    Status retired = intents_->RetireSlot(li.slot, li.record);
+    if (!retired.ok() && retired.code() == ErrorCode::kCrashed) {
+      return retired;
+    }
+    // A media error on the retire leaves the slot pending: the next mount
+    // re-reconciles it, which is a no-op on the now-repaired image.
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    obs::Registry()
+        .GetCounter("logfs.intent.reconciled")
+        .Increment(pending_slots.size());
+  }
+  reconcile_report_ = std::move(rep);
+  return OkStatus();
+}
+
+Status ShardedLfs::RetireDurableIntents() {
+  if (intents_ == nullptr) {
+    return OkStatus();
+  }
+  std::vector<uint64_t> synced(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    synced[i] = shards_[i]->fs->synced_seq();
+  }
+  return intents_->RetireCovered(synced);
+}
+
+Status ShardedLfs::DrainIntents() {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::Registry().GetCounter("logfs.intent.ring_full_drains").Increment();
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    RETURN_IF_ERROR(shard->fs->Sync());
+  }
+  return RetireDurableIntents();
 }
 
 // --- locking helpers -----------------------------------------------------------
@@ -240,16 +336,48 @@ Result<InodeNum> ShardedLfs::Create(InodeNum dir, std::string_view name, FileTyp
     Locked lock(this, ds);
     return fs(ds)->Create(dir, name, type);
   }
-  auto locks = LockSet({ds, cs});
-  RETURN_IF_ERROR(fs(ds)->ShardCheckCanInsert(dir, name));
-  ASSIGN_OR_RETURN(InodeNum ino, fs(cs)->ShardAllocInode(type, dir));
-  Status inserted =
-      fs(ds)->ShardAddEntry(dir, name, ino, type, type == FileType::kDirectory);
-  if (!inserted.ok()) {
-    fs(cs)->ShardAbortAlloc(ino);
-    return inserted;
+  auto attempt = [&]() -> Result<InodeNum> {
+    auto locks = LockSet({ds, cs});
+    RETURN_IF_ERROR(fs(ds)->ShardCheckCanInsert(dir, name));
+    uint32_t slot = 0;
+    if (intents_ != nullptr) {
+      // The intent must name the child ino, and must be durable before ANY
+      // shard mutation — ShardAllocInode can pressure-flush, so the ino is
+      // peeked (deterministic under the held shard lock) and the intent
+      // published first. A kBusy (full ring) or media error (region
+      // unwritable) aborts with nothing mutated.
+      ASSIGN_OR_RETURN(InodeNum peek, fs(cs)->ShardPeekAllocInode());
+      IntentRecord rec;
+      rec.kind = IntentKind::kCreate;
+      rec.from_dir = dir;
+      rec.child = peek;
+      rec.child_type = type;
+      rec.from_name = std::string(name);
+      ASSIGN_OR_RETURN(slot, intents_->Publish(&rec));
+    }
+    ASSIGN_OR_RETURN(InodeNum ino, fs(cs)->ShardAllocInode(type, dir));
+    Status inserted =
+        fs(ds)->ShardAddEntry(dir, name, ino, type, type == FileType::kDirectory);
+    if (!inserted.ok()) {
+      fs(cs)->ShardAbortAlloc(ino);
+      // The intent stays pending (never applied): if the abort's durable
+      // state ends up half-applied, the next mount reconciles it.
+      return inserted;
+    }
+    if (intents_ != nullptr) {
+      intents_->MarkApplied(slot, {{ds, fs(ds)->mutation_seq()},
+                                   {cs, fs(cs)->mutation_seq()}});
+    }
+    return ino;
+  };
+  for (int tries = 0;; ++tries) {
+    Result<InodeNum> r = attempt();
+    if (!r.ok() && r.status().code() == ErrorCode::kBusy && tries < 2) {
+      RETURN_IF_ERROR(DrainIntents());  // Ring full: sync, retire, retry.
+      continue;
+    }
+    return r;
   }
-  return ino;
 }
 
 Result<InodeNum> ShardedLfs::Lookup(InodeNum dir, std::string_view name) {
@@ -267,6 +395,7 @@ Status ShardedLfs::Unlink(InodeNum dir, std::string_view name) {
     Locked lock(this, ds);
     return fs(ds)->Unlink(dir, name);
   }
+  int drains = 0;
   for (;;) {
     std::unique_lock<std::mutex> dl(shards_[ds]->mu);
     Result<DirEntry> found = fs(ds)->ShardFindEntry(dir, name);
@@ -293,8 +422,35 @@ Status ShardedLfs::Unlink(InodeNum dir, std::string_view name) {
     if (found->type == FileType::kDirectory) {
       return IsDirectoryError("unlink of a directory; use Rmdir");
     }
+    uint32_t slot = 0;
+    if (intents_ != nullptr) {
+      IntentRecord rec;
+      rec.kind = IntentKind::kUnlink;
+      rec.from_dir = dir;
+      rec.child = found->ino;
+      rec.child_type = found->type;
+      rec.from_name = std::string(name);
+      Result<uint32_t> published = intents_->Publish(&rec);
+      if (!published.ok()) {
+        if (published.status().code() == ErrorCode::kBusy && drains++ < 2) {
+          dl.unlock();
+          if (cl.owns_lock()) {
+            cl.unlock();
+          }
+          RETURN_IF_ERROR(DrainIntents());
+          continue;
+        }
+        return published.status();  // Nothing was mutated.
+      }
+      slot = published.value();
+    }
     RETURN_IF_ERROR(fs(ds)->ShardRemoveEntry(dir, name, /*child_was_dir=*/false));
-    return fs(cs)->ShardDropLink(found->ino);
+    RETURN_IF_ERROR(fs(cs)->ShardDropLink(found->ino));
+    if (intents_ != nullptr) {
+      intents_->MarkApplied(slot, {{ds, fs(ds)->mutation_seq()},
+                                   {cs, fs(cs)->mutation_seq()}});
+    }
+    return OkStatus();
   }
 }
 
@@ -308,6 +464,7 @@ Status ShardedLfs::Rmdir(InodeNum dir, std::string_view name) {
     Locked lock(this, ds);
     return fs(ds)->Rmdir(dir, name);
   }
+  int drains = 0;
   for (;;) {
     std::unique_lock<std::mutex> dl(shards_[ds]->mu);
     Result<DirEntry> found = fs(ds)->ShardFindEntry(dir, name);
@@ -337,8 +494,35 @@ Status ShardedLfs::Rmdir(InodeNum dir, std::string_view name) {
     if (!empty) {
       return NotEmptyError(name);
     }
+    uint32_t slot = 0;
+    if (intents_ != nullptr) {
+      IntentRecord rec;
+      rec.kind = IntentKind::kRmdir;
+      rec.from_dir = dir;
+      rec.child = found->ino;
+      rec.child_type = found->type;
+      rec.from_name = std::string(name);
+      Result<uint32_t> published = intents_->Publish(&rec);
+      if (!published.ok()) {
+        if (published.status().code() == ErrorCode::kBusy && drains++ < 2) {
+          dl.unlock();
+          if (cl.owns_lock()) {
+            cl.unlock();
+          }
+          RETURN_IF_ERROR(DrainIntents());
+          continue;
+        }
+        return published.status();  // Nothing was mutated.
+      }
+      slot = published.value();
+    }
     RETURN_IF_ERROR(fs(ds)->ShardRemoveEntry(dir, name, /*child_was_dir=*/true));
-    return fs(cs)->ShardReleaseDir(found->ino);
+    RETURN_IF_ERROR(fs(cs)->ShardReleaseDir(found->ino));
+    if (intents_ != nullptr) {
+      intents_->MarkApplied(slot, {{ds, fs(ds)->mutation_seq()},
+                                   {cs, fs(cs)->mutation_seq()}});
+    }
+    return OkStatus();
   }
 }
 
@@ -349,14 +533,40 @@ Status ShardedLfs::Link(InodeNum dir, std::string_view name, InodeNum target) {
     Locked lock(this, ds);
     return fs(ds)->Link(dir, name, target);
   }
-  auto locks = LockSet({ds, ts});
-  RETURN_IF_ERROR(fs(ds)->ShardCheckCanInsert(dir, name));
-  ASSIGN_OR_RETURN(FileStat st, fs(ts)->Stat(target));
-  if (st.type == FileType::kDirectory) {
-    return IsDirectoryError("cannot hard-link a directory");
+  auto attempt = [&]() -> Status {
+    auto locks = LockSet({ds, ts});
+    RETURN_IF_ERROR(fs(ds)->ShardCheckCanInsert(dir, name));
+    ASSIGN_OR_RETURN(FileStat st, fs(ts)->Stat(target));
+    if (st.type == FileType::kDirectory) {
+      return IsDirectoryError("cannot hard-link a directory");
+    }
+    uint32_t slot = 0;
+    if (intents_ != nullptr) {
+      IntentRecord rec;
+      rec.kind = IntentKind::kLink;
+      rec.from_dir = dir;
+      rec.child = target;
+      rec.child_type = st.type;
+      rec.from_name = std::string(name);
+      ASSIGN_OR_RETURN(slot, intents_->Publish(&rec));
+    }
+    RETURN_IF_ERROR(
+        fs(ds)->ShardAddEntry(dir, name, target, st.type, /*child_is_dir=*/false));
+    RETURN_IF_ERROR(fs(ts)->ShardAddLink(target));
+    if (intents_ != nullptr) {
+      intents_->MarkApplied(slot, {{ds, fs(ds)->mutation_seq()},
+                                   {ts, fs(ts)->mutation_seq()}});
+    }
+    return OkStatus();
+  };
+  for (int tries = 0;; ++tries) {
+    Status s = attempt();
+    if (s.code() == ErrorCode::kBusy && tries < 2) {
+      RETURN_IF_ERROR(DrainIntents());
+      continue;
+    }
+    return s;
   }
-  RETURN_IF_ERROR(fs(ds)->ShardAddEntry(dir, name, target, st.type, /*child_is_dir=*/false));
-  return fs(ts)->ShardAddLink(target);
 }
 
 Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNum to_dir,
@@ -374,7 +584,9 @@ Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNu
   std::lock_guard<std::mutex> rename_guard(rename_mu_);
   const uint32_t fi = ShardOf(from_dir);
   const uint32_t ti = ShardOf(to_dir);
+  int drains = 0;
   for (int attempt = 0; attempt < 64; ++attempt) {
+    bool need_drain = false;
     DirEntry src;
     {
       std::lock_guard<std::mutex> lock(shards_[fi]->mu);
@@ -414,6 +626,9 @@ Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNu
       }
       LfsFileSystem* from_fs = fs(fi);
       LfsFileSystem* to_fs = fs(ti);
+      // Validate everything BEFORE publishing the intent: a published
+      // intent means "this op may have started"; a validation failure must
+      // leave no trace.
       if (dst.ok()) {
         LfsFileSystem* dst_fs = fs(ShardOf(dst->ino));
         if (dst->type == FileType::kDirectory) {
@@ -424,6 +639,38 @@ Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNu
           if (!empty) {
             return NotEmptyError(to_name);
           }
+        } else if (src_is_dir) {
+          return NotDirectoryError("cannot replace a file with a directory");
+        }
+      }
+      uint32_t slot = 0;
+      if (intents_ != nullptr) {
+        IntentRecord rec;
+        rec.kind = IntentKind::kRename;
+        rec.from_dir = from_dir;
+        rec.to_dir = to_dir;
+        rec.child = src.ino;
+        rec.child_type = src.type;
+        rec.from_name = std::string(from_name);
+        rec.to_name = std::string(to_name);
+        if (dst.ok()) {
+          rec.victim = dst->ino;
+          rec.victim_type = dst->type;
+        }
+        Result<uint32_t> published = intents_->Publish(&rec);
+        if (!published.ok()) {
+          if (published.status().code() == ErrorCode::kBusy && drains++ < 2) {
+            need_drain = true;  // Drop the lock set, drain, retry the op.
+            restart = true;
+            break;
+          }
+          return published.status();  // Nothing was mutated.
+        }
+        slot = published.value();
+      }
+      if (dst.ok()) {
+        LfsFileSystem* dst_fs = fs(ShardOf(dst->ino));
+        if (dst->type == FileType::kDirectory) {
           // Same-directory: the old child's ".." leaves and src was already
           // a child here, so the count drops by one. Cross-directory: one
           // child directory swaps for another — no change.
@@ -431,9 +678,6 @@ Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNu
                                                    from_dir == to_dir ? -1 : 0));
           RETURN_IF_ERROR(dst_fs->ShardReleaseDir(dst->ino));
         } else {
-          if (src_is_dir) {
-            return NotDirectoryError("cannot replace a file with a directory");
-          }
           RETURN_IF_ERROR(to_fs->ShardReplaceEntry(to_dir, to_name, src.ino, src.type, 0));
           RETURN_IF_ERROR(dst_fs->ShardDropLink(dst->ino));
         }
@@ -446,7 +690,20 @@ Status ShardedLfs::Rename(InodeNum from_dir, std::string_view from_name, InodeNu
       if (src_is_dir && from_dir != to_dir) {
         RETURN_IF_ERROR(fs(ShardOf(src.ino))->ShardSetDotDot(src.ino, to_dir));
       }
+      if (intents_ != nullptr) {
+        std::vector<std::pair<uint32_t, uint64_t>> covers = {
+            {fi, fs(fi)->mutation_seq()},
+            {ti, fs(ti)->mutation_seq()},
+            {ShardOf(src.ino), fs(ShardOf(src.ino))->mutation_seq()}};
+        if (dst.ok()) {
+          covers.emplace_back(ShardOf(dst->ino), fs(ShardOf(dst->ino))->mutation_seq());
+        }
+        intents_->MarkApplied(slot, std::move(covers));
+      }
       return OkStatus();
+    }
+    if (need_drain) {
+      RETURN_IF_ERROR(DrainIntents());
     }
   }
   return BusyError("rename retry budget exhausted");
@@ -498,7 +755,7 @@ Status ShardedLfs::Sync() {
     std::lock_guard<std::mutex> lock(shard->mu);
     RETURN_IF_ERROR(shard->fs->Sync());
   }
-  return OkStatus();
+  return RetireDurableIntents();
 }
 
 Status ShardedLfs::Checkpoint() {
@@ -506,7 +763,7 @@ Status ShardedLfs::Checkpoint() {
     std::lock_guard<std::mutex> lock(shard->mu);
     RETURN_IF_ERROR(shard->fs->Checkpoint());
   }
-  return OkStatus();
+  return RetireDurableIntents();
 }
 
 Status ShardedLfs::DropCaches() {
@@ -522,6 +779,8 @@ Status ShardedLfs::Tick() {
     std::lock_guard<std::mutex> lock(shard->mu);
     RETURN_IF_ERROR(shard->fs->Tick());
   }
+  // Interval checkpoints may have advanced durable horizons.
+  RETURN_IF_ERROR(RetireDurableIntents());
   PublishShardMetrics();
   return OkStatus();
 }
@@ -561,6 +820,9 @@ void ShardedLfs::PublishShardMetrics() {
     return;
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
+    // The shard lock serializes these reads against mutating ops — Tick
+    // and the other callers invoke this with no shard lock held.
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
     LfsFileSystem* f = shards_[i]->fs.get();
     const std::string prefix = "logfs.shard." + std::to_string(i) + ".";
     auto& registry = obs::Registry();
@@ -586,11 +848,13 @@ void ShardedLfs::PublishShardMetrics() {
 }
 
 // --- global checker ------------------------------------------------------------
+namespace {
 
-Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data) {
-  if (sfs->shard_count() == 1) {
-    return LfsChecker(sfs->shard(0)).Check(verify_data);
-  }
+// The check body: per-shard structural invariants plus the global
+// namespace walk, all through DIRECT shard access (sfs->shard(i) — never
+// the router's locking front-end, since CheckShardedLfs already holds
+// every shard lock). Works for any shard count >= 1.
+Result<LfsCheckReport> RunShardedCheck(ShardedLfs* sfs, bool verify_data) {
   LfsCheckReport report;
   auto complain = [&report](std::string msg) {
     report.problems.push_back(std::move(msg));
@@ -615,12 +879,11 @@ Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data) {
     }
   }
 
-  // Global namespace walk through the router: rooted acyclic reachability,
-  // dot entries, nlink exactness, orphan detection — the checks each shard
-  // cannot do alone because dirents cross shard boundaries.
-  auto imap_of = [&](InodeNum ino) -> const InodeMap& {
-    return sfs->shard(sfs->ShardOf(ino))->imap();
-  };
+  // Global namespace walk: rooted acyclic reachability, dot entries, nlink
+  // exactness, orphan detection — the checks each shard cannot do alone
+  // because dirents cross shard boundaries.
+  auto home = [&](InodeNum ino) { return sfs->shard(sfs->ShardOf(ino)); };
+  auto imap_of = [&](InodeNum ino) -> const InodeMap& { return home(ino)->imap(); };
   std::unordered_map<InodeNum, uint32_t> name_refs;
   std::unordered_map<InodeNum, uint32_t> child_dirs;
   std::unordered_map<InodeNum, InodeNum> parent_of;
@@ -633,7 +896,7 @@ Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data) {
     const InodeNum dir = queue.front();
     queue.pop_front();
     ++report.directories;
-    Result<std::vector<DirEntry>> entries = sfs->ReadDir(dir);
+    Result<std::vector<DirEntry>> entries = home(dir)->ReadDir(dir);
     if (!entries.ok()) {
       complain("dir " + std::to_string(dir) + " unreadable: " +
                entries.status().ToString());
@@ -664,7 +927,7 @@ Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data) {
         continue;
       }
       ++name_refs[entry.ino];
-      Result<FileStat> stat = sfs->Stat(entry.ino);
+      Result<FileStat> stat = home(entry.ino)->Stat(entry.ino);
       if (!stat.ok()) {
         complain("stat of ino " + std::to_string(entry.ino) + " failed");
         continue;
@@ -703,7 +966,7 @@ Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data) {
                  ") unreachable from root");
         continue;
       }
-      Result<FileStat> stat = sfs->Stat(ino);
+      Result<FileStat> stat = sfs->shard(i)->Stat(ino);
       if (!stat.ok()) {
         continue;  // Already complained during the walk.
       }
@@ -717,6 +980,46 @@ Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data) {
     }
   }
   return report;
+}
+
+}  // namespace
+
+Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data,
+                                       RepairMode repair) {
+  if (sfs->shard_count() == 1 && repair == RepairMode::kCheckOnly) {
+    // Degenerate configuration: the unsliced single-log checker, exactly as
+    // before sharding existed.
+    return LfsChecker(sfs->shard(0)).Check(verify_data);
+  }
+  // Self-serialize against live traffic: the rename lock keeps the
+  // directory topology stable and the shard locks quiesce every log, so
+  // the check (and the repairer) may run online.
+  std::lock_guard<std::mutex> rename_guard(sfs->rename_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(sfs->shards_.size());
+  for (auto& shard : sfs->shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  ASSIGN_OR_RETURN(LfsCheckReport report, RunShardedCheck(sfs, verify_data));
+  if (repair == RepairMode::kCheckOnly || report.ok()) {
+    return report;
+  }
+  // Online repair: fix the namespace in place (no intent work list — this
+  // path exists precisely for images without a usable intent log), make
+  // the repair durable, and report the re-checked state.
+  std::vector<LfsFileSystem*> raw;
+  raw.reserve(sfs->shards_.size());
+  for (auto& shard : sfs->shards_) {
+    raw.push_back(shard->fs.get());
+  }
+  ASSIGN_OR_RETURN(RepairReport rep, RepairShardedNamespace(raw, {}));
+  for (auto& shard : sfs->shards_) {
+    RETURN_IF_ERROR(shard->fs->Sync());
+  }
+  ASSIGN_OR_RETURN(LfsCheckReport after, RunShardedCheck(sfs, verify_data));
+  after.repairs_applied = rep.total_edits();
+  after.repair_actions = std::move(rep.actions);
+  return after;
 }
 
 }  // namespace logfs

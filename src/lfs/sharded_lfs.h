@@ -29,11 +29,15 @@
 // rename_mu_ keeps the directory topology stable for the walk.
 //
 // Crash semantics across shards: each shard checkpoints and rolls forward
-// independently, so a crash between the two halves of a cross-shard
-// operation can surface a dangling dirent (entry whose target inode's
-// shard lost the create) or an orphan inode (target durable, dirent lost).
-// Every shard is individually consistent, fsync durability per inode holds,
-// and synced data is never lost; see DESIGN.md §6g for the full contract.
+// independently; a cross-shard intent log (lfs_intent.h) closes the gap
+// between the halves of a multi-shard namespace operation. Before the
+// first shard mutates, the router durably publishes an intent record; on
+// mount, unretired intents drive a deterministic reconciliation
+// (lfs_repair.h) that completes or rolls back each half-applied operation,
+// so CheckShardedLfs reports zero cross-shard damage on every crash image.
+// Every shard is individually consistent, fsync durability per inode
+// holds, and synced data is never lost; see DESIGN.md §6g/§6i for the
+// full contract and the reconciliation decision table.
 //
 // shard_count 1 is the degenerate configuration: Format and Mount delegate
 // to the unmodified single-log LfsFileSystem on the raw device — on-disk
@@ -48,10 +52,13 @@
 #include <string>
 #include <vector>
 
+#include "src/disk/resilient_disk.h"
 #include "src/disk/window_disk.h"
 #include "src/fsbase/file_system.h"
 #include "src/lfs/lfs_check.h"
 #include "src/lfs/lfs_file_system.h"
+#include "src/lfs/lfs_intent.h"
+#include "src/lfs/lfs_repair.h"
 #include "src/obs/trace_context.h"
 
 namespace logfs {
@@ -114,6 +121,18 @@ class ShardedLfs : public FileSystem {
   // .write_cost, ...). Called from Tick(); callable directly by tools.
   void PublishShardMetrics();
 
+  // Cross-shard intent log. Present only on N>=2 volumes formatted with an
+  // intent region (the INT1 superblock extension); null on unsharded
+  // mounts (shards=1 stays byte-identical to the seed) and on sharded
+  // images that predate the region (repair mode covers those).
+  bool intent_log_enabled() const { return intents_ != nullptr; }
+  IntentLog* intent_log() { return intents_.get(); }
+  // What mount-time intent reconciliation did (nullopt when there were no
+  // pending intents). For lfs_inspect and tests.
+  const std::optional<RepairReport>& reconcile_report() const {
+    return reconcile_report_;
+  }
+
  private:
   struct Shard {
     std::unique_ptr<WindowDisk> window;  // null for the unsharded passthrough
@@ -168,21 +187,48 @@ class ShardedLfs : public FileSystem {
   // ancestor). Caller must hold rename_mu_ and no shard locks.
   Result<bool> IsInSubtreeGlobal(InodeNum candidate, InodeNum ancestor);
 
+  // Mount-time intent reconciliation: loads pending intents, repairs the
+  // namespace from them, syncs every shard and retires the settled slots
+  // (in that order — retiring before the repair is durable would leave
+  // damage with no intent on a subsequent crash).
+  Status ReconcileIntents();
+  // Snapshots every shard's durable horizon and retires covered intents.
+  // Takes each shard lock briefly; callers must hold none.
+  Status RetireDurableIntents();
+  // Full drain for a kBusy publish: sync every shard, then retire.
+  Status DrainIntents();
+
   std::vector<std::unique_ptr<Shard>> shards_;
   SimClock* clock_ = nullptr;  // Stamps lock wait/held spans; set at Mount.
   // Serializes renames (N > 1): keeps directory topology stable for the
   // cross-shard cycle walk. Never held across a blocking shard operation
   // other than the rename itself.
   std::mutex rename_mu_;
+  // Intent-region I/O retries transient faults and surfaces only
+  // persistent media errors (which abort the op unstarted).
+  std::unique_ptr<ResilientDisk> intent_dev_;
+  std::unique_ptr<IntentLog> intents_;
+  std::optional<RepairReport> reconcile_report_;
+
+  friend Result<LfsCheckReport> CheckShardedLfs(ShardedLfs*, bool, RepairMode);
 };
 
 // Global consistency check for a sharded mount: runs every per-shard
 // structural invariant (LfsChecker in shard mode — imap resolution, usage
 // exactness, address uniqueness, media CRCs, content readability) and then
 // the namespace invariants (rooted acyclic tree, dot entries, nlink,
-// orphans) globally through the router. Problems from shard i are prefixed
-// "shard i:". Requires quiescence, like LfsChecker.
-Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* fs, bool verify_data = true);
+// orphans) globally. Problems from shard i are prefixed "shard i:".
+//
+// The check self-serializes against concurrent router operations: it holds
+// the rename lock and every shard lock for the duration, so it may run
+// online against live traffic. With RepairMode::kRepair, namespace damage
+// found by the first pass is fixed in place by the online repairer
+// (lfs_repair.h), the shards are synced, and the reported result is the
+// post-repair re-check (repairs_applied / repair_actions record the edits)
+// — this is the recovery path for images that predate the intent log or
+// whose intent region was lost to media faults.
+Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* fs, bool verify_data = true,
+                                       RepairMode repair = RepairMode::kCheckOnly);
 
 }  // namespace logfs
 

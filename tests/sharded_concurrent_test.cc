@@ -6,6 +6,9 @@
 // layer surface here as TSan reports.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "src/disk/memory_disk.h"
 #include "src/lfs/sharded_lfs.h"
 #include "src/workload/concurrent_driver.h"
@@ -100,6 +103,80 @@ TEST(ShardedConcurrentTest, SingleShardStillThreadSafe) {
   options.ops_per_thread = 100;
   options.seed = 4;
   RunAndVerify(rig, options);
+}
+
+// Cross-shard namespace traffic racing the ONLINE checker/repairer and the
+// intent-retirement paths (Sync / Tick). CheckShardedLfs self-serializes by
+// taking the rename lock plus every shard lock, so running it — in repair
+// mode — against live renames must neither trip TSan nor observe (or
+// "repair") a mid-flight operation: every mid-race check reports a clean
+// namespace, because intents make cross-shard ops atomic under the locks
+// the checker takes.
+TEST(ShardedConcurrentTest, RenamesRacingOnlineRepairerStayClean) {
+  Rig rig(4);
+  ASSERT_TRUE(rig.fs->intent_log_enabled());
+
+  // Two directories on different shards, plus per-thread files.
+  auto mk = [&](const std::string& name) {
+    auto ino = rig.fs->Create(kRootIno, name, FileType::kDirectory);
+    EXPECT_TRUE(ino.ok());
+    return *ino;
+  };
+  const InodeNum d0 = mk("race-a");
+  InodeNum d1 = 0;
+  for (int i = 0;; ++i) {
+    d1 = mk("race-b" + std::to_string(i));
+    if (rig.fs->ShardOf(d1) != rig.fs->ShardOf(d0)) break;
+  }
+  constexpr int kMovers = 3;
+  for (int t = 0; t < kMovers; ++t) {
+    auto f = rig.fs->Create(d0, "m" + std::to_string(t), FileType::kRegular);
+    ASSERT_TRUE(f.ok());
+  }
+  ASSERT_TRUE(rig.fs->Sync().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Movers: cross-shard rename ping-pong (every iteration publishes and
+  // applies an intent under both shard locks).
+  for (int t = 0; t < kMovers; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string name = "m" + std::to_string(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(rig.fs->Rename(d0, name, d1, name).ok());
+        ASSERT_TRUE(rig.fs->Rename(d1, name, d0, name).ok());
+      }
+    });
+  }
+  // Retirement: Sync and Tick race the movers' publishes.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(rig.fs->Tick().ok());
+      ASSERT_TRUE(rig.fs->Sync().ok());
+    }
+  });
+  // The online repairer, repeatedly, against the live mount.
+  int clean_checks = 0;
+  for (int round = 0; round < 12; ++round) {
+    auto check = CheckShardedLfs(rig.fs.get(), /*verify_data=*/false,
+                                 RepairMode::kRepair);
+    ASSERT_TRUE(check.ok());
+    EXPECT_TRUE(check->ok()) << check->Summary();
+    EXPECT_EQ(check->repairs_applied, 0u)
+        << "online repairer 'fixed' a mid-flight op: "
+        << (check->repair_actions.empty() ? "" : check->repair_actions.front());
+    clean_checks += check->ok() ? 1 : 0;
+  }
+  stop.store(true);
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(clean_checks, 12);
+
+  ASSERT_TRUE(rig.fs->Sync().ok());
+  auto final_check = CheckShardedLfs(rig.fs.get());
+  ASSERT_TRUE(final_check.ok());
+  EXPECT_TRUE(final_check->ok()) << final_check->Summary();
 }
 
 // With one thread the driver is fully deterministic: two separate rigs see

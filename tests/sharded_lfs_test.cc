@@ -356,6 +356,22 @@ TEST(ShardedLfsTest, SingleShardIsByteIdenticalToSeed) {
                         disk_a.RawImage().size()),
             0)
       << "shards=1 image diverged from the seed single-log image";
+
+  // shards=1 must not allocate or touch an intent region: no IntentLog
+  // object, no INT1 superblock extension, and no logfs.intent.* activity
+  // from the run (any of these would also break the byte-identity
+  // assertions above). Names may linger in the process-global registry
+  // from earlier multi-shard tests, so assert on values, not presence.
+  EXPECT_FALSE(fs_b->get()->intent_log_enabled());
+  const LfsSuperblock& sb1 = fs_b->get()->shard(0)->superblock();
+  EXPECT_FALSE(sb1.has_intent_region());
+  EXPECT_EQ(sb1.intent_start_sector, 0u);
+  EXPECT_EQ(sb1.intent_sectors, 0u);
+  for (const char* name : {"logfs.intent.published", "logfs.intent.retired",
+                           "logfs.intent.reconciled"}) {
+    const obs::Counter* c = obs::Registry().FindCounter(name);
+    EXPECT_TRUE(c == nullptr || c->Value() == 0) << name;
+  }
 }
 
 // Regression for the native rename path: a cross-directory

@@ -43,4 +43,19 @@ cmake --build "$BUILD_DIR" -j --target bench_trace_attribution >/dev/null
 "$BUILD_DIR"/bench/bench_trace_attribution --smoke --out "$BUILD_DIR"/BENCH_PR8.nometrics.json
 grep -q '"metrics_enabled": false' "$BUILD_DIR"/BENCH_PR8.nometrics.json
 
-echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve + tracing surfaces verified)"
+# The cross-shard intent log counts publishes, retirements, ring-full
+# drains, media aborts, and mount-time reconciliations as logfs.intent.*;
+# with metrics off those compile out and the intent discipline must behave
+# identically. Run its crash/fault suites explicitly, then prove the
+# inspector's intents and check verbs still work: reconciliation is
+# metric-free, check exits nonzero on seeded damage and zero after repair.
+(cd "$BUILD_DIR" && ctest --output-on-failure -R 'sharded_intent_test|sharded_crash_test')
+cmake --build "$BUILD_DIR" -j --target lfs_inspect >/dev/null
+"$BUILD_DIR"/examples/lfs_inspect intents >/dev/null
+if "$BUILD_DIR"/examples/lfs_inspect check >/dev/null; then
+  echo "lfs_inspect check failed to flag seeded damage" >&2
+  exit 1
+fi
+"$BUILD_DIR"/examples/lfs_inspect check --repair >/dev/null
+
+echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve + tracing + intent surfaces verified)"

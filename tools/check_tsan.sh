@@ -4,13 +4,20 @@
 # and runs the serve/concurrent/obs suites — many OS threads driving one
 # sharded mount through create/write/read/rename/unlink with the built-in
 # content checker, plus the tracing structural suite (whose shard-lock
-# section also spawns real threads against the tracer and registry). TSan
-# halts on the first data race, so a green run is a real absence-of-races
-# witness for every interleaving the suites explored.
+# section also spawns real threads against the tracer and registry). The
+# concurrent suite includes the intent-log race case: cross-shard renames
+# (publish + apply + retire on Sync/Tick) racing the ONLINE repairer
+# (CheckShardedLfs in kRepair mode), which must self-serialize against the
+# movers and never "repair" a mid-flight op. TSan halts on the first data
+# race, so a green run is a real absence-of-races witness for every
+# interleaving the suites explored.
 #
 # The address/undefined sweep for the single-threaded robustness surfaces
 # lives in a second tree: `ctest -L "crash|fault|serve"` under
-# -DLOGFS_SANITIZE=address,undefined (pass --asan to run it too).
+# -DLOGFS_SANITIZE=address,undefined (pass --asan to run it too). The
+# crash and fault labels include the cross-shard intent matrix
+# (sharded_crash_test) and the intent fault/repair suite
+# (sharded_intent_test).
 #
 # Usage: tools/check_tsan.sh [--asan] [build-dir]   (default: build-tsan)
 set -e

@@ -10,7 +10,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve --target bench_shard_scaling --target bench_trace_attribution >/dev/null
+cmake --build build -j --target bench_writepath --target bench_telemetry --target bench_serve --target bench_shard_scaling --target bench_trace_attribution --target bench_space_observatory >/dev/null
 
 # The metrics snapshot lands next to the timing JSON so a BENCH_*.json
 # trajectory carries the counters that explain it (flushes, fill levels,
@@ -34,3 +34,9 @@ cmake --build build -j --target bench_writepath --target bench_telemetry --targe
 # sweep and a shard sweep, plus the tracer's own ns/span cost (enabled vs
 # runtime-gated off).
 ./build/bench/bench_trace_attribution "$@" --out BENCH_PR8.json
+
+# The space-observatory bench: per-source write-attribution shares and write
+# amplification under uniform/Zipf/hot-cold churn at 70/80/90% utilization,
+# with the exact-sum invariant checked in every cell, plus the observatory's
+# own ns/write self-cost.
+./build/bench/bench_space_observatory "$@" --out BENCH_PR10.json

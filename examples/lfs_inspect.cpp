@@ -34,9 +34,19 @@
 //                                              seeded pre-intent-log damage;
 //                                              exits nonzero on damage, zero
 //                                              after --repair fixes it
+//      ./build/examples/lfs_inspect iostat     per-source write attribution and
+//                                              the exact-sum invariant check
+//      ./build/examples/lfs_inspect segstat    lifecycle counters + utilization
+//                                              decile distribution (Fig. 3)
+//      ./build/examples/lfs_inspect heat       per-segment age / overwrite EWMA
+//      ./build/examples/lfs_inspect save <f>   write the demo image to a file
+//                                              (blackbox <f> reads it back)
+//      ./build/examples/lfs_inspect help       verb summary; unknown verbs and
+//                                              missing operands exit nonzero
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iomanip>
 #include <iostream>
@@ -53,6 +63,7 @@
 #include "src/lfs/sharded_lfs.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sampler.h"
+#include "src/obs/space_observatory.h"
 #include "src/obs/tracer.h"
 #include "src/serve/cluster.h"
 #include "src/serve/driver.h"
@@ -304,6 +315,116 @@ int DumpTop(LfsFileSystem& fs, double now) {
   return 0;
 }
 
+// `iostat`: the space observatory's per-source write attribution (DESIGN.md
+// §6j). Every acknowledged device write the volume issued is classified by
+// provenance; the table restates the classes, their byte shares, and the
+// derived write amplification, then re-checks the exact-sum invariant
+// against the device's own transfer counters.
+int DumpIoStat(const MemoryDisk& disk) {
+  if (!obs::kMetricsEnabled) {
+    std::cerr << "metrics are compiled out (built with LOGFS_METRICS=OFF)\n";
+    return 1;
+  }
+  const obs::IoAttribution attr = obs::AttributionSnapshot();
+  TablePrinter table({"source", "writes", "bytes", "byte share"});
+  for (size_t i = 0; i < obs::kIoSourceCount; ++i) {
+    const double share =
+        attr.total_bytes > 0
+            ? 100.0 * static_cast<double>(attr.bytes[i]) / static_cast<double>(attr.total_bytes)
+            : 0.0;
+    table.AddRow({std::string(obs::IoSourceName(static_cast<obs::IoSource>(i))),
+                  std::to_string(attr.writes[i]), std::to_string(attr.bytes[i]),
+                  TablePrinter::Fixed(share, 1) + "%"});
+  }
+  table.AddRow({"total", std::to_string(attr.total_writes), std::to_string(attr.total_bytes),
+                "100.0%"});
+  table.Print(std::cout);
+  std::cout << "\nwrite amplification (total bytes / fg_data bytes): "
+            << TablePrinter::Fixed(attr.write_amplification, 3) << "\n";
+  const DiskStats& stats = disk.stats();
+  const uint64_t device_bytes = stats.sectors_written * kSectorSize;
+  std::cout << "exact-sum invariant: attributed " << attr.total_bytes << " bytes / "
+            << attr.total_writes << " ops vs device " << device_bytes << " bytes / "
+            << stats.write_ops << " ops — ";
+  if (attr.total_bytes == device_bytes && attr.total_writes == stats.write_ops) {
+    std::cout << "holds\n";
+    return 0;
+  }
+  std::cout << "VIOLATED\n";
+  return 1;
+}
+
+// `segstat`: segment lifecycle counters plus the live utilization
+// distribution (the paper's Fig. 3 as decile gauges).
+int DumpSegStat(LfsFileSystem& fs) {
+  if (!obs::kMetricsEnabled) {
+    std::cerr << "metrics are compiled out (built with LOGFS_METRICS=OFF)\n";
+    return 1;
+  }
+  std::cout << "lifecycle events:\n";
+  for (size_t i = 0; i < obs::kSegLifecycleCount; ++i) {
+    const std::string name(obs::SegLifecycleName(static_cast<obs::SegLifecycle>(i)));
+    const obs::Counter* c = obs::Registry().FindCounter("logfs.seg.lifecycle." + name);
+    std::cout << "  " << std::left << std::setw(12) << name
+              << (c != nullptr ? c->Value() : 0) << "\n";
+  }
+  std::vector<double> utils;
+  fs.CollectSegmentUtilization(&utils);
+  obs::PublishUtilization(utils);
+  const obs::Gauge* segments = obs::Registry().FindGauge("logfs.seg.util.segments");
+  const obs::Gauge* mean = obs::Registry().FindGauge("logfs.seg.util.mean");
+  const double population = segments != nullptr ? segments->Value() : 0.0;
+  std::cout << "\nutilization distribution (" << static_cast<uint64_t>(population)
+            << " occupied segments, mean u="
+            << TablePrinter::Fixed(mean != nullptr ? mean->Value() : 0.0, 3) << "):\n";
+  for (size_t b = 0; b < obs::kUtilBuckets; ++b) {
+    const obs::Gauge* g =
+        obs::Registry().FindGauge("logfs.seg.util.bucket" + std::to_string(b));
+    const double count = g != nullptr ? g->Value() : 0.0;
+    std::cout << "  [" << TablePrinter::Fixed(0.1 * static_cast<double>(b), 1) << ","
+              << TablePrinter::Fixed(0.1 * static_cast<double>(b + 1), 1) << ") "
+              << std::setw(4) << static_cast<uint64_t>(count) << "  "
+              << std::string(static_cast<size_t>(
+                     population > 0 ? 50.0 * count / population : 0.0), '#')
+              << "\n";
+  }
+  return 0;
+}
+
+// `heat`: per-segment overwrite-interval EWMA maintained by the usage table.
+// Smaller intervals = hotter data; the cleaner's cost-benefit policy wants
+// exactly this signal (cold segments are worth cleaning at higher u).
+int DumpHeat(LfsFileSystem& fs, double now) {
+  if (!obs::kMetricsEnabled) {
+    std::cerr << "metrics are compiled out (built with LOGFS_METRICS=OFF)\n";
+    return 1;
+  }
+  const LfsSuperblock& sb = fs.superblock();
+  const double capacity = static_cast<double>(sb.BlocksPerSegment()) * sb.block_size;
+  TablePrinter table({"segment", "state", "util", "age (s)", "heat ewma (s)"});
+  uint32_t shown = 0;
+  for (uint32_t seg = 0; seg < sb.num_segments && shown < 40; ++seg) {
+    const SegUsage& u = fs.usage().Get(seg);
+    if (u.state == SegState::kClean) {
+      continue;
+    }
+    const char* state = u.state == SegState::kActive        ? "active"
+                        : u.state == SegState::kDirty       ? "dirty"
+                        : u.state == SegState::kCleanPending ? "pending"
+                                                             : "quarantined";
+    table.AddRow({std::to_string(seg), state,
+                  TablePrinter::Fixed(static_cast<double>(u.live_bytes) / capacity, 3),
+                  u.allocated_at > 0.0 ? TablePrinter::Fixed(now - u.allocated_at, 3) : "-",
+                  u.heat_interval_ewma > 0.0 ? TablePrinter::Fixed(u.heat_interval_ewma, 6)
+                                             : "-"});
+    ++shown;
+  }
+  table.Print(std::cout);
+  std::cout << "\n('-' = never overwritten since allocation: cold or freshly"
+               " written data)\n";
+  return 0;
+}
+
 // Demonstrates the media-fault machinery end to end: finds a live data
 // block by decoding raw summaries (newest log copy whose inode-map version
 // is current), flips one byte of it on the raw medium, and runs a full
@@ -447,13 +568,13 @@ int DumpHeatmap(const LfsFileSystem& fs) {
 // image bytes alone — no mount, no checkpoint decode required — exactly what
 // a postmortem of a corrupted volume would do, then replays the recovered
 // samples for the busiest counters.
-int DumpBlackBox(MemoryDisk& disk) {
+int DumpBlackBox(std::span<std::byte> image) {
   if (!obs::kMetricsEnabled) {
     std::cerr << "metrics are compiled out (built with LOGFS_METRICS=OFF); "
                  "no black box is embedded\n";
     return 1;
   }
-  auto recovered = RecoverBlackBoxFromImage(disk.MutableRawImage());
+  auto recovered = RecoverBlackBoxFromImage(image);
   if (!recovered.ok()) {
     std::cerr << "black box unrecoverable: " << recovered.status().ToString() << "\n";
     return 1;
@@ -1065,7 +1186,79 @@ int RunTraced(const char* verb, const char* arg) {
   return 0;
 }
 
+// Every verb the tool understands, in help order. Verbs that require an
+// operand say so; main() enforces it before any volume is built, so a typo
+// or missing path fails fast with a nonzero exit instead of running the
+// default dump.
+struct VerbSpec {
+  const char* name;
+  const char* operand;  // nullptr = none; leading '[' marks it optional.
+  const char* what;
+};
+constexpr VerbSpec kVerbs[] = {
+    {"metrics", nullptr, "metrics registry snapshot + derived write cost"},
+    {"trace", nullptr, "Chrome trace_event JSON of the span/event ring"},
+    {"iostat", nullptr, "per-source write attribution + exact-sum check"},
+    {"segstat", nullptr, "segment lifecycle counters + utilization deciles"},
+    {"heat", nullptr, "per-segment age and overwrite-interval EWMA"},
+    {"scrub", nullptr, "corrupt a live block, then scrub + salvage it"},
+    {"top", nullptr, "live counter rates from the telemetry ring"},
+    {"heatmap", nullptr, "dirty segments: utilization decile x write age"},
+    {"blackbox", "[image-file]", "recover the telemetry ring from raw bytes"},
+    {"save", "<image-file>", "write the demo volume's raw image to a file"},
+    {"serve", nullptr, "lease-based file-service cluster, live"},
+    {"shards", nullptr, "per-log view of the sharded volume"},
+    {"slo", nullptr, "latency percentiles and path attribution"},
+    {"trace-tree", "[id]", "one request's causal span tree"},
+    {"intents", nullptr, "cross-shard intent log + reconciliation"},
+    {"check", "[--repair]", "global namespace check (+ online repair)"},
+    {"help", nullptr, "this summary"},
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: lfs_inspect [<verb> [<operand>]]\n\n"
+        "With no verb: dump the demo volume's raw on-disk structures.\n\n"
+        "verbs:\n";
+  for (const VerbSpec& v : kVerbs) {
+    std::string head = v.name;
+    if (v.operand != nullptr) {
+      head += std::string(" ") + v.operand;
+    }
+    os << "  " << std::left << std::setw(22) << head << v.what << "\n";
+  }
+}
+
+// `save <file>` / `blackbox <file>`: the demo volume's raw image on real
+// disk, and forensics over such a saved image — the pair demonstrates that
+// the black box needs only bytes, not a mountable volume.
+int SaveImage(MemoryDisk& disk, const char* path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const std::span<const std::byte> image = disk.MutableRawImage();
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out.good()) {
+    std::cerr << "cannot write image to '" << path << "'\n";
+    return 1;
+  }
+  std::cout << "wrote " << image.size() << " bytes to " << path << "\n";
+  return 0;
+}
+
 int Run(const char* verb, const char* arg) {
+  if (verb != nullptr && std::strcmp(verb, "blackbox") == 0 && arg != nullptr) {
+    // Forensics over a previously saved raw image (see `save`): the black
+    // box really does need nothing but the bytes.
+    std::ifstream in(arg, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open image file '" << arg << "'\n";
+      return 1;
+    }
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    std::cout << "=== lfs_inspect blackbox: telemetry forensics from " << arg
+              << " ===\n\n";
+    return DumpBlackBox(std::as_writable_bytes(std::span<char>(raw)));
+  }
   if (verb != nullptr && std::strcmp(verb, "serve") == 0) {
     std::cout << "=== lfs_inspect serve: a lease-based file-service cluster, live ===\n\n";
     return RunServe();
@@ -1135,13 +1328,22 @@ int Run(const char* verb, const char* arg) {
     }
     if (verb != nullptr && std::strcmp(verb, "blackbox") == 0) {
       std::cout << "=== lfs_inspect blackbox: telemetry forensics from raw bytes ===\n\n";
-      return DumpBlackBox(disk);
+      return DumpBlackBox(disk.MutableRawImage());
     }
-    if (verb != nullptr) {
-      std::cerr << "unknown verb '" << verb
-                << "' (try: metrics, trace, scrub, top, heatmap, blackbox, serve, "
-                   "shards, intents, check, slo, trace-tree)\n";
-      return 2;
+    if (verb != nullptr && std::strcmp(verb, "iostat") == 0) {
+      std::cout << "=== lfs_inspect iostat: per-source write attribution ===\n\n";
+      return DumpIoStat(disk);
+    }
+    if (verb != nullptr && std::strcmp(verb, "segstat") == 0) {
+      std::cout << "=== lfs_inspect segstat: lifecycle + utilization distribution ===\n\n";
+      return DumpSegStat(**fs);
+    }
+    if (verb != nullptr && std::strcmp(verb, "heat") == 0) {
+      std::cout << "=== lfs_inspect heat: overwrite-interval EWMA per segment ===\n\n";
+      return DumpHeat(**fs, clock.Now());
+    }
+    if (verb != nullptr && std::strcmp(verb, "save") == 0) {
+      return SaveImage(disk, arg);
     }
 
     std::cout << "=== lfs_inspect: raw on-disk structures of a live volume ===\n\n";
@@ -1165,5 +1367,32 @@ int Run(const char* verb, const char* arg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return Run(argc > 1 ? argv[1] : nullptr, argc > 2 ? argv[2] : nullptr);
+  const char* verb = argc > 1 ? argv[1] : nullptr;
+  const char* arg = argc > 2 ? argv[2] : nullptr;
+  if (verb == nullptr) {
+    return Run(nullptr, nullptr);  // Default: raw structure dump.
+  }
+  if (std::strcmp(verb, "help") == 0 || std::strcmp(verb, "-h") == 0 ||
+      std::strcmp(verb, "--help") == 0) {
+    PrintUsage(std::cout);
+    return 0;
+  }
+  const VerbSpec* spec = nullptr;
+  for (const VerbSpec& v : kVerbs) {
+    if (std::strcmp(verb, v.name) == 0) {
+      spec = &v;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    std::cerr << "unknown verb '" << verb << "'\n\n";
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  if (spec->operand != nullptr && spec->operand[0] == '<' && arg == nullptr) {
+    std::cerr << "verb '" << verb << "' requires " << spec->operand << "\n\n";
+    PrintUsage(std::cerr);
+    return 2;
+  }
+  return Run(verb, arg);
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/space_observatory.h"
 #include "src/obs/tracer.h"
 #include "src/util/crc32.h"
 #include "src/util/logging.h"
@@ -85,6 +86,17 @@ Result<uint32_t> LfsCleaner::CleanVictims(std::vector<uint32_t> victims) {
     // Phase two: the normal write-back path compacts the staged blocks.
     RETURN_IF_ERROR(fs_->FlushEverything());
     for (uint32_t seg : victims) {
+      if constexpr (obs::kMetricsEnabled) {
+        // The victim is retiring from the log: record how long it lived and
+        // how hot its data ran before the state (and heat) is recycled.
+        const SegUsage& u = fs_->usage_.Get(seg);
+        if (u.allocated_at > 0.0) {
+          obs::ObserveSegmentAge((fs_->Now() - u.allocated_at) * 1e6);
+        }
+        if (u.heat_interval_ewma > 0.0) {
+          obs::ObserveSegmentHeat(u.heat_interval_ewma * 1e6);
+        }
+      }
       fs_->usage_.SetState(seg, SegState::kCleanPending);
     }
     // The checkpoint rewrites any imap/usage blocks the cleaner displaced

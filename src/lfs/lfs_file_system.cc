@@ -9,6 +9,7 @@
 #include "src/lfs/lfs_blackbox.h"
 #include "src/lfs/lfs_cleaner.h"
 #include "src/obs/metrics.h"
+#include "src/obs/space_observatory.h"
 #include "src/obs/trace_context.h"
 #include "src/obs/tracer.h"
 #include "src/util/crc32.h"
@@ -38,6 +39,9 @@ Status LfsFileSystem::Format(BlockDevice* device, const LfsParams& params) {
   std::vector<std::byte> block(sb.block_size);
   RETURN_IF_ERROR(EncodeLfsSuperblock(sb, block));
   RETURN_IF_ERROR(device->WriteSectors(0, block));
+  // Format traffic is attributed to the checkpoint class: it writes exactly
+  // the structures a checkpoint owns (superblock + both regions).
+  obs::RecordWrite(obs::IoSource::kCheckpoint, block.size());
 
   // Initial checkpoint: empty file system, log starts at segment 0. All
   // imap/usage block addresses are kNoAddr ("decodes as default state").
@@ -69,11 +73,13 @@ Status LfsFileSystem::Format(BlockDevice* device, const LfsParams& params) {
   }
   RETURN_IF_ERROR(
       device->WriteSectors((1ull) * sb.SectorsPerBlock(), region, IoOptions{.synchronous = true}));
+  obs::RecordWrite(obs::IoSource::kCheckpoint, region.size());
   // Region B gets sequence 0 content? No — leave it invalid (zeroed) so the
   // first mount picks region A; the first checkpoint then writes B.
   std::vector<std::byte> zeros(region.size(), std::byte{0});
   RETURN_IF_ERROR(device->WriteSectors(
       (1ull + sb.checkpoint_region_blocks) * sb.SectorsPerBlock(), zeros));
+  obs::RecordWrite(obs::IoSource::kCheckpoint, zeros.size());
 
   // Only shard 0 of a sharded volume (or an unsharded volume) hosts the
   // root directory — global ino 1 lives in residue class 0. The other
@@ -210,6 +216,9 @@ Result<std::unique_ptr<LfsFileSystem>> LfsFileSystem::Mount(BlockDevice* device,
     // checkpoint — rewinding it would overwrite recovered data.)
     fs->builder_.StartAt(best->tail_segment, best->tail_offset);
     fs->usage_.SetState(fs->builder_.segment(), SegState::kActive);
+    // Heat baseline for the resumed tail segment (no lifecycle event: a
+    // remount continues the segment, it does not allocate one).
+    fs->usage_.NoteAllocated(fs->builder_.segment(), fs->Now());
   }
   fs->last_checkpoint_time_ = fs->Now();
   return fs;
@@ -417,6 +426,7 @@ void LfsFileSystem::QuarantineSegment(uint32_t seg) {
   }
   usage_.SetState(seg, SegState::kQuarantined);
   if constexpr (obs::kMetricsEnabled) {
+    obs::RecordSegLifecycle(obs::SegLifecycle::kQuarantined);
     static obs::Counter& quarantined =
         obs::Registry().GetCounter("logfs.lfs.segments_quarantined");
     quarantined.Increment();
@@ -728,12 +738,23 @@ Status LfsFileSystem::AdvanceSegment() {
   const uint32_t old_segment = builder_.segment();
   if (usage_.Get(old_segment).state == SegState::kActive) {
     usage_.SetState(old_segment, SegState::kDirty);
+    if constexpr (obs::kMetricsEnabled) {
+      obs::RecordSegLifecycle(obs::SegLifecycle::kSealed);
+      const double allocated_at = usage_.Get(old_segment).allocated_at;
+      if (allocated_at > 0.0) {
+        obs::ObserveSegmentAge((Now() - allocated_at) * 1e6);
+      }
+    }
   }
   Result<uint32_t> next = usage_.PickClean();
   if (!next.ok()) {
     return NoSpaceError("log wrapped: no clean segments");
   }
   usage_.SetState(*next, SegState::kActive);
+  usage_.NoteAllocated(*next, Now());
+  if constexpr (obs::kMetricsEnabled) {
+    obs::RecordSegLifecycle(obs::SegLifecycle::kAllocated);
+  }
   builder_.StartAt(*next, 0);
   return OkStatus();
 }
@@ -751,6 +772,7 @@ Status LfsFileSystem::EnsureAppendRoom() {
 Result<DiskAddr> LfsFileSystem::AppendToLog(BlockKind kind, uint32_t ino, uint32_t version,
                                             int64_t offset, std::span<const std::byte> data) {
   RETURN_IF_ERROR(EnsureAppendRoom());
+  builder_.set_io_context(CurrentIoContext());
   ASSIGN_OR_RETURN(DiskAddr addr, builder_.Append(kind, ino, version, offset, data));
   usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
   return addr;
@@ -760,6 +782,7 @@ Result<DiskAddr> LfsFileSystem::AppendToLogExternal(BlockKind kind, uint32_t ino
                                                     uint32_t version, int64_t offset,
                                                     std::span<const std::byte> data) {
   RETURN_IF_ERROR(EnsureAppendRoom());
+  builder_.set_io_context(CurrentIoContext());
   ASSIGN_OR_RETURN(DiskAddr addr, builder_.AppendExternal(kind, ino, version, offset, data));
   usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
   return addr;
@@ -769,6 +792,7 @@ Result<DiskAddr> LfsFileSystem::AppendToLogDeferred(BlockKind kind, uint32_t ino
                                                     uint32_t version, int64_t offset,
                                                     std::span<std::byte>* buffer) {
   RETURN_IF_ERROR(EnsureAppendRoom());
+  builder_.set_io_context(CurrentIoContext());
   ASSIGN_OR_RETURN(DiskAddr addr, builder_.AppendDeferred(kind, ino, version, offset, buffer));
   usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
   return addr;
@@ -805,11 +829,46 @@ Status LfsFileSystem::FlushPartial() {
 
 void LfsFileSystem::AccountReplace(DiskAddr old_addr, DiskAddr new_addr, uint32_t bytes) {
   if (old_addr != kNoAddr) {
-    usage_.AddLive(SegmentOfAddr(old_addr), -static_cast<int64_t>(bytes));
+    AccountBlockDeath(old_addr, bytes);
   }
   if (new_addr != kNoAddr) {
     usage_.AddLive(SegmentOfAddr(new_addr), bytes);
   }
+}
+
+void LfsFileSystem::AccountBlockDeath(DiskAddr addr, uint32_t bytes) {
+  const uint32_t seg = SegmentOfAddr(addr);
+  usage_.AddLive(seg, -static_cast<int64_t>(bytes));
+  // Heat tracks *workload* overwrite cadence; cleaner relocation kills the
+  // old copy too, but that death says nothing about how hot the data is.
+  if (!in_cleaner_) {
+    usage_.RecordOverwrite(seg, Now());
+  }
+}
+
+void LfsFileSystem::CollectSegmentUtilization(std::vector<double>* out) const {
+  // The paper's Fig. 3 as a live metric: utilization of every segment that
+  // currently holds log data. Clean segments are empty by definition and
+  // quarantined ones are out of service, so neither belongs on the curve.
+  const double capacity =
+      static_cast<double>(sb_.BlocksPerSegment()) * BlockSize();
+  for (uint32_t seg = 0; seg < sb_.num_segments; ++seg) {
+    const SegUsage& u = usage_.Get(seg);
+    if (u.state == SegState::kClean || u.state == SegState::kQuarantined) {
+      continue;
+    }
+    out->push_back(static_cast<double>(u.live_bytes) / capacity);
+  }
+}
+
+void LfsFileSystem::PublishSpaceTelemetry() {
+  if constexpr (!obs::kMetricsEnabled) {
+    return;
+  }
+  std::vector<double> utils;
+  utils.reserve(sb_.num_segments);
+  CollectSegmentUtilization(&utils);
+  obs::PublishUtilization(utils);
 }
 
 // --- Write-back machinery -----------------------------------------------------------
@@ -993,6 +1052,7 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   AddOpDiskSeconds(Now() - ckpt_io_start);
   if (first.ok()) {
     next_ckpt_region_ ^= 1;
+    obs::RecordWrite(RegionIoSource(), region.size());
     return OkStatus();
   }
   if (first.code() == ErrorCode::kCrashed) {
@@ -1009,6 +1069,7 @@ Status LfsFileSystem::WriteCheckpointRegion(const CheckpointRecord& ckpt) {
   AddOpDiskSeconds(Now() - failover_start);
   if (second.ok()) {
     next_ckpt_region_ = failed;
+    obs::RecordWrite(RegionIoSource(), region.size());
     if constexpr (obs::kMetricsEnabled) {
       static obs::Counter& failovers =
           obs::Registry().GetCounter("logfs.lfs.ckpt_region_failovers");
@@ -1068,16 +1129,22 @@ void LfsFileSystem::PersistBlackBoxNow() {
     const size_t trailer_bytes = blob.size() + kBlackBoxFooterBytes;
     const size_t start_byte =
         (region_bytes - trailer_bytes) / kSectorSize * kSectorSize;
-    (void)device_->WriteSectors(
+    Status wrote = device_->WriteSectors(
         sector + start_byte / kSectorSize,
         std::span<const std::byte>(region).subspan(start_byte),
         IoOptions{.synchronous = true});
+    if (wrote.ok()) {
+      obs::RecordWrite(obs::IoSource::kCheckpoint, region_bytes - start_byte);
+    }
   }
 }
 
 Status LfsFileSystem::Checkpoint() {
   RETURN_IF_ERROR(CheckWritable());
+  // FlushEverything drains *foreground* dirty state; only the imap/usage
+  // rewrites below are checkpoint-class traffic.
   RETURN_IF_ERROR(FlushEverything());
+  ScopedFlag checkpoint_scope(&in_checkpoint_);
 
   // Rewrite dirty inode-map blocks into the log, encoding each straight
   // into the builder's staging block.
@@ -1142,6 +1209,7 @@ Status LfsFileSystem::Checkpoint() {
         }
       }
       std::span<std::byte> buffer;
+      builder_.set_io_context(CurrentIoContext());
       ASSIGN_OR_RETURN(DiskAddr addr,
                        builder_.AppendDeferred(BlockKind::kSegUsage, 0, 0, i, &buffer));
       usage_.SetWriteSeq(builder_.segment(), next_log_seq_);
@@ -1166,6 +1234,9 @@ Status LfsFileSystem::Checkpoint() {
 
   // One guaranteed sample per checkpoint, taken after the flushes so the
   // black box records the counters exactly as of the state it rides with.
+  // Refresh the utilization-distribution gauges first so the sample carries
+  // the current Fig.-3 curve.
+  PublishSpaceTelemetry();
   sampler_.SampleNow(Now());
 
   CheckpointRecord ckpt;
@@ -1184,8 +1255,23 @@ Status LfsFileSystem::Checkpoint() {
   // checkpoint has recorded the new homes of their blocks. Pending segments
   // the cleaner could NOT fully relocate (live blocks lost to media damage)
   // come back quarantined instead of clean.
+  const uint32_t pending_before = usage_.CountState(SegState::kCleanPending);
   const std::vector<uint32_t> quarantined = usage_.CommitPendingClean();
   if constexpr (obs::kMetricsEnabled) {
+    // Lifecycle accounting: cleaner-emptied segments become "cleaned" at the
+    // checkpoint that commits them. Recovery's terminal checkpoint merely
+    // re-promotes pending state left over from before the crash — replaying
+    // it would double-count, so it is excluded.
+    if (!in_recovery_) {
+      const uint32_t cleaned =
+          pending_before - static_cast<uint32_t>(quarantined.size());
+      for (uint32_t i = 0; i < cleaned; ++i) {
+        obs::RecordSegLifecycle(obs::SegLifecycle::kCleaned);
+      }
+      for (size_t i = 0; i < quarantined.size(); ++i) {
+        obs::RecordSegLifecycle(obs::SegLifecycle::kQuarantined);
+      }
+    }
     if (!quarantined.empty()) {
       static obs::Counter& counter =
           obs::Registry().GetCounter("logfs.lfs.segments_quarantined");
@@ -1211,6 +1297,9 @@ Status LfsFileSystem::Checkpoint() {
 // --- Roll-forward recovery ------------------------------------------------------------
 
 Status LfsFileSystem::RollForward() {
+  // Everything written while rolling forward — including the terminal
+  // checkpoint below — is recovery-class traffic for attribution.
+  ScopedFlag recovery_scope(&in_recovery_);
   const uint64_t checkpoint_next_seq = next_log_seq_;
   const uint32_t rolled_before = rolled_forward_partials_;
   obs::SpanTimer roll_span(clock_, "recovery", "roll_forward");
@@ -1366,6 +1455,9 @@ Status LfsFileSystem::RebuildUsageFromScratch(uint32_t active_segment,
     }
     if (seg == active_segment) {
       usage_.SetState(seg, SegState::kActive);
+      // Heat baseline for the resumed tail; not a lifecycle "allocated"
+      // event — the segment was allocated before the crash.
+      usage_.NoteAllocated(seg, Now());
     } else if (live[seg] > 0) {
       usage_.SetState(seg, SegState::kDirty);
     } else if (usage_.Get(seg).last_write_seq >= checkpoint_next_seq) {
@@ -1600,6 +1692,7 @@ Result<LfsFileSystem::ScrubReport> LfsFileSystem::Scrub(uint32_t max_segments) {
         ASSIGN_OR_RETURN(uint64_t staged, cleaner.SalvageSegment(seg, image));
         report.blocks_salvaged += staged;
         if (staged > 0) {
+          obs::RecordSegLifecycle(obs::SegLifecycle::kSalvaged);
           RETURN_IF_ERROR(FlushEverything());
         }
       }

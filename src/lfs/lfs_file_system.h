@@ -279,6 +279,18 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   // inode (and its blocks), whatever its type.
   Status ShardReapInode(InodeNum ino);
 
+  // Write-provenance context for the repairer / router reconciliation
+  // (DESIGN.md §6j): while set, every device write this mount issues is
+  // attributed to the `repair` class. The sharded router brackets
+  // ReconcileIntents / CheckShardedLfs(kRepair) with it.
+  void set_repair_context(bool on) { in_repair_ = on; }
+
+  // Appends the utilization (live_bytes / segment capacity, in [0, 1]) of
+  // every segment currently holding log data — clean and quarantined
+  // segments excluded. The sharded router merges these across shards to
+  // republish the combined logfs.seg.util.* distribution.
+  void CollectSegmentUtilization(std::vector<double>* out) const;
+
  private:
   friend class LfsCleaner;
   friend class LfsChecker;
@@ -380,6 +392,46 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   Status AdvanceSegment();
   uint32_t SegmentOfAddr(DiskAddr addr) const { return sb_.SegmentOfSector(addr); }
   void AccountReplace(DiskAddr old_addr, DiskAddr new_addr, uint32_t bytes);
+  // Live-byte death accounting: decrements the old home's estimate and,
+  // outside the cleaner, folds the death into that segment's overwrite-
+  // interval heat EWMA (cleaner relocation is not workload heat).
+  void AccountBlockDeath(DiskAddr addr, uint32_t bytes);
+
+  // --- write-provenance context (DESIGN.md §6j) ---
+  // The class every append is tagged with, by flag priority:
+  // repair > recovery > cleaner > checkpoint > foreground (the builder then
+  // refines foreground into fg_data/fg_meta per block kind).
+  obs::IoSource CurrentIoContext() const {
+    if (in_repair_) return obs::IoSource::kRepair;
+    if (in_recovery_) return obs::IoSource::kRecovery;
+    if (in_cleaner_) return obs::IoSource::kCleaner;
+    if (in_checkpoint_) return obs::IoSource::kCheckpoint;
+    return obs::IoSource::kForegroundData;
+  }
+  // Checkpoint-region (and black-box trailer) writes bypass the builder, so
+  // they classify directly from the same flags.
+  obs::IoSource RegionIoSource() const {
+    if (in_repair_) return obs::IoSource::kRepair;
+    if (in_recovery_) return obs::IoSource::kRecovery;
+    if (in_cleaner_) return obs::IoSource::kCleaner;
+    return obs::IoSource::kCheckpoint;
+  }
+  // Sets a context flag for a scope; restores on every exit path.
+  class ScopedFlag {
+   public:
+    explicit ScopedFlag(bool* flag) : flag_(flag), prev_(*flag) { *flag_ = true; }
+    ~ScopedFlag() { *flag_ = prev_; }
+    ScopedFlag(const ScopedFlag&) = delete;
+    ScopedFlag& operator=(const ScopedFlag&) = delete;
+
+   private:
+    bool* flag_;
+    bool prev_;
+  };
+
+  // Publishes the per-segment utilization distribution (logfs.seg.util.*
+  // gauges) so the flight recorder's next sample carries it.
+  void PublishSpaceTelemetry();
 
   // --- write-back machinery ---
   Status WriteBack(std::span<CacheBlock* const> blocks) override;  // WritebackHandler.
@@ -516,6 +568,10 @@ class LfsFileSystem : public FileSystem, private WritebackHandler {
   uint64_t mutation_seq_ = 0;
   uint64_t synced_seq_ = 0;
   bool in_cleaner_ = false;  // Cleaning may dip into reserved segments.
+  // Further provenance flags for write attribution (see CurrentIoContext).
+  bool in_checkpoint_ = false;  // Checkpoint's own imap/usage appends.
+  bool in_recovery_ = false;    // Roll-forward incl. its terminal checkpoint.
+  bool in_repair_ = false;      // Router reconciliation / online repairer.
   CleanerStats cleaner_stats_;
 
   // Flight recorder state (see Options::telemetry_interval_seconds).

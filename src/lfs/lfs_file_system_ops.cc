@@ -140,7 +140,7 @@ Status LfsFileSystem::ReleaseBlocksFrom(InodeNum ino, uint64_t first_index) {
   // Direct blocks.
   for (uint64_t i = first_index; i < kNumDirect; ++i) {
     if (ci->inode.direct[i] != kNoAddr) {
-      usage_.AddLive(SegmentOfAddr(ci->inode.direct[i]), -static_cast<int64_t>(bs));
+      AccountBlockDeath(ci->inode.direct[i], bs);
       ci->inode.direct[i] = kNoAddr;
       SetInodeDirty(ci);
     }
@@ -156,7 +156,7 @@ Status LfsFileSystem::ReleaseBlocksFrom(InodeNum ino, uint64_t first_index) {
       for (uint64_t j = from; j < epb; ++j) {
         const DiskAddr addr = ReadIndirectEntry(ref->data(), j);
         if (addr != kNoAddr) {
-          usage_.AddLive(SegmentOfAddr(addr), -static_cast<int64_t>(bs));
+          AccountBlockDeath(addr, bs);
           WriteIndirectEntry(ref->mutable_data(), j, kNoAddr);
           cache_.MarkDirty(ref.get());
         }
@@ -165,8 +165,7 @@ Status LfsFileSystem::ReleaseBlocksFrom(InodeNum ino, uint64_t first_index) {
         ref.Release();
         ASSIGN_OR_RETURN(CachedInode * ci2, GetInode(ino));
         if (ci2->inode.single_indirect != kNoAddr) {
-          usage_.AddLive(SegmentOfAddr(ci2->inode.single_indirect),
-                         -static_cast<int64_t>(bs));
+          AccountBlockDeath(ci2->inode.single_indirect, bs);
           ci2->inode.single_indirect = kNoAddr;
           SetInodeDirty(ci2);
         }
@@ -200,7 +199,7 @@ Status LfsFileSystem::ReleaseBlocksFrom(InodeNum ino, uint64_t first_index) {
         for (uint64_t k = from; k < epb; ++k) {
           const DiskAddr addr = ReadIndirectEntry(leaf->data(), k);
           if (addr != kNoAddr) {
-            usage_.AddLive(SegmentOfAddr(addr), -static_cast<int64_t>(bs));
+            AccountBlockDeath(addr, bs);
             WriteIndirectEntry(leaf->mutable_data(), k, kNoAddr);
             cache_.MarkDirty(leaf.get());
           }
@@ -208,7 +207,7 @@ Status LfsFileSystem::ReleaseBlocksFrom(InodeNum ino, uint64_t first_index) {
       }
       if (from == 0) {
         if (leaf_addr != kNoAddr) {
-          usage_.AddLive(SegmentOfAddr(leaf_addr), -static_cast<int64_t>(bs));
+          AccountBlockDeath(leaf_addr, bs);
         }
         ASSIGN_OR_RETURN(DiskAddr old, SetIndirectAddr(ino, 2 + j, kNoAddr));
         (void)old;
@@ -220,7 +219,7 @@ Status LfsFileSystem::ReleaseBlocksFrom(InodeNum ino, uint64_t first_index) {
     if (root_all_free && first_index <= double_base) {
       ASSIGN_OR_RETURN(CachedInode * ci4, GetInode(ino));
       if (ci4->inode.double_indirect != kNoAddr) {
-        usage_.AddLive(SegmentOfAddr(ci4->inode.double_indirect), -static_cast<int64_t>(bs));
+        AccountBlockDeath(ci4->inode.double_indirect, bs);
         ci4->inode.double_indirect = kNoAddr;
         SetInodeDirty(ci4);
       }
@@ -239,7 +238,7 @@ Status LfsFileSystem::ReleaseInode(InodeNum ino) {
   // Release the inode's own residency in its inode block.
   const ImapEntry& entry = imap_.Get(ino);
   if (entry.block_addr != kNoAddr) {
-    usage_.AddLive(SegmentOfAddr(entry.block_addr), -static_cast<int64_t>(InodeLiveQuantum()));
+    AccountBlockDeath(entry.block_addr, InodeLiveQuantum());
   }
   imap_.Free(ino);  // Bumps the version: the cleaner's fast death test.
   pending_frees_.push_back(FreeRecord{ino, imap_.Get(ino).version});
@@ -760,7 +759,9 @@ void LfsFileSystem::PruneInodeCache() {
 
 Status LfsFileSystem::Tick() {
   // The flight recorder samples even on a demoted mount: the ring keeps
-  // recording in memory and PersistBlackBoxNow may still land it.
+  // recording in memory and PersistBlackBoxNow may still land it. Refresh
+  // the utilization-distribution gauges first so samples stay current.
+  PublishSpaceTelemetry();
   sampler_.MaybeSample(Now());
   if (read_only_) {
     return OkStatus();  // All background work writes; a demoted mount idles.

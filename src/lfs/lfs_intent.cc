@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/obs/metrics.h"
+#include "src/obs/space_observatory.h"
 #include "src/util/crc32.h"
 #include "src/util/serializer.h"
 
@@ -149,8 +150,12 @@ Status IntentLog::WriteSlot(uint32_t slot, const IntentRecord& rec, IntentState 
                             bool synchronous) {
   std::vector<std::byte> buf(kIntentSlotBytes);
   RETURN_IF_ERROR(EncodeIntentSlot(rec, state, buf));
-  return device_->WriteSectors(SlotSector(slot), buf,
-                               IoOptions{.synchronous = synchronous});
+  Status wrote = device_->WriteSectors(SlotSector(slot), buf,
+                                       IoOptions{.synchronous = synchronous});
+  if (wrote.ok()) {
+    obs::RecordWrite(obs::IoSource::kIntent, buf.size());
+  }
+  return wrote;
 }
 
 Result<uint32_t> IntentLog::Publish(IntentRecord* rec) {

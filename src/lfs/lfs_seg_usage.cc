@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/metrics.h"
 #include "src/util/serializer.h"
 
 namespace logfs {
@@ -19,8 +20,18 @@ SegmentUsageTable::SegmentUsageTable(uint32_t num_segments, uint32_t block_size)
 void SegmentUsageTable::AddLive(uint32_t seg, int64_t delta_bytes) {
   assert(seg < num_segments_);
   SegUsage& usage = entries_[seg];
-  const int64_t next = static_cast<int64_t>(usage.live_bytes) + delta_bytes;
-  assert(next >= 0 && "segment live-byte underflow");
+  int64_t next = static_cast<int64_t>(usage.live_bytes) + delta_bytes;
+  if (next < 0) {
+    // Double-decrement guard: clamp instead of wrapping the uint32 (which
+    // would make this segment look maximally live and starve the cleaner of
+    // its best victim). Counted so the anomaly stays visible.
+    if constexpr (obs::kMetricsEnabled) {
+      static obs::Counter& clamps =
+          obs::Registry().GetCounter("logfs.usage.underflow_clamps");
+      clamps.Increment();
+    }
+    next = 0;
+  }
   usage.live_bytes = static_cast<uint32_t>(next);
   MarkDirty(seg);
 }
@@ -41,6 +52,31 @@ void SegmentUsageTable::SetWriteSeq(uint32_t seg, uint64_t seq) {
   assert(seg < num_segments_);
   entries_[seg].last_write_seq = seq;
   MarkDirty(seg);
+}
+
+void SegmentUsageTable::NoteAllocated(uint32_t seg, double now) {
+  assert(seg < num_segments_);
+  // Deliberately no MarkDirty: heat is memory-only and must never add a
+  // usage block to a checkpoint that would not otherwise carry one.
+  SegUsage& usage = entries_[seg];
+  usage.allocated_at = now;
+  usage.last_overwrite_at = 0.0;
+  usage.heat_interval_ewma = 0.0;
+}
+
+void SegmentUsageTable::RecordOverwrite(uint32_t seg, double now) {
+  assert(seg < num_segments_);
+  SegUsage& usage = entries_[seg];
+  if (usage.last_overwrite_at > 0.0) {
+    const double interval = now - usage.last_overwrite_at;
+    if (interval >= 0.0) {
+      usage.heat_interval_ewma =
+          usage.heat_interval_ewma == 0.0
+              ? interval
+              : kHeatAlpha * interval + (1.0 - kHeatAlpha) * usage.heat_interval_ewma;
+    }
+  }
+  usage.last_overwrite_at = now;
 }
 
 uint32_t SegmentUsageTable::CountState(SegState state) const {

@@ -41,6 +41,15 @@ struct SegUsage {
   uint32_t live_bytes = 0;
   uint64_t last_write_seq = 0;  // Log seq of the most recent write into it.
   SegState state = SegState::kClean;
+
+  // --- memory-only heat telemetry (DESIGN.md §6j) ---
+  // Never serialized: kSegUsageEntrySize and the encoded block layout are
+  // unchanged, so remounts simply start the estimate over. Maintained even
+  // with LOGFS_METRICS=OFF (plain doubles; export is what's gated).
+  double allocated_at = 0.0;        // Sim time it last became kActive.
+  double last_overwrite_at = 0.0;   // Sim time of the last live-block death.
+  double heat_interval_ewma = 0.0;  // EWMA of inter-overwrite gaps, seconds.
+                                    // 0 = no estimate yet; smaller = hotter.
 };
 
 inline constexpr size_t kSegUsageEntrySize = 16;
@@ -55,10 +64,25 @@ class SegmentUsageTable {
 
   const SegUsage& Get(uint32_t seg) const { return entries_[seg]; }
 
+  // Underflow-guarded: a negative delta larger than the current estimate
+  // clamps to zero (and counts logfs.usage.underflow_clamps) instead of
+  // wrapping the uint32 — a double-decrement must not turn a near-empty
+  // segment into the cleaner's least-attractive victim.
   void AddLive(uint32_t seg, int64_t delta_bytes);
   void SetLive(uint32_t seg, uint32_t live_bytes);
   void SetState(uint32_t seg, SegState state);
   void SetWriteSeq(uint32_t seg, uint64_t seq);
+
+  // --- heat telemetry (memory-only; never dirties a table block) ---
+  // The segment was (re)allocated as the active segment: stamps
+  // allocated_at and restarts the overwrite-interval estimate (heat is a
+  // property of the data, and the data is new).
+  void NoteAllocated(uint32_t seg, double now);
+  // A live block in `seg` just died to a foreground overwrite/delete:
+  // folds the gap since the previous death into heat_interval_ewma
+  // (alpha = kHeatAlpha; the first gap seeds the estimate).
+  void RecordOverwrite(uint32_t seg, double now);
+  static constexpr double kHeatAlpha = 0.25;
 
   uint32_t CountState(SegState state) const;
   uint64_t TotalLiveBytes() const;

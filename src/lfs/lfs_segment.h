@@ -17,6 +17,7 @@
 #include "src/disk/block_device.h"
 #include "src/fsbase/fs_types.h"
 #include "src/lfs/lfs_format.h"
+#include "src/obs/space_observatory.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
 
@@ -140,6 +141,16 @@ class SegmentBuilder {
   // block_crc from its extent immediately before encoding.
   Status Flush(uint64_t seq, double timestamp);
 
+  // Provenance context for write attribution (DESIGN.md §6j). The file
+  // system stamps this before every append; a foreground context classifies
+  // each entry by its BlockKind (kData -> fg_data, metadata kinds ->
+  // fg_meta), any other context claims the entry outright. Flush charges
+  // the device-write op and the summary block to the partial's dominant
+  // class and splits content bytes per entry, so the exact-sum invariant
+  // holds however classes mix within one partial.
+  void set_io_context(obs::IoSource context) { io_context_ = context; }
+  obs::IoSource io_context() const { return io_context_; }
+
   // Address and content CRC of every content block the last successful
   // Flush wrote, in log order. The file system folds these into its
   // in-memory CRC index so reads can verify without re-decoding summaries.
@@ -150,11 +161,25 @@ class SegmentBuilder {
   const std::vector<FlushedBlock>& last_flush() const { return last_flush_; }
 
  private:
+  // Provenance of one pending entry under the context active at append time
+  // (see set_io_context).
+  obs::IoSource EntrySource(BlockKind kind) const {
+    if (io_context_ != obs::IoSource::kForegroundData) {
+      return io_context_;
+    }
+    return kind == BlockKind::kData ? obs::IoSource::kForegroundData
+                                    : obs::IoSource::kForegroundMeta;
+  }
+
   BlockDevice* device_;
   LfsSuperblock sb_;
   uint32_t segment_ = 0;
   uint32_t start_offset_ = 0;  // Where the pending partial segment begins.
   std::vector<SummaryEntry> entries_;
+  obs::IoSource io_context_ = obs::IoSource::kForegroundData;
+  // Parallel to entries_ (maintained only with metrics enabled): the
+  // provenance class captured when each entry was appended.
+  std::vector<obs::IoSource> entry_sources_;
   // One extent per entry, in order: either a caller-owned span
   // (AppendExternal) or a slice of buffer_ (Append/AppendDeferred). Handed
   // to WriteSectorsV at Flush without coalescing.

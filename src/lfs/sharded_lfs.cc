@@ -12,6 +12,7 @@
 
 #include "src/lfs/lfs_cleaner.h"
 #include "src/obs/metrics.h"
+#include "src/obs/space_observatory.h"
 #include "src/obs/tracer.h"
 #include "src/util/logging.h"
 
@@ -132,6 +133,7 @@ Status ShardedLfs::Format(BlockDevice* device, const LfsParams& params,
   // of the device must not decode as a pending intent.
   std::vector<std::byte> zeros(kIntentRegionSectors * kSectorSize);
   RETURN_IF_ERROR(device->WriteSectors(intent_start, zeros, IoOptions{.synchronous = true}));
+  obs::RecordWrite(obs::IoSource::kIntent, zeros.size());
   return OkStatus();
 }
 
@@ -205,10 +207,27 @@ Status ShardedLfs::ReconcileIntents() {
   for (auto& shard : shards_) {
     raw.push_back(shard->fs.get());
   }
-  ASSIGN_OR_RETURN(RepairReport rep, RepairShardedNamespace(raw, pending));
-  for (auto& shard : shards_) {
-    RETURN_IF_ERROR(shard->fs->Sync());
+  // Everything the repair and its durability sync write is repair-class
+  // traffic: the work exists only because halves of an op disagreed.
+  for (LfsFileSystem* fs : raw) {
+    fs->set_repair_context(true);
   }
+  Result<RepairReport> repaired = RepairShardedNamespace(raw, pending);
+  Status synced = OkStatus();
+  if (repaired.ok()) {
+    for (auto& shard : shards_) {
+      synced = shard->fs->Sync();
+      if (!synced.ok()) {
+        break;
+      }
+    }
+  }
+  for (LfsFileSystem* fs : raw) {
+    fs->set_repair_context(false);
+  }
+  RETURN_IF_ERROR(repaired.status());
+  RETURN_IF_ERROR(synced);
+  RepairReport rep = std::move(*repaired);
   for (const LoadedIntent& li : pending_slots) {
     Status retired = intents_->RetireSlot(li.slot, li.record);
     if (!retired.ok() && retired.code() == ErrorCode::kCrashed) {
@@ -845,6 +864,15 @@ void ShardedLfs::PublishShardMetrics() {
         capacity > 0.0 ? static_cast<double>(f->TotalLiveBytes()) / capacity : 0.0;
     registry.GetGauge(prefix + "write_cost").Set(PaperWriteCost(u));
   }
+  // Each shard's Tick republished logfs.seg.util.* with only its own
+  // segments (last writer wins); overwrite with the merged distribution so
+  // the global gauges describe the whole volume.
+  std::vector<double> utils;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->fs->CollectSegmentUtilization(&utils);
+  }
+  obs::PublishUtilization(utils);
 }
 
 // --- global checker ------------------------------------------------------------
@@ -1012,10 +1040,27 @@ Result<LfsCheckReport> CheckShardedLfs(ShardedLfs* sfs, bool verify_data,
   for (auto& shard : sfs->shards_) {
     raw.push_back(shard->fs.get());
   }
-  ASSIGN_OR_RETURN(RepairReport rep, RepairShardedNamespace(raw, {}));
-  for (auto& shard : sfs->shards_) {
-    RETURN_IF_ERROR(shard->fs->Sync());
+  // Repair-class attribution for the in-place fixes and their durability
+  // sync (same bracketing as mount-time reconciliation).
+  for (LfsFileSystem* fs : raw) {
+    fs->set_repair_context(true);
   }
+  Result<RepairReport> repaired = RepairShardedNamespace(raw, {});
+  Status synced = OkStatus();
+  if (repaired.ok()) {
+    for (auto& shard : sfs->shards_) {
+      synced = shard->fs->Sync();
+      if (!synced.ok()) {
+        break;
+      }
+    }
+  }
+  for (LfsFileSystem* fs : raw) {
+    fs->set_repair_context(false);
+  }
+  RETURN_IF_ERROR(repaired.status());
+  RETURN_IF_ERROR(synced);
+  RepairReport rep = std::move(*repaired);
   ASSIGN_OR_RETURN(LfsCheckReport after, RunShardedCheck(sfs, verify_data));
   after.repairs_applied = rep.total_edits();
   after.repair_actions = std::move(rep.actions);

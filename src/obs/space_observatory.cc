@@ -1,0 +1,141 @@
+#include "src/obs/space_observatory.h"
+
+// The whole translation unit compiles away under -DLOGFS_METRICS=OFF: the
+// header's inline no-ops take over and `nm` on the archive shows no
+// observatory symbols (tools/check_metrics_off.sh holds us to that).
+#ifndef LOGFS_METRICS_DISABLED
+
+#include <string>
+
+namespace logfs::obs {
+namespace {
+
+// Handles for every per-source counter pair, resolved once per process so
+// the hot path is two relaxed atomic adds plus a gauge refresh.
+struct SourceCells {
+  Counter* writes[kIoSourceCount] = {};
+  Counter* bytes[kIoSourceCount] = {};
+  Gauge* write_amp = nullptr;
+};
+
+SourceCells& Cells() {
+  static SourceCells cells = [] {
+    SourceCells c;
+    for (size_t i = 0; i < kIoSourceCount; ++i) {
+      const std::string base =
+          "logfs.io." + std::string(IoSourceName(static_cast<IoSource>(i)));
+      c.writes[i] = &Registry().GetCounter(base + ".writes");
+      c.bytes[i] = &Registry().GetCounter(base + ".bytes");
+    }
+    c.write_amp = &Registry().GetGauge("logfs.io.write_amplification");
+    return c;
+  }();
+  return cells;
+}
+
+void RefreshWriteAmplification(const SourceCells& cells) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kIoSourceCount; ++i) {
+    total += cells.bytes[i]->Value();
+  }
+  const uint64_t fg =
+      cells.bytes[static_cast<size_t>(IoSource::kForegroundData)]->Value();
+  if (fg > 0) {
+    cells.write_amp->Set(static_cast<double>(total) / static_cast<double>(fg));
+  }
+}
+
+}  // namespace
+
+void RecordWriteOp(IoSource source) {
+  Cells().writes[static_cast<size_t>(source)]->Increment();
+}
+
+void RecordWriteBytes(IoSource source, uint64_t bytes) {
+  SourceCells& cells = Cells();
+  cells.bytes[static_cast<size_t>(source)]->Increment(bytes);
+  RefreshWriteAmplification(cells);
+}
+
+void RecordWrite(IoSource source, uint64_t bytes) {
+  RecordWriteOp(source);
+  RecordWriteBytes(source, bytes);
+}
+
+void RecordSegLifecycle(SegLifecycle event) {
+  static Counter* cells[kSegLifecycleCount] = {};
+  static const bool init = [] {
+    for (size_t i = 0; i < kSegLifecycleCount; ++i) {
+      cells[i] = &Registry().GetCounter(
+          "logfs.seg.lifecycle." +
+          std::string(SegLifecycleName(static_cast<SegLifecycle>(i))));
+    }
+    return true;
+  }();
+  (void)init;
+  cells[static_cast<size_t>(event)]->Increment();
+}
+
+void ObserveSegmentAge(double age_us) {
+  static constexpr double kBounds[] = {1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+  static Histogram& hist = Registry().GetHistogram("logfs.seg.age_us", kBounds);
+  hist.Observe(age_us);
+}
+
+void ObserveSegmentHeat(double ewma_us) {
+  static constexpr double kBounds[] = {1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
+  static Histogram& hist = Registry().GetHistogram("logfs.seg.heat", kBounds);
+  hist.Observe(ewma_us);
+}
+
+void PublishUtilization(std::span<const double> per_segment_utilization) {
+  static Gauge* buckets[kUtilBuckets] = {};
+  static Gauge* mean = nullptr;
+  static Gauge* count = nullptr;
+  static const bool init = [] {
+    for (size_t i = 0; i < kUtilBuckets; ++i) {
+      buckets[i] = &Registry().GetGauge("logfs.seg.util.bucket" + std::to_string(i));
+    }
+    mean = &Registry().GetGauge("logfs.seg.util.mean");
+    count = &Registry().GetGauge("logfs.seg.util.segments");
+    return true;
+  }();
+  (void)init;
+  uint64_t histo[kUtilBuckets] = {};
+  double sum = 0.0;
+  for (double u : per_segment_utilization) {
+    if (u < 0.0) u = 0.0;
+    if (u > 1.0) u = 1.0;
+    size_t bucket = static_cast<size_t>(u * kUtilBuckets);
+    if (bucket >= kUtilBuckets) bucket = kUtilBuckets - 1;  // u == 1.0.
+    ++histo[bucket];
+    sum += u;
+  }
+  for (size_t i = 0; i < kUtilBuckets; ++i) {
+    buckets[i]->Set(static_cast<double>(histo[i]));
+  }
+  const size_t n = per_segment_utilization.size();
+  mean->Set(n == 0 ? 0.0 : sum / static_cast<double>(n));
+  count->Set(static_cast<double>(n));
+}
+
+IoAttribution AttributionSnapshot() {
+  SourceCells& cells = Cells();
+  IoAttribution attr;
+  for (size_t i = 0; i < kIoSourceCount; ++i) {
+    attr.writes[i] = cells.writes[i]->Value();
+    attr.bytes[i] = cells.bytes[i]->Value();
+    attr.total_writes += attr.writes[i];
+    attr.total_bytes += attr.bytes[i];
+  }
+  const uint64_t fg = attr.bytes[static_cast<size_t>(IoSource::kForegroundData)];
+  if (fg > 0) {
+    attr.write_amplification =
+        static_cast<double>(attr.total_bytes) / static_cast<double>(fg);
+  }
+  return attr;
+}
+
+}  // namespace logfs::obs
+
+#endif  // LOGFS_METRICS_DISABLED

@@ -380,6 +380,11 @@ TEST(LfsFaultTest, QuarantinePersistsAcrossRemountAndCleanerAvoidsIt) {
   ASSERT_TRUE(fs.ok());
   EXPECT_EQ((*fs)->QuarantinedSegmentCount(), 1u);
   EXPECT_EQ((*fs)->usage().Get(quarantined_seg).state, SegState::kQuarantined);
+  // The heat fields are memory-only: they ride alongside the durable state
+  // in SegUsage but never reach the encoded checkpoint block, so a remount
+  // reads the quarantine back with a cold heat estimate.
+  EXPECT_EQ((*fs)->usage().Get(quarantined_seg).heat_interval_ewma, 0.0);
+  EXPECT_EQ((*fs)->usage().Get(quarantined_seg).last_overwrite_at, 0.0);
 
   // The cleaner must never propose a quarantined segment as a victim.
   const auto victims = (*fs)->usage().PickVictims(

@@ -58,4 +58,27 @@ if "$BUILD_DIR"/examples/lfs_inspect check >/dev/null; then
 fi
 "$BUILD_DIR"/examples/lfs_inspect check --repair >/dev/null
 
-echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve + tracing + intent surfaces verified)"
+# The space observatory (per-source write attribution, segment lifecycle /
+# heat, utilization distribution) compiles out entirely: its test suite
+# self-skips the value-dependent cases, no observatory symbol may survive in
+# the binary, the bench must run attribution-free and report
+# metrics_enabled=false, and the inspector's iostat verb must report the
+# compiled-out configuration (exit 1) rather than an empty table.
+(cd "$BUILD_DIR" && ctest --output-on-failure -R space_observatory_test)
+cmake --build "$BUILD_DIR" -j --target bench_space_observatory >/dev/null
+if nm -C "$BUILD_DIR"/bench/bench_space_observatory | grep -q 'obs::RecordWrite\|obs::AttributionSnapshot\|obs::PublishUtilization'; then
+  echo "observatory symbols survived LOGFS_METRICS=OFF" >&2
+  exit 1
+fi
+"$BUILD_DIR"/bench/bench_space_observatory --smoke --out "$BUILD_DIR"/BENCH_PR10.nometrics.json
+grep -q '"metrics_enabled": false' "$BUILD_DIR"/BENCH_PR10.nometrics.json
+if grep -q 'logfs\.io\.\|logfs\.seg\.' "$BUILD_DIR"/BENCH_PR10.nometrics.json; then
+  echo "logfs.io.*/logfs.seg.* leaked into the OFF-mode bench report" >&2
+  exit 1
+fi
+if "$BUILD_DIR"/examples/lfs_inspect iostat >/dev/null 2>&1; then
+  echo "lfs_inspect iostat should report metrics compiled out (nonzero)" >&2
+  exit 1
+fi
+
+echo "LOGFS_METRICS=OFF: build + tests clean (sampler no-op, serve + tracing + intent + observatory surfaces verified)"

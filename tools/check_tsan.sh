@@ -8,7 +8,10 @@
 # concurrent suite includes the intent-log race case: cross-shard renames
 # (publish + apply + retire on Sync/Tick) racing the ONLINE repairer
 # (CheckShardedLfs in kRepair mode), which must self-serialize against the
-# movers and never "repair" a mid-flight op. TSan halts on the first data
+# movers and never "repair" a mid-flight op, and the space-observatory case:
+# racing shard front-ends all attributing device writes through the
+# process-wide logfs.io.* counters, with the exact-sum invariant checked
+# after the barrier. TSan halts on the first data
 # race, so a green run is a real absence-of-races witness for every
 # interleaving the suites explored.
 #
@@ -32,7 +35,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DLOGFS_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_DIR" -j --target sharded_concurrent_test --target serve_trace_test \
-  --target serve_test --target serve_crash_test --target obs_test --target sampler_test
+  --target serve_test --target serve_crash_test --target obs_test --target sampler_test \
+  --target space_observatory_test
 (cd "$BUILD_DIR" && ctest --output-on-failure -L "serve|concurrent|obs")
 
 # The scaling bench is the other genuinely multi-threaded binary; its smoke
